@@ -1,0 +1,575 @@
+//! Hand-written gate implementations in the style of a traditional numerical compiler.
+//!
+//! Each gate provides a `unitary` and a manually derived `gradient` function — exactly
+//! the Listing-1 pattern the paper argues is labor-intensive and error-prone. These
+//! implementations exist so the baseline engine evaluates circuits the way BQSKit-like
+//! frameworks do, providing the comparison side of Figs. 4, 6, and 7.
+
+use std::sync::Arc;
+
+use qudit_tensor::{C64, Matrix};
+
+/// A gate with hand-coded unitary and analytical-gradient functions.
+pub trait BaselineGate: Send + Sync + std::fmt::Debug {
+    /// The gate's name (matches the QGL gate library naming).
+    fn name(&self) -> &str;
+    /// Number of real parameters.
+    fn num_params(&self) -> usize;
+    /// Qudit radices the gate acts on.
+    fn radices(&self) -> &[usize];
+    /// The unitary matrix at `params`.
+    fn unitary(&self, params: &[f64]) -> Matrix<f64>;
+    /// The hand-derived gradient: one matrix per parameter.
+    fn gradient(&self, params: &[f64]) -> Vec<Matrix<f64>>;
+    /// Matrix dimension.
+    fn dim(&self) -> usize {
+        self.radices().iter().product()
+    }
+}
+
+fn m2(rows: [[C64; 2]; 2]) -> Matrix<f64> {
+    Matrix::from_rows(&[rows[0].to_vec(), rows[1].to_vec()])
+}
+
+fn m3(rows: [[C64; 3]; 3]) -> Matrix<f64> {
+    Matrix::from_rows(&[rows[0].to_vec(), rows[1].to_vec(), rows[2].to_vec()])
+}
+
+fn zero() -> C64 {
+    C64::zero()
+}
+
+/// The U3 gate with the hand-derived gradient of Listing 1.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct U3Gate;
+
+impl BaselineGate for U3Gate {
+    fn name(&self) -> &str {
+        "U3"
+    }
+    fn num_params(&self) -> usize {
+        3
+    }
+    fn radices(&self) -> &[usize] {
+        &[2]
+    }
+    fn unitary(&self, p: &[f64]) -> Matrix<f64> {
+        let (ct, st) = ((p[0] / 2.0).cos(), (p[0] / 2.0).sin());
+        let ep = C64::cis(p[1]);
+        let el = C64::cis(p[2]);
+        m2([
+            [C64::from_real(ct), -el.scale(st)],
+            [ep.scale(st), ep * el.scale(ct)],
+        ])
+    }
+    fn gradient(&self, p: &[f64]) -> Vec<Matrix<f64>> {
+        let (ct, st) = ((p[0] / 2.0).cos(), (p[0] / 2.0).sin());
+        let ep = C64::cis(p[1]);
+        let el = C64::cis(p[2]);
+        let dep = C64::i() * ep;
+        let del = C64::i() * el;
+        vec![
+            m2([
+                [C64::from_real(-0.5 * st), -el.scale(0.5 * ct)],
+                [ep.scale(0.5 * ct), ep * el.scale(-0.5 * st)],
+            ]),
+            m2([[zero(), zero()], [dep.scale(st), dep * el.scale(ct)]]),
+            m2([[zero(), -del.scale(st)], [zero(), ep * del.scale(ct)]]),
+        ]
+    }
+}
+
+/// RX rotation with hand-derived gradient.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RxGate;
+
+impl BaselineGate for RxGate {
+    fn name(&self) -> &str {
+        "RX"
+    }
+    fn num_params(&self) -> usize {
+        1
+    }
+    fn radices(&self) -> &[usize] {
+        &[2]
+    }
+    fn unitary(&self, p: &[f64]) -> Matrix<f64> {
+        let (c, s) = ((p[0] / 2.0).cos(), (p[0] / 2.0).sin());
+        m2([
+            [C64::from_real(c), C64::new(0.0, -s)],
+            [C64::new(0.0, -s), C64::from_real(c)],
+        ])
+    }
+    fn gradient(&self, p: &[f64]) -> Vec<Matrix<f64>> {
+        let (c, s) = ((p[0] / 2.0).cos(), (p[0] / 2.0).sin());
+        vec![m2([
+            [C64::from_real(-0.5 * s), C64::new(0.0, -0.5 * c)],
+            [C64::new(0.0, -0.5 * c), C64::from_real(-0.5 * s)],
+        ])]
+    }
+}
+
+/// RZ rotation with hand-derived gradient.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RzGate;
+
+impl BaselineGate for RzGate {
+    fn name(&self) -> &str {
+        "RZ"
+    }
+    fn num_params(&self) -> usize {
+        1
+    }
+    fn radices(&self) -> &[usize] {
+        &[2]
+    }
+    fn unitary(&self, p: &[f64]) -> Matrix<f64> {
+        m2([
+            [C64::cis(-p[0] / 2.0), zero()],
+            [zero(), C64::cis(p[0] / 2.0)],
+        ])
+    }
+    fn gradient(&self, p: &[f64]) -> Vec<Matrix<f64>> {
+        vec![m2([
+            [C64::cis(-p[0] / 2.0) * C64::new(0.0, -0.5), zero()],
+            [zero(), C64::cis(p[0] / 2.0) * C64::new(0.0, 0.5)],
+        ])]
+    }
+}
+
+/// RZZ two-qubit interaction with hand-derived gradient.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RzzGate;
+
+impl BaselineGate for RzzGate {
+    fn name(&self) -> &str {
+        "RZZ"
+    }
+    fn num_params(&self) -> usize {
+        1
+    }
+    fn radices(&self) -> &[usize] {
+        &[2, 2]
+    }
+    fn unitary(&self, p: &[f64]) -> Matrix<f64> {
+        let minus = C64::cis(-p[0] / 2.0);
+        let plus = C64::cis(p[0] / 2.0);
+        let mut m = Matrix::<f64>::zeros(4, 4);
+        m.set(0, 0, minus);
+        m.set(1, 1, plus);
+        m.set(2, 2, plus);
+        m.set(3, 3, minus);
+        m
+    }
+    fn gradient(&self, p: &[f64]) -> Vec<Matrix<f64>> {
+        let dminus = C64::cis(-p[0] / 2.0) * C64::new(0.0, -0.5);
+        let dplus = C64::cis(p[0] / 2.0) * C64::new(0.0, 0.5);
+        let mut m = Matrix::<f64>::zeros(4, 4);
+        m.set(0, 0, dminus);
+        m.set(1, 1, dplus);
+        m.set(2, 2, dplus);
+        m.set(3, 3, dminus);
+        vec![m]
+    }
+}
+
+/// Controlled-phase gate with hand-derived gradient.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CPhaseGate;
+
+impl BaselineGate for CPhaseGate {
+    fn name(&self) -> &str {
+        "CP"
+    }
+    fn num_params(&self) -> usize {
+        1
+    }
+    fn radices(&self) -> &[usize] {
+        &[2, 2]
+    }
+    fn unitary(&self, p: &[f64]) -> Matrix<f64> {
+        let mut m = Matrix::<f64>::identity(4);
+        m.set(3, 3, C64::cis(p[0]));
+        m
+    }
+    fn gradient(&self, p: &[f64]) -> Vec<Matrix<f64>> {
+        let mut m = Matrix::<f64>::zeros(4, 4);
+        m.set(3, 3, C64::i() * C64::cis(p[0]));
+        vec![m]
+    }
+}
+
+/// A constant (parameter-free) gate defined by an explicit matrix.
+#[derive(Debug, Clone)]
+pub struct ConstantGate {
+    name: String,
+    radices: Vec<usize>,
+    matrix: Matrix<f64>,
+}
+
+impl ConstantGate {
+    /// Creates a constant gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix dimension does not match the radices.
+    pub fn new(name: &str, radices: Vec<usize>, matrix: Matrix<f64>) -> Self {
+        assert_eq!(
+            radices.iter().product::<usize>(),
+            matrix.rows(),
+            "constant gate dimension mismatch"
+        );
+        ConstantGate { name: name.to_string(), radices, matrix }
+    }
+
+    /// CNOT gate.
+    pub fn cnot() -> Self {
+        let mut m = Matrix::<f64>::zeros(4, 4);
+        for (r, c) in [(0usize, 0usize), (1, 1), (2, 3), (3, 2)] {
+            m.set(r, c, C64::one());
+        }
+        ConstantGate::new("CNOT", vec![2, 2], m)
+    }
+
+    /// Hadamard gate.
+    pub fn hadamard() -> Self {
+        let s = 1.0 / 2.0_f64.sqrt();
+        ConstantGate::new(
+            "H",
+            vec![2],
+            m2([
+                [C64::from_real(s), C64::from_real(s)],
+                [C64::from_real(s), C64::from_real(-s)],
+            ]),
+        )
+    }
+
+    /// SWAP gate.
+    pub fn swap() -> Self {
+        let mut m = Matrix::<f64>::zeros(4, 4);
+        for (r, c) in [(0usize, 0usize), (1, 2), (2, 1), (3, 3)] {
+            m.set(r, c, C64::one());
+        }
+        ConstantGate::new("SWAP", vec![2, 2], m)
+    }
+
+    /// Two-qutrit CSUM gate.
+    pub fn csum() -> Self {
+        let mut m = Matrix::<f64>::zeros(9, 9);
+        for a in 0..3usize {
+            for b in 0..3usize {
+                m.set(3 * a + (a + b) % 3, 3 * a + b, C64::one());
+            }
+        }
+        ConstantGate::new("CSUM", vec![3, 3], m)
+    }
+}
+
+impl BaselineGate for ConstantGate {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn num_params(&self) -> usize {
+        0
+    }
+    fn radices(&self) -> &[usize] {
+        &self.radices
+    }
+    fn unitary(&self, _params: &[f64]) -> Matrix<f64> {
+        self.matrix.clone()
+    }
+    fn gradient(&self, _params: &[f64]) -> Vec<Matrix<f64>> {
+        Vec::new()
+    }
+}
+
+/// Single-qutrit phase gate `diag(1, e^{ia}, e^{ib})`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QutritPhaseGate;
+
+impl BaselineGate for QutritPhaseGate {
+    fn name(&self) -> &str {
+        "P3"
+    }
+    fn num_params(&self) -> usize {
+        2
+    }
+    fn radices(&self) -> &[usize] {
+        &[3]
+    }
+    fn unitary(&self, p: &[f64]) -> Matrix<f64> {
+        m3([
+            [C64::one(), zero(), zero()],
+            [zero(), C64::cis(p[0]), zero()],
+            [zero(), zero(), C64::cis(p[1])],
+        ])
+    }
+    fn gradient(&self, p: &[f64]) -> Vec<Matrix<f64>> {
+        vec![
+            m3([
+                [zero(), zero(), zero()],
+                [zero(), C64::i() * C64::cis(p[0]), zero()],
+                [zero(), zero(), zero()],
+            ]),
+            m3([
+                [zero(), zero(), zero()],
+                [zero(), zero(), zero()],
+                [zero(), zero(), C64::i() * C64::cis(p[1])],
+            ]),
+        ]
+    }
+}
+
+/// The general single-qutrit gate used by the qutrit PQC benchmark: three embedded
+/// two-level rotations followed by a diagonal phase, with the gradient assembled by hand
+/// via the product rule over the four factors.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QutritUGate;
+
+impl QutritUGate {
+    fn factors(p: &[f64]) -> [Matrix<f64>; 4] {
+        let r01 = {
+            let (c, s) = ((p[0] / 2.0).cos(), (p[0] / 2.0).sin());
+            let e = C64::cis(p[1]);
+            m3([
+                [C64::from_real(c), -e.scale(s), zero()],
+                [e.conj().scale(s), C64::from_real(c), zero()],
+                [zero(), zero(), C64::one()],
+            ])
+        };
+        let r02 = {
+            let (c, s) = ((p[2] / 2.0).cos(), (p[2] / 2.0).sin());
+            let e = C64::cis(p[3]);
+            m3([
+                [C64::from_real(c), zero(), -e.scale(s)],
+                [zero(), C64::one(), zero()],
+                [e.conj().scale(s), zero(), C64::from_real(c)],
+            ])
+        };
+        let r12 = {
+            let (c, s) = ((p[4] / 2.0).cos(), (p[4] / 2.0).sin());
+            let e = C64::cis(p[5]);
+            m3([
+                [C64::one(), zero(), zero()],
+                [zero(), C64::from_real(c), -e.scale(s)],
+                [zero(), e.conj().scale(s), C64::from_real(c)],
+            ])
+        };
+        let diag = m3([
+            [C64::one(), zero(), zero()],
+            [zero(), C64::cis(p[6]), zero()],
+            [zero(), zero(), C64::cis(p[7])],
+        ]);
+        [r01, r02, r12, diag]
+    }
+
+    fn factor_grads(p: &[f64]) -> [[Matrix<f64>; 2]; 4] {
+        let z3 = Matrix::<f64>::zeros(3, 3);
+        let dr01 = {
+            let (c, s) = ((p[0] / 2.0).cos(), (p[0] / 2.0).sin());
+            let e = C64::cis(p[1]);
+            [
+                m3([
+                    [C64::from_real(-0.5 * s), -e.scale(0.5 * c), zero()],
+                    [e.conj().scale(0.5 * c), C64::from_real(-0.5 * s), zero()],
+                    [zero(), zero(), zero()],
+                ]),
+                m3([
+                    [zero(), -(C64::i() * e).scale(s), zero()],
+                    [(-C64::i() * e.conj()).scale(s), zero(), zero()],
+                    [zero(), zero(), zero()],
+                ]),
+            ]
+        };
+        let dr02 = {
+            let (c, s) = ((p[2] / 2.0).cos(), (p[2] / 2.0).sin());
+            let e = C64::cis(p[3]);
+            [
+                m3([
+                    [C64::from_real(-0.5 * s), zero(), -e.scale(0.5 * c)],
+                    [zero(), zero(), zero()],
+                    [e.conj().scale(0.5 * c), zero(), C64::from_real(-0.5 * s)],
+                ]),
+                m3([
+                    [zero(), zero(), -(C64::i() * e).scale(s)],
+                    [zero(), zero(), zero()],
+                    [(-C64::i() * e.conj()).scale(s), zero(), zero()],
+                ]),
+            ]
+        };
+        let dr12 = {
+            let (c, s) = ((p[4] / 2.0).cos(), (p[4] / 2.0).sin());
+            let e = C64::cis(p[5]);
+            [
+                m3([
+                    [zero(), zero(), zero()],
+                    [zero(), C64::from_real(-0.5 * s), -e.scale(0.5 * c)],
+                    [zero(), e.conj().scale(0.5 * c), C64::from_real(-0.5 * s)],
+                ]),
+                m3([
+                    [zero(), zero(), zero()],
+                    [zero(), zero(), -(C64::i() * e).scale(s)],
+                    [zero(), (-C64::i() * e.conj()).scale(s), zero()],
+                ]),
+            ]
+        };
+        let ddiag = [
+            m3([
+                [zero(), zero(), zero()],
+                [zero(), C64::i() * C64::cis(p[6]), zero()],
+                [zero(), zero(), zero()],
+            ]),
+            m3([
+                [zero(), zero(), zero()],
+                [zero(), zero(), zero()],
+                [zero(), zero(), C64::i() * C64::cis(p[7])],
+            ]),
+        ];
+        let _ = z3;
+        [dr01, dr02, dr12, ddiag]
+    }
+}
+
+impl BaselineGate for QutritUGate {
+    fn name(&self) -> &str {
+        "QutritU"
+    }
+    fn num_params(&self) -> usize {
+        8
+    }
+    fn radices(&self) -> &[usize] {
+        &[3]
+    }
+    fn unitary(&self, p: &[f64]) -> Matrix<f64> {
+        let [a, b, c, d] = Self::factors(p);
+        a.matmul(&b).matmul(&c).matmul(&d)
+    }
+    fn gradient(&self, p: &[f64]) -> Vec<Matrix<f64>> {
+        let factors = Self::factors(p);
+        let grads = Self::factor_grads(p);
+        let mut out = Vec::with_capacity(8);
+        for (fi, fgrads) in grads.iter().enumerate() {
+            for dg in fgrads {
+                // Product rule: replace factor fi by its derivative.
+                let mut acc = if fi == 0 { dg.clone() } else { factors[0].clone() };
+                for (k, factor) in factors.iter().enumerate().skip(1) {
+                    let term = if k == fi { dg } else { factor };
+                    acc = acc.matmul(term);
+                }
+                out.push(acc);
+            }
+        }
+        out
+    }
+}
+
+/// Looks up a baseline gate implementation by the QGL gate library name.
+pub fn gate_by_name(name: &str) -> Option<Arc<dyn BaselineGate>> {
+    match name {
+        "U3" => Some(Arc::new(U3Gate)),
+        "RX" => Some(Arc::new(RxGate)),
+        "RZ" => Some(Arc::new(RzGate)),
+        "RZZ" => Some(Arc::new(RzzGate)),
+        "CP" => Some(Arc::new(CPhaseGate)),
+        "CNOT" => Some(Arc::new(ConstantGate::cnot())),
+        "H" => Some(Arc::new(ConstantGate::hadamard())),
+        "SWAP" => Some(Arc::new(ConstantGate::swap())),
+        "CSUM" => Some(Arc::new(ConstantGate::csum())),
+        "P3" => Some(Arc::new(QutritPhaseGate)),
+        "QutritU" => Some(Arc::new(QutritUGate)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_difference_check(gate: &dyn BaselineGate, params: &[f64]) {
+        let h = 1e-6;
+        let grads = gate.gradient(params);
+        assert_eq!(grads.len(), gate.num_params());
+        for k in 0..gate.num_params() {
+            let mut plus = params.to_vec();
+            let mut minus = params.to_vec();
+            plus[k] += h;
+            minus[k] -= h;
+            let fd = gate
+                .unitary(&plus)
+                .sub(&gate.unitary(&minus))
+                .unwrap()
+                .scale(C64::from_real(1.0 / (2.0 * h)));
+            assert!(
+                grads[k].max_elementwise_distance(&fd) < 1e-5,
+                "{}: hand-coded gradient for parameter {k} disagrees with finite differences",
+                gate.name()
+            );
+        }
+    }
+
+    #[test]
+    fn all_parameterized_gates_match_finite_differences() {
+        let gates: Vec<Box<dyn BaselineGate>> = vec![
+            Box::new(U3Gate),
+            Box::new(RxGate),
+            Box::new(RzGate),
+            Box::new(RzzGate),
+            Box::new(CPhaseGate),
+            Box::new(QutritPhaseGate),
+            Box::new(QutritUGate),
+        ];
+        for gate in &gates {
+            let params: Vec<f64> =
+                (0..gate.num_params()).map(|k| 0.31 + 0.63 * k as f64).collect();
+            assert!(gate.unitary(&params).is_unitary(1e-10), "{} unitarity", gate.name());
+            finite_difference_check(gate.as_ref(), &params);
+        }
+    }
+
+    #[test]
+    fn constant_gates_are_unitary() {
+        for gate in [
+            ConstantGate::cnot(),
+            ConstantGate::hadamard(),
+            ConstantGate::swap(),
+            ConstantGate::csum(),
+        ] {
+            assert!(gate.unitary(&[]).is_unitary(1e-12), "{}", gate.name());
+            assert!(gate.gradient(&[]).is_empty());
+        }
+    }
+
+    #[test]
+    fn baseline_gates_match_qgl_library() {
+        use qudit_circuit::gates as qgl;
+        let cases: Vec<(Arc<dyn BaselineGate>, qudit_qgl::UnitaryExpression)> = vec![
+            (Arc::new(U3Gate), qgl::u3()),
+            (Arc::new(RxGate), qgl::rx()),
+            (Arc::new(RzGate), qgl::rz()),
+            (Arc::new(RzzGate), qgl::rzz()),
+            (Arc::new(CPhaseGate), qgl::cphase()),
+            (Arc::new(QutritPhaseGate), qgl::qutrit_phase()),
+            (Arc::new(QutritUGate), qgl::qutrit_u()),
+            (Arc::new(ConstantGate::cnot()), qgl::cnot()),
+            (Arc::new(ConstantGate::csum()), qgl::csum()),
+        ];
+        for (baseline, expr) in cases {
+            let params: Vec<f64> =
+                (0..baseline.num_params()).map(|k| -0.8 + 0.47 * k as f64).collect();
+            let a = baseline.unitary(&params);
+            let b = expr.to_matrix::<f64>(&params).unwrap();
+            assert!(
+                a.max_elementwise_distance(&b) < 1e-10,
+                "{} disagrees with its QGL definition",
+                baseline.name()
+            );
+        }
+    }
+
+    #[test]
+    fn gate_lookup_by_name() {
+        assert!(gate_by_name("U3").is_some());
+        assert!(gate_by_name("CSUM").is_some());
+        assert!(gate_by_name("NOPE").is_none());
+    }
+}

@@ -1,0 +1,35 @@
+//! Criterion bench for Figure 4: circuit-construction time (QFT and DTC) for the
+//! OpenQudit cached-reference path vs the baseline per-append-check path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qudit_bench::{build_dtc_baseline, build_dtc_openqudit, build_qft_baseline, build_qft_openqudit};
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_construction");
+    group.sample_size(10);
+    for &n in &[8usize, 32, 64] {
+        group.bench_with_input(BenchmarkId::new("qft_openqudit", n), &n, |b, &n| {
+            b.iter(|| build_qft_openqudit(n))
+        });
+        group.bench_with_input(BenchmarkId::new("qft_baseline", n), &n, |b, &n| {
+            b.iter(|| build_qft_baseline(n))
+        });
+        group.bench_with_input(BenchmarkId::new("dtc_openqudit", n), &n, |b, &n| {
+            b.iter(|| build_dtc_openqudit(n))
+        });
+        group.bench_with_input(BenchmarkId::new("dtc_baseline", n), &n, |b, &n| {
+            b.iter(|| build_dtc_baseline(n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_construction
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench for the e-graph pass (Sec. III-C / Table I): simplification time per
+//! benchmark gate, plus an ablation of the expression-compilation pipeline with the pass
+//! disabled.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use openqudit::circuit::gates;
+use openqudit::qvm::{CompileOptions, CompiledExpression, DiffMode};
+
+fn bench_egraph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("egraph_simplification");
+    group.sample_size(10);
+    for (name, gate) in [("U3", gates::u3()), ("RZZ", gates::rzz()), ("P3", gates::qutrit_phase())] {
+        group.bench_function(format!("compile_with_simplification_{name}"), |b| {
+            b.iter(|| {
+                CompiledExpression::compile(&gate, &CompileOptions::with_gradient())
+            })
+        });
+        group.bench_function(format!("compile_without_simplification_{name}"), |b| {
+            b.iter(|| {
+                CompiledExpression::compile(
+                    &gate,
+                    &CompileOptions { diff_mode: DiffMode::Gradient, skip_simplification: true },
+                )
+            })
+        });
+    }
+    // Evaluation-speed ablation: does the simplified program run faster?
+    let gate = gates::u3();
+    let params = [0.3f64, -1.0, 2.1];
+    let with = CompiledExpression::compile(&gate, &CompileOptions::with_gradient());
+    let without = CompiledExpression::compile(
+        &gate,
+        &CompileOptions { diff_mode: DiffMode::Gradient, skip_simplification: true },
+    );
+    let mut scratch = vec![0.0f64; with.scratch_len().max(without.scratch_len())];
+    let mut out = vec![openqudit::tensor::C64::zero(); 16];
+    group.bench_function("u3_gradient_eval_simplified", |b| {
+        b.iter(|| with.gradient_program().expect("gradient").run(&params, &mut scratch, &mut out))
+    });
+    group.bench_function("u3_gradient_eval_unsimplified", |b| {
+        b.iter(|| {
+            without.gradient_program().expect("gradient").run(&params, &mut scratch, &mut out)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_egraph
+}
+criterion_main!(benches);

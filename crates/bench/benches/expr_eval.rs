@@ -1,0 +1,49 @@
+//! Criterion bench for the Sec. VII-A observation: a compiled U3 expression evaluation is
+//! orders of magnitude cheaper than dispatching through a symbolic tree walk or a
+//! baseline gate object allocating fresh matrices.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use openqudit::baseline::{BaselineGate, U3Gate};
+use openqudit::circuit::gates;
+use openqudit::prelude::*;
+
+fn bench_expr_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("u3_evaluation");
+    let expr = gates::u3();
+    let compiled = CompiledExpression::compile(&expr, &CompileOptions::with_gradient());
+    let params = [0.4f64, 1.1, -0.7];
+    let mut scratch = vec![0.0f64; compiled.scratch_len()];
+    let mut out = vec![openqudit::tensor::C64::zero(); 4 * (1 + 3)];
+
+    group.bench_function("compiled_unitary", |b| {
+        b.iter(|| compiled.unitary_program().run(&params, &mut scratch, &mut out))
+    });
+    group.bench_function("compiled_unitary_and_gradient", |b| {
+        b.iter(|| {
+            compiled
+                .gradient_program()
+                .expect("compiled with gradient")
+                .run(&params, &mut scratch, &mut out)
+        })
+    });
+    group.bench_function("symbolic_tree_walk", |b| {
+        b.iter(|| expr.to_matrix::<f64>(&params).expect("valid parameters"))
+    });
+    group.bench_function("baseline_gate_object", |b| {
+        b.iter(|| {
+            let g = U3Gate;
+            (g.unitary(&params), g.gradient(&params))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_expr_eval
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for Figures 6 and 7: single-start and multi-start numerical
+//! instantiation of the Fig. 5 PQC workloads, OpenQudit (TNVM) vs the baseline engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use openqudit::prelude::*;
+use qudit_bench::{fig5_workloads_small, reachable_targets, run_baseline_instantiation, run_openqudit_instantiation};
+
+fn bench_instantiation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_fig7_instantiation");
+    group.sample_size(10);
+    for w in fig5_workloads_small() {
+        let target = reachable_targets(&w.circuit, 1, 42).remove(0);
+        for starts in [1usize, 8] {
+            let config = InstantiateConfig { starts, seed: 13, ..Default::default() };
+            let cache = ExpressionCache::new();
+            group.bench_with_input(
+                BenchmarkId::new(format!("openqudit_{}start", starts), w.name),
+                &w,
+                |b, w| {
+                    b.iter(|| run_openqudit_instantiation(&w.circuit, &target, &config, &cache))
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("baseline_{}start", starts), w.name),
+                &w,
+                |b, w| b.iter(|| run_baseline_instantiation(&w.circuit, &target, &config)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_instantiation
+}
+criterion_main!(benches);

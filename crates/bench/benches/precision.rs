@@ -1,0 +1,31 @@
+//! Criterion bench for Sec. VI-C: TNVM gradient evaluation of the 3-qubit shallow
+//! circuit at f32 vs f64 precision (paper reports a 1.27× advantage for f32).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use openqudit::network::{compile_network, TensorNetwork};
+use openqudit::prelude::*;
+
+fn bench_precision(c: &mut Criterion) {
+    let circuit = openqudit::circuit::builders::pqc_qubit_ladder(3, 3).expect("valid builder");
+    let program = compile_network(&TensorNetwork::from_circuit(&circuit));
+    let cache = ExpressionCache::new();
+    let p64: Vec<f64> = (0..circuit.num_params()).map(|k| 0.11 * k as f64).collect();
+    let p32: Vec<f32> = p64.iter().map(|&x| x as f32).collect();
+
+    let mut group = c.benchmark_group("fig_precision_gradient_eval");
+    let mut vm64: Tnvm<f64> = Tnvm::new(&program, DiffMode::Gradient, &cache);
+    group.bench_function("f64_gradient_eval", |b| b.iter(|| vm64.evaluate(&p64)));
+    let mut vm32: Tnvm<f32> = Tnvm::new(&program, DiffMode::Gradient, &cache);
+    group.bench_function("f32_gradient_eval", |b| b.iter(|| vm32.evaluate(&p32)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_precision
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Regenerates Figure 4 of the paper: circuit-construction time for the QFT and the
+//! Benchpress DTC circuit, OpenQudit (cached-reference appends) vs the baseline
+//! framework (per-append safety/equality checks).
+//!
+//! Run with `cargo run --release -p qudit-bench --bin report_construction`.
+//! Set `OPENQUDIT_FULL=1` to extend to the paper's largest sizes (QFT 1023, DTC 512).
+
+use qudit_bench::{build_dtc_baseline, build_dtc_openqudit, build_qft_baseline, build_qft_openqudit, fmt_duration, time_it};
+
+fn main() {
+    let full = std::env::var("OPENQUDIT_FULL").is_ok();
+    let qft_sizes: Vec<usize> = if full {
+        vec![4, 8, 16, 32, 64, 128, 256, 512, 1023]
+    } else {
+        vec![4, 8, 16, 32, 64, 128, 256]
+    };
+    let dtc_sizes: Vec<usize> = if full {
+        vec![4, 8, 16, 32, 64, 128, 256, 512]
+    } else {
+        vec![4, 8, 16, 32, 64, 128]
+    };
+
+    println!("== Figure 4 (left): QFT construction time ==");
+    println!("{:>7} {:>10} {:>16} {:>16} {:>9}", "qubits", "ops", "openqudit", "baseline", "speedup");
+    for &n in &qft_sizes {
+        let (oq, t_oq) = time_it(|| build_qft_openqudit(n));
+        let (bl, t_bl) = time_it(|| build_qft_baseline(n));
+        assert_eq!(oq.num_ops(), bl.num_ops());
+        println!(
+            "{:>7} {:>10} {:>16} {:>16} {:>8.1}x",
+            n,
+            oq.num_ops(),
+            fmt_duration(t_oq),
+            fmt_duration(t_bl),
+            t_bl.as_secs_f64() / t_oq.as_secs_f64()
+        );
+    }
+
+    println!();
+    println!("== Figure 4 (right): DTC construction time ==");
+    println!("{:>7} {:>10} {:>16} {:>16} {:>9}", "qubits", "ops", "openqudit", "baseline", "speedup");
+    for &n in &dtc_sizes {
+        let (oq, t_oq) = time_it(|| build_dtc_openqudit(n));
+        let (bl, t_bl) = time_it(|| build_dtc_baseline(n));
+        assert_eq!(oq.num_ops(), bl.num_ops());
+        println!(
+            "{:>7} {:>10} {:>16} {:>16} {:>8.1}x",
+            n,
+            oq.num_ops(),
+            fmt_duration(t_oq),
+            fmt_duration(t_bl),
+            t_bl.as_secs_f64() / t_oq.as_secs_f64()
+        );
+    }
+}

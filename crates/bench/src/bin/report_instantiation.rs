@@ -1,0 +1,50 @@
+//! Regenerates Figures 6 and 7 of the paper: single-start and multi-start (8 starts)
+//! numerical instantiation time and success rate for the Fig. 5 PQC workloads,
+//! OpenQudit (TNVM) vs the BQSKit-style baseline, both driven by the same LM optimizer.
+//!
+//! Run with `cargo run --release -p qudit-bench --bin report_instantiation`.
+//! Set `OPENQUDIT_TRIALS=<n>` to change the number of targets per workload (default 5).
+
+use openqudit::prelude::*;
+use qudit_bench::{fig5_workloads, fmt_duration, reachable_targets, run_baseline_instantiation, run_openqudit_instantiation};
+
+fn main() {
+    let trials: usize = std::env::var("OPENQUDIT_TRIALS").ok().and_then(|s| s.parse().ok()).unwrap_or(5);
+    for (label, starts) in [("Figure 6: single-start instantiation", 1usize), ("Figure 7: multi-start instantiation (8 starts)", 8)] {
+        println!("== {label} ==");
+        println!(
+            "{:<18} {:>7} {:>14} {:>14} {:>9} {:>11} {:>11}",
+            "workload", "params", "openqudit", "baseline", "speedup", "oq success", "bl success"
+        );
+        for w in fig5_workloads() {
+            let targets = reachable_targets(&w.circuit, trials, 1000 + starts as u64);
+            let cache = ExpressionCache::new();
+            let mut oq_total = std::time::Duration::ZERO;
+            let mut bl_total = std::time::Duration::ZERO;
+            let mut oq_success = 0usize;
+            let mut bl_success = 0usize;
+            for (k, target) in targets.iter().enumerate() {
+                let config = InstantiateConfig { starts, seed: 7 + k as u64, ..Default::default() };
+                let oq = run_openqudit_instantiation(&w.circuit, target, &config, &cache);
+                let bl = run_baseline_instantiation(&w.circuit, target, &config);
+                oq_total += oq.elapsed;
+                bl_total += bl.elapsed;
+                oq_success += oq.success as usize;
+                bl_success += bl.success as usize;
+            }
+            let oq_mean = oq_total / trials as u32;
+            let bl_mean = bl_total / trials as u32;
+            println!(
+                "{:<18} {:>7} {:>14} {:>14} {:>8.1}x {:>10.0}% {:>10.0}%",
+                w.name,
+                w.circuit.num_params(),
+                fmt_duration(oq_mean),
+                fmt_duration(bl_mean),
+                bl_mean.as_secs_f64() / oq_mean.as_secs_f64(),
+                100.0 * oq_success as f64 / trials as f64,
+                100.0 * bl_success as f64 / trials as f64,
+            );
+        }
+        println!();
+    }
+}

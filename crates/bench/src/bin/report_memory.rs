@@ -1,0 +1,24 @@
+//! Regenerates the Sec. V-C memory observation: the TNVM's numerical-storage footprint
+//! for the Fig. 5 workloads in double-precision gradient mode (the paper reports ~211 KB
+//! for the 3-qubit shallow case).
+//!
+//! Run with `cargo run --release -p qudit-bench --bin report_memory`.
+
+use openqudit::prelude::*;
+use qudit_bench::fig5_workloads;
+
+fn main() {
+    println!("== Section V-C: TNVM memory footprint (f64, gradient mode) ==");
+    println!("{:<18} {:>8} {:>8} {:>12}", "workload", "params", "ops", "memory");
+    for w in fig5_workloads() {
+        let cache = ExpressionCache::new();
+        let evaluator = TnvmEvaluator::new(&w.circuit, &cache);
+        println!(
+            "{:<18} {:>8} {:>8} {:>9} KB",
+            w.name,
+            w.circuit.num_params(),
+            w.circuit.num_ops(),
+            evaluator.memory_bytes() / 1024
+        );
+    }
+}

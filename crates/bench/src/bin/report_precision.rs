@@ -1,0 +1,35 @@
+//! Regenerates the Sec. VI-C observation: f32 vs f64 TNVM gradient-evaluation time for
+//! the 3-qubit shallow circuit (the paper reports a 1.27× speedup for f32).
+//!
+//! Run with `cargo run --release -p qudit-bench --bin report_precision`.
+
+use std::time::Instant;
+
+use openqudit::network::{compile_network, TensorNetwork};
+use openqudit::prelude::*;
+
+fn time_eval<T: openqudit::tensor::Float>(program: &TnvmProgram, params: &[T], reps: usize) -> f64 {
+    let cache = ExpressionCache::new();
+    let mut vm: Tnvm<T> = Tnvm::new(program, DiffMode::Gradient, &cache);
+    // Warm up.
+    let _ = vm.evaluate(params);
+    let start = Instant::now();
+    for _ in 0..reps {
+        let _ = vm.evaluate(params);
+    }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+fn main() {
+    let circuit = openqudit::circuit::builders::pqc_qubit_ladder(3, 3).expect("valid builder");
+    let program = compile_network(&TensorNetwork::from_circuit(&circuit));
+    let reps = 2000;
+    let p64: Vec<f64> = (0..circuit.num_params()).map(|k| 0.17 * k as f64).collect();
+    let p32: Vec<f32> = p64.iter().map(|&x| x as f32).collect();
+    let t64 = time_eval::<f64>(&program, &p64, reps);
+    let t32 = time_eval::<f32>(&program, &p32, reps);
+    println!("== Section VI-C: TNVM gradient evaluation, 3-qubit shallow circuit ==");
+    println!("f64 gradient evaluation: {:.3} µs", t64 * 1e6);
+    println!("f32 gradient evaluation: {:.3} µs", t32 * 1e6);
+    println!("f32 speedup: {:.2}x (paper reports 1.27x)", t64 / t32);
+}

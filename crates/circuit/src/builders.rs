@@ -1,0 +1,214 @@
+//! Builders for the benchmark circuits used throughout the paper's evaluation.
+//!
+//! * [`qft`] — the Quantum Fourier Transform (Fig. 4, left),
+//! * [`dtc`] — the Benchpress Discrete Time Crystal Hamiltonian-simulation circuit,
+//!   following Listing 4 of the paper (Fig. 4, right),
+//! * [`pqc_qubit_ladder`] / [`pqc_qutrit_ladder`] — the QSearch-style parameterized
+//!   ansatz circuits of Fig. 5, used by the instantiation benchmarks (Figs. 6–7).
+
+use crate::circuit::{QuditCircuit, Result};
+use crate::gates;
+
+/// Builds the `n`-qubit Quantum Fourier Transform circuit from Hadamard, controlled
+/// phase, and SWAP gates. All gates are appended as constants via cached references, so
+/// construction cost is dominated by pure bookkeeping (the quantity Fig. 4 measures).
+///
+/// # Errors
+///
+/// Propagates [`crate::CircuitError`] (cannot occur for valid `n >= 1`).
+pub fn qft(n: usize) -> Result<QuditCircuit> {
+    let mut circ = QuditCircuit::qubits(n);
+    let h = circ.cache_operation(gates::hadamard())?;
+    let cp = circ.cache_operation(gates::cphase())?;
+    let swap = circ.cache_operation(gates::swap())?;
+    for i in 0..n {
+        circ.append_ref_constant(h, vec![i], vec![])?;
+        for j in (i + 1)..n {
+            let angle = std::f64::consts::PI / (1u64 << (j - i)) as f64;
+            circ.append_ref_constant(cp, vec![j, i], vec![angle])?;
+        }
+    }
+    for i in 0..n / 2 {
+        circ.append_ref_constant(swap, vec![i, n - 1 - i], vec![])?;
+    }
+    Ok(circ)
+}
+
+/// Builds the `n`-qubit Discrete Time Crystal benchmark circuit of Listing 4: `n` layers,
+/// each applying `RX(0.95π)` to every qubit, `RZ` with a per-qubit quasi-random angle,
+/// and `RZZ` with a quasi-random angle on every neighbouring pair.
+///
+/// Angles are generated from a small deterministic sequence so that construction
+/// benchmarks are reproducible without threading an RNG through.
+///
+/// # Errors
+///
+/// Propagates [`crate::CircuitError`] (cannot occur for valid `n >= 1`).
+pub fn dtc(n: usize) -> Result<QuditCircuit> {
+    dtc_with_layers(n, n)
+}
+
+/// [`dtc`] with an explicit layer count (the Benchpress workload scales both).
+///
+/// # Errors
+///
+/// Propagates [`crate::CircuitError`] (cannot occur for valid inputs).
+pub fn dtc_with_layers(n: usize, layers: usize) -> Result<QuditCircuit> {
+    let mut circ = QuditCircuit::qubits(n);
+    let rx = circ.cache_operation(gates::rx())?;
+    let rz = circ.cache_operation(gates::rz())?;
+    let rzz = circ.cache_operation(gates::rzz())?;
+    // Deterministic quasi-random angle stream (golden-ratio low-discrepancy sequence).
+    let mut counter = 0u64;
+    let mut angle = move || {
+        counter += 1;
+        let frac = (counter as f64 * 0.6180339887498949) % 1.0;
+        std::f64::consts::PI * (2.0 * frac - 1.0)
+    };
+    for _ in 0..layers {
+        for q in 0..n {
+            circ.append_ref_constant(rx, vec![q], vec![0.95 * std::f64::consts::PI])?;
+        }
+        for q in 0..n {
+            circ.append_ref_constant(rz, vec![q], vec![angle()])?;
+        }
+        for q in 0..n.saturating_sub(1) {
+            circ.append_ref_constant(rzz, vec![q, q + 1], vec![angle()])?;
+        }
+    }
+    Ok(circ)
+}
+
+/// Builds the QSearch-style qubit ansatz of Fig. 5: a layer of U3 gates on every qubit,
+/// followed by `layers` entangling blocks, each a CNOT on a neighbouring pair followed by
+/// U3 gates on the two qubits involved. `layers` small (≈ number of qubits) gives the
+/// "shallow" benchmark circuit; several times that gives the "deep" one.
+///
+/// # Errors
+///
+/// Propagates [`crate::CircuitError`] (cannot occur for valid `n >= 2`).
+pub fn pqc_qubit_ladder(n: usize, layers: usize) -> Result<QuditCircuit> {
+    let mut circ = QuditCircuit::qubits(n);
+    let u3 = circ.cache_operation(gates::u3())?;
+    let cx = circ.cache_operation(gates::cnot())?;
+    for q in 0..n {
+        circ.append_ref(u3, vec![q])?;
+    }
+    for layer in 0..layers {
+        let a = layer % (n - 1);
+        let b = a + 1;
+        circ.append_ref(cx, vec![a, b])?;
+        circ.append_ref(u3, vec![a])?;
+        circ.append_ref(u3, vec![b])?;
+    }
+    Ok(circ)
+}
+
+/// Builds the qutrit analogue of [`pqc_qubit_ladder`]: general single-qutrit gates on
+/// every qutrit, then `layers` blocks of a CSUM followed by single-qutrit gates on the
+/// pair (Fig. 5's qutrit benchmark uses CSUM and qutrit phase gates in place of CNOT and
+/// U3).
+///
+/// # Errors
+///
+/// Propagates [`crate::CircuitError`] (cannot occur for valid `n >= 2`).
+pub fn pqc_qutrit_ladder(n: usize, layers: usize) -> Result<QuditCircuit> {
+    let mut circ = QuditCircuit::qutrits(n);
+    let local = circ.cache_operation(gates::qutrit_u())?;
+    let phase = circ.cache_operation(gates::qutrit_phase())?;
+    let csum = circ.cache_operation(gates::csum())?;
+    for q in 0..n {
+        circ.append_ref(local, vec![q])?;
+    }
+    for layer in 0..layers {
+        let a = layer % (n - 1);
+        let b = a + 1;
+        circ.append_ref(csum, vec![a, b])?;
+        circ.append_ref(phase, vec![a])?;
+        circ.append_ref(local, vec![b])?;
+    }
+    Ok(circ)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qudit_tensor::C64;
+
+    #[test]
+    fn qft_structure_and_unitarity() {
+        let c = qft(3).unwrap();
+        // 3 Hadamards + 3 controlled phases + 1 swap.
+        assert_eq!(c.num_ops(), 7);
+        assert_eq!(c.num_params(), 0);
+        let u = c.unitary::<f64>(&[]).unwrap();
+        assert!(u.is_unitary(1e-12));
+        // Compare against the closed-form QFT matrix: U[j][k] = ω^{jk} / √N.
+        let n = 8usize;
+        let omega = 2.0 * std::f64::consts::PI / n as f64;
+        for j in 0..n {
+            for k in 0..n {
+                let expect = C64::cis(omega * (j * k) as f64).scale(1.0 / (n as f64).sqrt());
+                assert!(
+                    u.get(j, k).dist(expect) < 1e-10,
+                    "QFT element ({j},{k}): {} vs {expect}",
+                    u.get(j, k)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qft_op_count_scales_quadratically() {
+        let c = qft(10).unwrap();
+        // n Hadamards + n(n-1)/2 controlled phases + n/2 swaps.
+        assert_eq!(c.num_ops(), 10 + 45 + 5);
+        assert_eq!(c.expressions().len(), 3);
+    }
+
+    #[test]
+    fn dtc_structure() {
+        let c = dtc(4).unwrap();
+        // Per layer: 4 RX + 4 RZ + 3 RZZ = 11 ops, times 4 layers.
+        assert_eq!(c.num_ops(), 44);
+        assert_eq!(c.num_params(), 0);
+        assert_eq!(c.expressions().len(), 3);
+        let u = c.unitary::<f64>(&[]).unwrap();
+        assert!(u.is_unitary(1e-10));
+    }
+
+    #[test]
+    fn dtc_with_custom_layers() {
+        let c = dtc_with_layers(3, 2).unwrap();
+        assert_eq!(c.num_ops(), 2 * (3 + 3 + 2));
+    }
+
+    #[test]
+    fn qubit_ladder_parameters() {
+        let shallow = pqc_qubit_ladder(3, 2).unwrap();
+        // 3 initial U3 + 2 layers × (CNOT + 2 U3) = 3 + 6 ops of U3 → 9·3 params... count:
+        // U3 count = 3 + 2*2 = 7, params = 21.
+        assert_eq!(shallow.num_ops(), 3 + 2 * 3);
+        assert_eq!(shallow.num_params(), 21);
+        let params: Vec<f64> = (0..shallow.num_params()).map(|k| 0.1 * k as f64).collect();
+        assert!(shallow.unitary::<f64>(&params).unwrap().is_unitary(1e-10));
+    }
+
+    #[test]
+    fn qutrit_ladder_parameters() {
+        let c = pqc_qutrit_ladder(2, 1).unwrap();
+        // 2 QutritU (8 params each) + 1 layer × (CSUM + P3(2) + QutritU(8)).
+        assert_eq!(c.num_ops(), 2 + 3);
+        assert_eq!(c.num_params(), 16 + 2 + 8);
+        assert_eq!(c.dim(), 9);
+        let params: Vec<f64> = (0..c.num_params()).map(|k| 0.05 * (k + 1) as f64).collect();
+        assert!(c.unitary::<f64>(&params).unwrap().is_unitary(1e-10));
+    }
+
+    #[test]
+    fn large_construction_is_fast_smoke_test() {
+        // Not a benchmark, just a guard that construction stays cheap bookkeeping.
+        let c = qft(64).unwrap();
+        assert_eq!(c.num_ops(), 64 + 64 * 63 / 2 + 32);
+    }
+}

@@ -1,0 +1,282 @@
+//! A library of standard qubit and qutrit gates defined in QGL.
+//!
+//! Every gate here is a plain [`UnitaryExpression`] built from its on-paper definition —
+//! exactly how a domain expert would extend the compiler (Listing 2 of the paper). The
+//! benchmark circuits (QFT, DTC, and the QSearch-style PQC ladders of Fig. 5) are
+//! assembled from these.
+
+use qudit_qgl::UnitaryExpression;
+
+fn must(source: &str) -> UnitaryExpression {
+    UnitaryExpression::new(source).unwrap_or_else(|e| panic!("builtin gate failed to parse: {e}"))
+}
+
+/// The parameterized single-qubit U3 gate (3 parameters), able to express any
+/// single-qubit unitary.
+pub fn u3() -> UnitaryExpression {
+    must(
+        "U3(theta, phi, lambda) {
+            [
+                [ cos(theta/2), ~ e^(i*lambda) * sin(theta/2) ],
+                [ e^(i*phi) * sin(theta/2), e^(i*(phi+lambda)) * cos(theta/2) ],
+            ]
+        }",
+    )
+}
+
+/// The U2 gate (2 parameters): a U3 with θ fixed at π/2.
+pub fn u2() -> UnitaryExpression {
+    must(
+        "U2(phi, lambda) {
+            [
+                [ 1/sqrt(2), ~ e^(i*lambda) / sqrt(2) ],
+                [ e^(i*phi) / sqrt(2), e^(i*(phi+lambda)) / sqrt(2) ],
+            ]
+        }",
+    )
+}
+
+/// The U1 (phase) gate.
+pub fn u1() -> UnitaryExpression {
+    must("U1(lambda) { [[1, 0], [0, e^(i*lambda)]] }")
+}
+
+/// X-axis rotation.
+pub fn rx() -> UnitaryExpression {
+    must(
+        "RX(theta) {
+            [[cos(theta/2), ~i*sin(theta/2)], [~i*sin(theta/2), cos(theta/2)]]
+        }",
+    )
+}
+
+/// Y-axis rotation.
+pub fn ry() -> UnitaryExpression {
+    must(
+        "RY(theta) {
+            [[cos(theta/2), ~sin(theta/2)], [sin(theta/2), cos(theta/2)]]
+        }",
+    )
+}
+
+/// Z-axis rotation.
+pub fn rz() -> UnitaryExpression {
+    must("RZ(theta) { [[e^(~i*theta/2), 0], [0, e^(i*theta/2)]] }")
+}
+
+/// Two-qubit ZZ interaction (the DTC benchmark's entangling gate, Listing 4).
+pub fn rzz() -> UnitaryExpression {
+    must(
+        "RZZ(theta) {
+            [[e^(~i*theta/2), 0, 0, 0],
+             [0, e^(i*theta/2), 0, 0],
+             [0, 0, e^(i*theta/2), 0],
+             [0, 0, 0, e^(~i*theta/2)]]
+        }",
+    )
+}
+
+/// Hadamard gate.
+pub fn hadamard() -> UnitaryExpression {
+    must(
+        "H() {
+            [[1/sqrt(2), 1/sqrt(2)], [1/sqrt(2), ~1/sqrt(2)]]
+        }",
+    )
+}
+
+/// Pauli-X gate.
+pub fn x() -> UnitaryExpression {
+    must("X() { [[0, 1], [1, 0]] }")
+}
+
+/// Pauli-Y gate.
+pub fn y() -> UnitaryExpression {
+    must("Y() { [[0, ~i], [i, 0]] }")
+}
+
+/// Pauli-Z gate.
+pub fn z() -> UnitaryExpression {
+    must("Z() { [[1, 0], [0, ~1]] }")
+}
+
+/// Controlled-NOT gate (control on the first qubit).
+pub fn cnot() -> UnitaryExpression {
+    must("CNOT() { [[1,0,0,0],[0,1,0,0],[0,0,0,1],[0,0,1,0]] }")
+}
+
+/// Controlled-Z gate.
+pub fn cz() -> UnitaryExpression {
+    must("CZ() { [[1,0,0,0],[0,1,0,0],[0,0,1,0],[0,0,0,~1]] }")
+}
+
+/// SWAP gate.
+pub fn swap() -> UnitaryExpression {
+    must("SWAP() { [[1,0,0,0],[0,0,1,0],[0,1,0,0],[0,0,0,1]] }")
+}
+
+/// Controlled phase gate (1 parameter) — the entangling gate of the QFT circuit.
+pub fn cphase() -> UnitaryExpression {
+    must("CP(theta) { [[1,0,0,0],[0,1,0,0],[0,0,1,0],[0,0,0,e^(i*theta)]] }")
+}
+
+/// The two-qutrit CSUM gate: |a, b⟩ → |a, (a+b) mod 3⟩ — the entangling gate of the
+/// qutrit PQC benchmarks (Fig. 5).
+pub fn csum() -> UnitaryExpression {
+    must(
+        "CSUM<3, 3>() {
+            [[1,0,0, 0,0,0, 0,0,0],
+             [0,1,0, 0,0,0, 0,0,0],
+             [0,0,1, 0,0,0, 0,0,0],
+             [0,0,0, 0,0,1, 0,0,0],
+             [0,0,0, 1,0,0, 0,0,0],
+             [0,0,0, 0,1,0, 0,0,0],
+             [0,0,0, 0,0,0, 0,1,0],
+             [0,0,0, 0,0,0, 0,0,1],
+             [0,0,0, 0,0,0, 1,0,0]]
+        }",
+    )
+}
+
+/// A single-qutrit phase gate with two independent phases — the qutrit analogue of the
+/// local rotations used in the Fig. 5 qutrit circuits.
+pub fn qutrit_phase() -> UnitaryExpression {
+    must(
+        "P3<3>(a, b) {
+            [[1, 0, 0],
+             [0, e^(i*a), 0],
+             [0, 0, e^(i*b)]]
+        }",
+    )
+}
+
+/// A general parameterized single-qutrit gate built from Gell-Mann-style rotations on
+/// the three two-level subspaces (8 parameters). Used by the qutrit PQC benchmarks as
+/// the local mixing gate (the qutrit counterpart of U3).
+pub fn qutrit_u() -> UnitaryExpression {
+    // Embedded two-level rotations: R01(a,b) · R02(c,d) · R12(u,f) · diag phases(g,h).
+    // Note: `e`, `i`, and `pi` are reserved constants in QGL and cannot be parameters.
+    must(
+        "QutritU<3>(a, b, c, d, u, f, g, h) {
+            [[cos(a/2), ~e^(i*b)*sin(a/2), 0],
+             [e^(~i*b)*sin(a/2), cos(a/2), 0],
+             [0, 0, 1]]
+            *
+            [[cos(c/2), 0, ~e^(i*d)*sin(c/2)],
+             [0, 1, 0],
+             [e^(~i*d)*sin(c/2), 0, cos(c/2)]]
+            *
+            [[1, 0, 0],
+             [0, cos(u/2), ~e^(i*f)*sin(u/2)],
+             [0, e^(~i*f)*sin(u/2), cos(u/2)]]
+            *
+            [[1, 0, 0],
+             [0, e^(i*g), 0],
+             [0, 0, e^(i*h)]]
+        }",
+    )
+}
+
+/// Returns every gate in the library with its name (used by exhaustive tests).
+pub fn all_gates() -> Vec<(&'static str, UnitaryExpression)> {
+    vec![
+        ("U3", u3()),
+        ("U2", u2()),
+        ("U1", u1()),
+        ("RX", rx()),
+        ("RY", ry()),
+        ("RZ", rz()),
+        ("RZZ", rzz()),
+        ("H", hadamard()),
+        ("X", x()),
+        ("Y", y()),
+        ("Z", z()),
+        ("CNOT", cnot()),
+        ("CZ", cz()),
+        ("SWAP", swap()),
+        ("CP", cphase()),
+        ("CSUM", csum()),
+        ("P3", qutrit_phase()),
+        ("QutritU", qutrit_u()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_gate_is_unitary_at_random_parameters() {
+        for (name, gate) in all_gates() {
+            let params: Vec<f64> =
+                (0..gate.num_params()).map(|k| 0.37 + 0.71 * k as f64).collect();
+            assert!(
+                gate.check_unitary(&params, 1e-10),
+                "{name} is not unitary at {params:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn gate_metadata() {
+        assert_eq!(u3().num_params(), 3);
+        assert_eq!(u2().num_params(), 2);
+        assert_eq!(rzz().radices(), &[2, 2]);
+        assert_eq!(csum().radices(), &[3, 3]);
+        assert_eq!(qutrit_phase().radices(), &[3]);
+        assert_eq!(qutrit_u().num_params(), 8);
+        assert_eq!(cnot().num_params(), 0);
+    }
+
+    #[test]
+    fn u2_is_u3_at_half_pi() {
+        let from_u3 = u3().to_matrix::<f64>(&[std::f64::consts::FRAC_PI_2, 0.4, 1.2]).unwrap();
+        let direct = u2().to_matrix::<f64>(&[0.4, 1.2]).unwrap();
+        assert!(from_u3.max_elementwise_distance(&direct) < 1e-12);
+    }
+
+    #[test]
+    fn cnot_flips_target_when_control_set() {
+        let m = cnot().to_matrix::<f64>(&[]).unwrap();
+        // |10⟩ (index 2) ↦ |11⟩ (index 3)
+        assert_eq!(m.get(3, 2).re, 1.0);
+        assert_eq!(m.get(2, 3).re, 1.0);
+        assert_eq!(m.get(2, 2).re, 0.0);
+    }
+
+    #[test]
+    fn csum_adds_modulo_three() {
+        let m = csum().to_matrix::<f64>(&[]).unwrap();
+        // |a,b⟩ index = 3a+b ↦ |a, a+b mod 3⟩
+        for a in 0..3usize {
+            for b in 0..3usize {
+                let from = 3 * a + b;
+                let to = 3 * a + (a + b) % 3;
+                assert_eq!(m.get(to, from).re, 1.0, "|{a},{b}>");
+            }
+        }
+    }
+
+    #[test]
+    fn rz_is_diagonal_phase() {
+        let m = rz().to_matrix::<f64>(&[1.4]).unwrap();
+        assert!((m.get(0, 0).arg() + 0.7).abs() < 1e-14);
+        assert!((m.get(1, 1).arg() - 0.7).abs() < 1e-14);
+        assert_eq!(m.get(0, 1).abs(), 0.0);
+    }
+
+    #[test]
+    fn rzz_diagonal_signs() {
+        let m = rzz().to_matrix::<f64>(&[0.9]).unwrap();
+        assert!((m.get(0, 0).arg() + 0.45).abs() < 1e-14);
+        assert!((m.get(1, 1).arg() - 0.45).abs() < 1e-14);
+        assert!((m.get(2, 2).arg() - 0.45).abs() < 1e-14);
+        assert!((m.get(3, 3).arg() + 0.45).abs() < 1e-14);
+    }
+
+    #[test]
+    fn hadamard_squares_to_identity() {
+        let h = hadamard().to_matrix::<f64>(&[]).unwrap();
+        assert!(h.matmul(&h).is_identity(1e-14));
+    }
+}

@@ -1,0 +1,31 @@
+//! # qudit-circuit
+//!
+//! The circuit-construction layer of the OpenQudit reproduction: a gate library defined
+//! entirely in QGL, the [`QuditCircuit`] container with its expression-caching /
+//! reference-append mechanism (the Fig. 4 construction-performance mechanism), and
+//! builders for the benchmark circuits used throughout the paper's evaluation (QFT, the
+//! Benchpress DTC circuit, and the QSearch-style PQC ladders of Fig. 5).
+//!
+//! # Example
+//!
+//! ```
+//! use qudit_circuit::{gates, QuditCircuit};
+//!
+//! // Build a Bell-state preparation circuit.
+//! let mut circ = QuditCircuit::qubits(2);
+//! let h = circ.cache_operation(gates::hadamard())?;
+//! let cx = circ.cache_operation(gates::cnot())?;
+//! circ.append_ref_constant(h, vec![0], vec![])?;
+//! circ.append_ref_constant(cx, vec![0, 1], vec![])?;
+//! let unitary = circ.unitary::<f64>(&[])?;
+//! assert!(unitary.is_unitary(1e-12));
+//! # Ok::<(), qudit_circuit::CircuitError>(())
+//! ```
+
+pub mod builders;
+pub mod circuit;
+pub mod gates;
+
+pub use circuit::{
+    embed_gate, CircuitError, ExpressionRef, OpParams, Operation, QuditCircuit, Result,
+};

@@ -1,0 +1,77 @@
+//! The expression-extraction cost model (Table I of the paper).
+//!
+//! The cost function is designed to encourage trigonometric identities: the primary
+//! objective is to reduce the count of expensive `sin`/`cos` operations (without
+//! introducing other costly functions like `ln` or `exp`) and to promote common
+//! subexpression elimination.
+
+use crate::language::Op;
+
+/// Cost of π and variables.
+pub const COST_FREE: f64 = 0.0;
+/// Cost of a literal constant.
+pub const COST_CONST: f64 = 0.5;
+/// Cost of negation, addition, and subtraction.
+pub const COST_ADDITIVE: f64 = 1.0;
+/// Cost of multiplication and division.
+pub const COST_MULTIPLICATIVE: f64 = 5.0;
+/// Cost of `sqrt`, `sin`, and `cos`.
+pub const COST_TRIG: f64 = 50.0;
+/// Cost of `exp`, `ln`, and `pow`.
+pub const COST_TRANSCENDENTAL: f64 = 100.0;
+
+/// The per-operator cost table of Table I.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCost;
+
+impl OpCost {
+    /// Creates the default (paper) cost model.
+    pub fn new() -> Self {
+        OpCost
+    }
+
+    /// The cost of applying `op`, excluding the cost of its children.
+    pub fn cost(&self, op: &Op) -> f64 {
+        match op {
+            Op::Pi | Op::Var(_) => COST_FREE,
+            Op::Const(_) => COST_CONST,
+            Op::Neg | Op::Add | Op::Sub => COST_ADDITIVE,
+            Op::Mul | Op::Div => COST_MULTIPLICATIVE,
+            Op::Sqrt | Op::Sin | Op::Cos => COST_TRIG,
+            Op::Exp | Op::Ln | Op::Pow => COST_TRANSCENDENTAL,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_values() {
+        let c = OpCost::new();
+        assert_eq!(c.cost(&Op::Pi), 0.0);
+        assert_eq!(c.cost(&Op::Var("x".into())), 0.0);
+        assert_eq!(c.cost(&Op::constant(3.0)), 0.5);
+        assert_eq!(c.cost(&Op::Neg), 1.0);
+        assert_eq!(c.cost(&Op::Add), 1.0);
+        assert_eq!(c.cost(&Op::Sub), 1.0);
+        assert_eq!(c.cost(&Op::Mul), 5.0);
+        assert_eq!(c.cost(&Op::Div), 5.0);
+        assert_eq!(c.cost(&Op::Sqrt), 50.0);
+        assert_eq!(c.cost(&Op::Sin), 50.0);
+        assert_eq!(c.cost(&Op::Cos), 50.0);
+        assert_eq!(c.cost(&Op::Exp), 100.0);
+        assert_eq!(c.cost(&Op::Ln), 100.0);
+        assert_eq!(c.cost(&Op::Pow), 100.0);
+    }
+
+    #[test]
+    fn trig_dominates_arithmetic() {
+        // The property the paper relies on: the separation between cheap arithmetic and
+        // expensive trigonometric operations is the dominant factor.
+        let c = OpCost::new();
+        assert!(c.cost(&Op::Sin) > 5.0 * c.cost(&Op::Mul));
+        assert!(c.cost(&Op::Exp) > c.cost(&Op::Sin));
+    }
+}

@@ -1,0 +1,458 @@
+//! The e-graph data structure: union-find over e-classes, hash-consing of e-nodes,
+//! congruence-closure rebuilding, and e-matching of rewrite patterns.
+//!
+//! The implementation follows the standard design popularized by the EGG library
+//! (which the paper uses); it is re-implemented here from scratch so the workspace has no
+//! external solver dependencies.
+
+use std::collections::HashMap;
+
+use qudit_qgl::Expr;
+
+use crate::language::{Id, Node, Op, Pattern};
+
+/// An equivalence class of e-nodes.
+#[derive(Debug, Clone, Default)]
+pub struct EClass {
+    /// The e-nodes in this class (with canonical children at the last rebuild).
+    pub nodes: Vec<Node>,
+    /// Parent e-nodes that reference this class, together with the class they live in.
+    pub parents: Vec<(Node, Id)>,
+}
+
+/// An e-graph over the real-valued expression language.
+#[derive(Debug, Clone, Default)]
+pub struct EGraph {
+    unionfind: Vec<Id>,
+    memo: HashMap<Node, Id>,
+    classes: HashMap<Id, EClass>,
+    dirty: Vec<Id>,
+    node_count: usize,
+}
+
+/// A substitution binding pattern variables to e-class ids.
+pub type Subst = HashMap<String, Id>;
+
+impl EGraph {
+    /// Creates an empty e-graph.
+    pub fn new() -> Self {
+        EGraph::default()
+    }
+
+    /// Total number of e-nodes added (an upper bound used for the saturation safeguard).
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of (canonical) e-classes currently alive.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Finds the canonical representative of an e-class.
+    pub fn find(&self, id: Id) -> Id {
+        let mut cur = id;
+        loop {
+            let parent = self.unionfind[cur.index()];
+            if parent == cur {
+                return cur;
+            }
+            cur = parent;
+        }
+    }
+
+    fn find_mut(&mut self, id: Id) -> Id {
+        // Path compression.
+        let root = self.find(id);
+        let mut cur = id;
+        while cur != root {
+            let next = self.unionfind[cur.index()];
+            self.unionfind[cur.index()] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Canonicalizes a node's children.
+    pub fn canonicalize(&self, node: &Node) -> Node {
+        node.map_children(|c| self.find(c))
+    }
+
+    /// Adds a node (with already-added children) and returns its e-class.
+    pub fn add(&mut self, node: Node) -> Id {
+        let node = self.canonicalize(&node);
+        if let Some(&id) = self.memo.get(&node) {
+            return self.find(id);
+        }
+        let id = Id(self.unionfind.len() as u32);
+        self.unionfind.push(id);
+        let mut class = EClass::default();
+        class.nodes.push(node.clone());
+        self.classes.insert(id, class);
+        for &child in &node.children {
+            let child = self.find(child);
+            if let Some(c) = self.classes.get_mut(&child) {
+                c.parents.push((node.clone(), id));
+            }
+        }
+        self.memo.insert(node, id);
+        self.node_count += 1;
+        id
+    }
+
+    /// Adds a full expression tree, returning the e-class of its root.
+    pub fn add_expr(&mut self, expr: &Expr) -> Id {
+        match expr {
+            Expr::Const(c) => self.add(Node::leaf(Op::constant(*c))),
+            Expr::Pi => self.add(Node::leaf(Op::Pi)),
+            Expr::Var(v) => self.add(Node::leaf(Op::Var(v.clone()))),
+            Expr::Neg(a) => {
+                let a = self.add_expr(a);
+                self.add(Node::new(Op::Neg, vec![a]))
+            }
+            Expr::Add(a, b) => {
+                let (a, b) = (self.add_expr(a), self.add_expr(b));
+                self.add(Node::new(Op::Add, vec![a, b]))
+            }
+            Expr::Sub(a, b) => {
+                let (a, b) = (self.add_expr(a), self.add_expr(b));
+                self.add(Node::new(Op::Sub, vec![a, b]))
+            }
+            Expr::Mul(a, b) => {
+                let (a, b) = (self.add_expr(a), self.add_expr(b));
+                self.add(Node::new(Op::Mul, vec![a, b]))
+            }
+            Expr::Div(a, b) => {
+                let (a, b) = (self.add_expr(a), self.add_expr(b));
+                self.add(Node::new(Op::Div, vec![a, b]))
+            }
+            Expr::Pow(a, b) => {
+                let (a, b) = (self.add_expr(a), self.add_expr(b));
+                self.add(Node::new(Op::Pow, vec![a, b]))
+            }
+            Expr::Sin(a) => {
+                let a = self.add_expr(a);
+                self.add(Node::new(Op::Sin, vec![a]))
+            }
+            Expr::Cos(a) => {
+                let a = self.add_expr(a);
+                self.add(Node::new(Op::Cos, vec![a]))
+            }
+            Expr::Sqrt(a) => {
+                let a = self.add_expr(a);
+                self.add(Node::new(Op::Sqrt, vec![a]))
+            }
+            Expr::Exp(a) => {
+                let a = self.add_expr(a);
+                self.add(Node::new(Op::Exp, vec![a]))
+            }
+            Expr::Ln(a) => {
+                let a = self.add_expr(a);
+                self.add(Node::new(Op::Ln, vec![a]))
+            }
+        }
+    }
+
+    /// Merges two e-classes, returning the surviving canonical id.
+    pub fn union(&mut self, a: Id, b: Id) -> Id {
+        let a = self.find_mut(a);
+        let b = self.find_mut(b);
+        if a == b {
+            return a;
+        }
+        // Keep the class with more nodes as the root to bound merge cost.
+        let (root, child) = {
+            let an = self.classes.get(&a).map(|c| c.nodes.len()).unwrap_or(0);
+            let bn = self.classes.get(&b).map(|c| c.nodes.len()).unwrap_or(0);
+            if an >= bn {
+                (a, b)
+            } else {
+                (b, a)
+            }
+        };
+        self.unionfind[child.index()] = root;
+        let child_class = self.classes.remove(&child).unwrap_or_default();
+        let root_class = self.classes.entry(root).or_default();
+        root_class.nodes.extend(child_class.nodes);
+        root_class.parents.extend(child_class.parents);
+        self.dirty.push(root);
+        root
+    }
+
+    /// Restores the congruence invariant after unions: if two nodes become identical
+    /// after canonicalization, their classes are merged; the memo table is re-keyed.
+    pub fn rebuild(&mut self) {
+        while let Some(dirty) = self.dirty.pop() {
+            let dirty = self.find_mut(dirty);
+            let parents = match self.classes.get(&dirty) {
+                Some(c) => c.parents.clone(),
+                None => continue,
+            };
+            let mut new_parents: Vec<(Node, Id)> = Vec::with_capacity(parents.len());
+            let mut seen: HashMap<Node, Id> = HashMap::with_capacity(parents.len());
+            for (node, class) in parents {
+                let canon = self.canonicalize(&node);
+                let class = self.find_mut(class);
+                self.memo.remove(&node);
+                if let Some(&existing) = self.memo.get(&canon) {
+                    let existing = self.find_mut(existing);
+                    if existing != class {
+                        self.union(existing, class);
+                    }
+                } else {
+                    self.memo.insert(canon.clone(), class);
+                }
+                let class = self.find_mut(class);
+                match seen.get(&canon) {
+                    Some(&prev) if prev == class => {}
+                    _ => {
+                        seen.insert(canon.clone(), class);
+                        new_parents.push((canon, class));
+                    }
+                }
+            }
+            if let Some(c) = self.classes.get_mut(&self.find(dirty)) {
+                c.parents = new_parents;
+            }
+            // Also canonicalize the node list of the class itself.
+            let dirty = self.find(dirty);
+            if let Some(c) = self.classes.get(&dirty) {
+                let canon_nodes: Vec<Node> =
+                    c.nodes.iter().map(|n| self.canonicalize(n)).collect();
+                let mut deduped: Vec<Node> = Vec::with_capacity(canon_nodes.len());
+                for n in canon_nodes {
+                    if !deduped.contains(&n) {
+                        deduped.push(n);
+                    }
+                }
+                self.classes.get_mut(&dirty).unwrap().nodes = deduped;
+            }
+        }
+    }
+
+    /// Iterates over the canonical e-class ids.
+    pub fn class_ids(&self) -> Vec<Id> {
+        self.classes.keys().copied().collect()
+    }
+
+    /// Returns the canonical ids of classes containing at least one node whose operator
+    /// satisfies `pred`. Used by the saturation runner to only attempt rules whose
+    /// root operator actually occurs in a class.
+    pub fn class_ids_with_op(&self, pred: impl Fn(&Op) -> bool) -> Vec<Id> {
+        self.classes
+            .iter()
+            .filter(|(_, class)| class.nodes.iter().any(|n| pred(&n.op)))
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Returns the e-class for a canonical id.
+    pub fn class(&self, id: Id) -> Option<&EClass> {
+        self.classes.get(&self.find(id))
+    }
+
+    /// E-matching: finds all substitutions under which `pattern` matches e-class `id`.
+    pub fn match_pattern(&self, pattern: &Pattern, id: Id) -> Vec<Subst> {
+        let id = self.find(id);
+        match pattern {
+            Pattern::Var(name) => {
+                let mut s = Subst::new();
+                s.insert(name.clone(), id);
+                vec![s]
+            }
+            Pattern::Node(op, child_patterns) => {
+                let mut results = Vec::new();
+                let Some(class) = self.classes.get(&id) else {
+                    return results;
+                };
+                for node in &class.nodes {
+                    if &node.op != op || node.children.len() != child_patterns.len() {
+                        continue;
+                    }
+                    // Match children left to right, threading compatible substitutions.
+                    let mut partial: Vec<Subst> = vec![Subst::new()];
+                    for (cp, &cid) in child_patterns.iter().zip(node.children.iter()) {
+                        let mut next: Vec<Subst> = Vec::new();
+                        for sub in &partial {
+                            for m in self.match_pattern(cp, cid) {
+                                if let Some(merged) = merge_substs(sub, &m, self) {
+                                    next.push(merged);
+                                }
+                            }
+                        }
+                        partial = next;
+                        if partial.is_empty() {
+                            break;
+                        }
+                    }
+                    results.extend(partial);
+                }
+                results
+            }
+        }
+    }
+
+    /// Instantiates a pattern under a substitution, adding any new nodes, and returns the
+    /// e-class of the instantiated root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the substitution does not bind a variable used by the pattern (rule
+    /// construction guarantees this).
+    pub fn instantiate(&mut self, pattern: &Pattern, subst: &Subst) -> Id {
+        match pattern {
+            Pattern::Var(name) => *subst
+                .get(name)
+                .unwrap_or_else(|| panic!("unbound pattern variable ?{name}")),
+            Pattern::Node(op, children) => {
+                let child_ids: Vec<Id> =
+                    children.iter().map(|c| self.instantiate(c, subst)).collect();
+                self.add(Node { op: op.clone(), children: child_ids })
+            }
+        }
+    }
+
+    /// Returns `true` if the two ids are in the same e-class.
+    pub fn same_class(&self, a: Id, b: Id) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+fn merge_substs(a: &Subst, b: &Subst, graph: &EGraph) -> Option<Subst> {
+    let mut out = a.clone();
+    for (k, &v) in b {
+        match out.get(k) {
+            Some(&existing) if graph.find(existing) != graph.find(v) => return None,
+            _ => {
+                out.insert(k.clone(), v);
+            }
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn add_mul_expr(g: &mut EGraph) -> (Id, Id, Id) {
+        // (a * b), a, b
+        let a = g.add(Node::leaf(Op::Var("a".into())));
+        let b = g.add(Node::leaf(Op::Var("b".into())));
+        let ab = g.add(Node::new(Op::Mul, vec![a, b]));
+        (ab, a, b)
+    }
+
+    #[test]
+    fn hashconsing_dedupes() {
+        let mut g = EGraph::new();
+        let (ab1, a, b) = add_mul_expr(&mut g);
+        let ab2 = g.add(Node::new(Op::Mul, vec![a, b]));
+        assert_eq!(ab1, ab2);
+        assert_eq!(g.node_count(), 3);
+    }
+
+    #[test]
+    fn union_and_find() {
+        let mut g = EGraph::new();
+        let a = g.add(Node::leaf(Op::Var("a".into())));
+        let b = g.add(Node::leaf(Op::Var("b".into())));
+        assert!(!g.same_class(a, b));
+        g.union(a, b);
+        g.rebuild();
+        assert!(g.same_class(a, b));
+    }
+
+    #[test]
+    fn congruence_closure() {
+        // If a = b then f(a) = f(b) after rebuild.
+        let mut g = EGraph::new();
+        let a = g.add(Node::leaf(Op::Var("a".into())));
+        let b = g.add(Node::leaf(Op::Var("b".into())));
+        let fa = g.add(Node::new(Op::Sin, vec![a]));
+        let fb = g.add(Node::new(Op::Sin, vec![b]));
+        assert!(!g.same_class(fa, fb));
+        g.union(a, b);
+        g.rebuild();
+        assert!(g.same_class(fa, fb));
+    }
+
+    #[test]
+    fn nested_congruence() {
+        // a = b implies g(f(a)) = g(f(b)).
+        let mut g = EGraph::new();
+        let a = g.add(Node::leaf(Op::Var("a".into())));
+        let b = g.add(Node::leaf(Op::Var("b".into())));
+        let fa = g.add(Node::new(Op::Cos, vec![a]));
+        let fb = g.add(Node::new(Op::Cos, vec![b]));
+        let gfa = g.add(Node::new(Op::Sqrt, vec![fa]));
+        let gfb = g.add(Node::new(Op::Sqrt, vec![fb]));
+        g.union(a, b);
+        g.rebuild();
+        assert!(g.same_class(gfa, gfb));
+    }
+
+    #[test]
+    fn add_expr_and_structure() {
+        let mut g = EGraph::new();
+        let e = Expr::mul(Expr::sin(Expr::var("t")), Expr::sin(Expr::var("t")));
+        let root = g.add_expr(&e);
+        // sin(t) appears once thanks to hash-consing: nodes are t, sin(t), mul.
+        assert_eq!(g.node_count(), 3);
+        assert!(g.class(root).is_some());
+    }
+
+    #[test]
+    fn pattern_matching_binds_variables() {
+        let mut g = EGraph::new();
+        let (ab, a, b) = add_mul_expr(&mut g);
+        let pat = Pattern::parse("(* ?x ?y)");
+        let matches = g.match_pattern(&pat, ab);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(g.find(matches[0]["x"]), g.find(a));
+        assert_eq!(g.find(matches[0]["y"]), g.find(b));
+        // Non-matching pattern.
+        assert!(g.match_pattern(&Pattern::parse("(+ ?x ?y)"), ab).is_empty());
+    }
+
+    #[test]
+    fn nonlinear_pattern_requires_same_class() {
+        let mut g = EGraph::new();
+        let a = g.add(Node::leaf(Op::Var("a".into())));
+        let b = g.add(Node::leaf(Op::Var("b".into())));
+        let aa = g.add(Node::new(Op::Mul, vec![a, a]));
+        let ab = g.add(Node::new(Op::Mul, vec![a, b]));
+        let square = Pattern::parse("(* ?x ?x)");
+        assert_eq!(g.match_pattern(&square, aa).len(), 1);
+        assert!(g.match_pattern(&square, ab).is_empty());
+        // After a = b, (* a b) matches (* ?x ?x).
+        g.union(a, b);
+        g.rebuild();
+        assert_eq!(g.match_pattern(&square, ab).len(), 1);
+    }
+
+    #[test]
+    fn instantiate_creates_nodes() {
+        let mut g = EGraph::new();
+        let (_, a, b) = add_mul_expr(&mut g);
+        let mut subst = Subst::new();
+        subst.insert("x".into(), a);
+        subst.insert("y".into(), b);
+        let id = g.instantiate(&Pattern::parse("(+ (* ?x ?y) 0)"), &subst);
+        assert!(g.class(id).is_some());
+        assert!(g.node_count() >= 5);
+    }
+
+    #[test]
+    fn constant_pattern_matches_only_that_constant() {
+        let mut g = EGraph::new();
+        let two = g.add(Node::leaf(Op::constant(2.0)));
+        let three = g.add(Node::leaf(Op::constant(3.0)));
+        let x = g.add(Node::leaf(Op::Var("x".into())));
+        let two_x = g.add(Node::new(Op::Mul, vec![two, x]));
+        let three_x = g.add(Node::new(Op::Mul, vec![three, x]));
+        let pat = Pattern::parse("(* 2 ?x)");
+        assert_eq!(g.match_pattern(&pat, two_x).len(), 1);
+        assert!(g.match_pattern(&pat, three_x).is_empty());
+    }
+}

@@ -1,0 +1,344 @@
+//! Greedy bottom-up expression extraction with CSE-aware cost zeroing.
+//!
+//! Optimal extraction from an e-graph can be phrased as an ILP, but the paper argues that
+//! is too slow for a production compiler and instead uses a greedy heuristic
+//! (Sec. III-C):
+//!
+//! 1. Stabilize costs across the e-graph by iteratively computing each e-class's minimum
+//!    cost from the current costs of its children.
+//! 2. Extract the lowest-cost expression for the requested root.
+//! 3. Set the cost of every e-class traversed during that extraction to zero, so that
+//!    subsequent extractions are incentivized to *reuse* already-computed subexpressions
+//!    (common subexpression elimination).
+//! 4. Repeat until all requested roots have been extracted.
+//!
+//! The canonical example is the U2 gate: once `e^{iλ}` and `e^{iϕ}` have been extracted,
+//! the equivalent form `e^{iλ}·e^{iϕ}` of `e^{i(ϕ+λ)}` costs a single multiplication and
+//! is chosen over a fresh complex exponential.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+use qudit_qgl::Expr;
+
+use crate::cost::OpCost;
+use crate::egraph::EGraph;
+use crate::language::{Id, Node, Op};
+
+/// Greedy bottom-up extractor over an e-graph.
+#[derive(Debug)]
+pub struct GreedyExtractor<'a> {
+    graph: &'a EGraph,
+    cost_model: OpCost,
+    /// Best (cost, node) per canonical e-class under the current zeroing state.
+    best: HashMap<Id, (f64, Node)>,
+    /// Classes already extracted; their effective cost is zero and their expression is
+    /// cached for reuse.
+    extracted: HashMap<Id, Expr>,
+}
+
+impl<'a> GreedyExtractor<'a> {
+    /// Creates an extractor and performs the initial cost stabilization.
+    pub fn new(graph: &'a EGraph, cost_model: OpCost) -> Self {
+        let mut ex = GreedyExtractor { graph, cost_model, best: HashMap::new(), extracted: HashMap::new() };
+        ex.stabilize();
+        ex
+    }
+
+    /// The effective cost of using `id` as a child: zero if already extracted, otherwise
+    /// its stabilized class cost.
+    fn child_cost(&self, id: Id) -> Option<f64> {
+        let id = self.graph.find(id);
+        if self.extracted.contains_key(&id) {
+            return Some(0.0);
+        }
+        self.best.get(&id).map(|(c, _)| *c)
+    }
+
+    /// Iteratively recomputes the minimum cost of every e-class until a fixpoint.
+    fn stabilize(&mut self) {
+        let classes = self.graph.class_ids();
+        loop {
+            let mut changed = false;
+            for &id in &classes {
+                let id = self.graph.find(id);
+                let Some(class) = self.graph.class(id) else { continue };
+                let mut best: Option<(f64, Node)> = self.best.get(&id).cloned();
+                for node in &class.nodes {
+                    let mut total = self.cost_model.cost(&node.op);
+                    let mut feasible = true;
+                    for &child in &node.children {
+                        match self.child_cost(child) {
+                            Some(c) => total += c,
+                            None => {
+                                feasible = false;
+                                break;
+                            }
+                        }
+                    }
+                    if !feasible {
+                        continue;
+                    }
+                    match &best {
+                        Some((c, _)) if *c <= total => {}
+                        _ => {
+                            best = Some((total, node.clone()));
+                        }
+                    }
+                }
+                if let Some((cost, node)) = best {
+                    let prev = self.best.insert(id, (cost, node));
+                    if prev.map(|(c, _)| c) != Some(cost) {
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// The stabilized cost of an e-class (before any zeroing from extraction), if the
+    /// class is extractable at all.
+    pub fn class_cost(&self, id: Id) -> Option<f64> {
+        self.best.get(&self.graph.find(id)).map(|(c, _)| *c)
+    }
+
+    /// Extracts the best expression for `root`, zeroing every traversed class so later
+    /// extractions reuse the work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class is not extractable (cannot happen for classes created by
+    /// adding complete expressions).
+    pub fn extract(&mut self, root: Id) -> Expr {
+        let root = self.graph.find(root);
+        let mut on_stack = HashSet::new();
+        let expr = self.extract_rec(root, &mut on_stack);
+        // Re-stabilize so that classes *above* the newly-zeroed ones can take advantage
+        // of the cheaper children when the next root is extracted.
+        self.stabilize();
+        expr
+    }
+
+    fn extract_rec(&mut self, id: Id, on_stack: &mut HashSet<Id>) -> Expr {
+        let id = self.graph.find(id);
+        if let Some(done) = self.extracted.get(&id) {
+            return done.clone();
+        }
+        on_stack.insert(id);
+        let (_, node) = self
+            .best
+            .get(&id)
+            .cloned()
+            .unwrap_or_else(|| panic!("e-class {id} has no extractable expression"));
+        // Guard against pathological cycles: if the chosen node recurses into a class
+        // currently on the stack, fall back to the cheapest acyclic alternative.
+        let node = if node.children.iter().any(|c| on_stack.contains(&self.graph.find(*c))) {
+            self.acyclic_alternative(id, on_stack).unwrap_or(node)
+        } else {
+            node
+        };
+        let children: Vec<Expr> =
+            node.children.iter().map(|&c| self.extract_rec(c, on_stack)).collect();
+        let expr = node_to_expr(&node.op, children);
+        on_stack.remove(&id);
+        self.extracted.insert(id, expr.clone());
+        expr
+    }
+
+    fn acyclic_alternative(&self, id: Id, on_stack: &HashSet<Id>) -> Option<Node> {
+        let class = self.graph.class(id)?;
+        let mut best: Option<(f64, Node)> = None;
+        for node in &class.nodes {
+            if node.children.iter().any(|c| on_stack.contains(&self.graph.find(*c))) {
+                continue;
+            }
+            let mut total = self.cost_model.cost(&node.op);
+            let mut feasible = true;
+            for &child in &node.children {
+                match self.child_cost(child) {
+                    Some(c) => total += c,
+                    None => {
+                        feasible = false;
+                        break;
+                    }
+                }
+            }
+            if !feasible {
+                continue;
+            }
+            match &best {
+                Some((c, _)) if *c <= total => {}
+                _ => best = Some((total, node.clone())),
+            }
+        }
+        best.map(|(_, n)| n)
+    }
+
+    /// Extracts a sequence of roots in order, sharing extraction state (and therefore
+    /// CSE) across them.
+    pub fn extract_many(&mut self, roots: &[Id]) -> Vec<Expr> {
+        roots.iter().map(|&r| self.extract(r)).collect()
+    }
+}
+
+/// Rebuilds an [`Expr`] node from an operator and already-extracted children.
+fn node_to_expr(op: &Op, mut children: Vec<Expr>) -> Expr {
+    match op {
+        Op::Const(bits) => Expr::Const(f64::from_bits(*bits)),
+        Op::Pi => Expr::Pi,
+        Op::Var(name) => Expr::Var(name.clone()),
+        Op::Neg => Expr::neg(children.remove(0)),
+        Op::Sin => Expr::sin(children.remove(0)),
+        Op::Cos => Expr::cos(children.remove(0)),
+        Op::Sqrt => Expr::sqrt(children.remove(0)),
+        Op::Exp => Expr::exp(children.remove(0)),
+        Op::Ln => Expr::ln(children.remove(0)),
+        Op::Add => {
+            let b = children.pop().expect("add arity");
+            let a = children.pop().expect("add arity");
+            Expr::add(a, b)
+        }
+        Op::Sub => {
+            let b = children.pop().expect("sub arity");
+            let a = children.pop().expect("sub arity");
+            Expr::sub(a, b)
+        }
+        Op::Mul => {
+            let b = children.pop().expect("mul arity");
+            let a = children.pop().expect("mul arity");
+            Expr::mul(a, b)
+        }
+        Op::Div => {
+            let b = children.pop().expect("div arity");
+            let a = children.pop().expect("div arity");
+            Expr::div(a, b)
+        }
+        Op::Pow => {
+            let b = children.pop().expect("pow arity");
+            let a = children.pop().expect("pow arity");
+            Expr::pow(a, b)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rewrite::Runner;
+    use crate::rules::default_rules;
+
+    fn simplify_one(expr: &Expr) -> Expr {
+        let mut g = EGraph::new();
+        let root = g.add_expr(expr);
+        Runner::new(12, 50_000).run(&mut g, &default_rules());
+        let mut ex = GreedyExtractor::new(&g, OpCost::new());
+        ex.extract(root)
+    }
+
+    #[test]
+    fn extracts_simplest_form_of_pythagoras() {
+        let t = Expr::var("t");
+        let e = Expr::Add(
+            std::sync::Arc::new(Expr::mul(Expr::sin(t.clone()), Expr::sin(t.clone()))),
+            std::sync::Arc::new(Expr::mul(Expr::cos(t.clone()), Expr::cos(t.clone()))),
+        );
+        let simplified = simplify_one(&e);
+        assert_eq!(simplified, Expr::one());
+    }
+
+    #[test]
+    fn extraction_preserves_value() {
+        let t = Expr::var("t");
+        let e = Expr::mul(
+            Expr::sin(Expr::add(t.clone(), Expr::var("u"))),
+            Expr::cos(Expr::sub(t.clone(), Expr::var("u"))),
+        );
+        let s = simplify_one(&e);
+        let names = vec!["t".to_string(), "u".to_string()];
+        for point in [[0.3, 0.8], [1.1, -0.4], [2.0, 0.0]] {
+            let a = e.eval_with(&names, &point);
+            let b = s.eval_with(&names, &point);
+            assert!((a - b).abs() < 1e-12, "{a} vs {b} at {point:?}");
+        }
+    }
+
+    #[test]
+    fn extraction_does_not_increase_cost() {
+        let t = Expr::var("t");
+        let e = Expr::add(
+            Expr::mul(Expr::sin(t.clone()), Expr::cos(t.clone())),
+            Expr::mul(Expr::cos(t.clone()), Expr::sin(t.clone())),
+        );
+        let s = simplify_one(&e);
+        assert!(s.trig_count() <= e.trig_count());
+        assert!(s.node_count() <= e.node_count() + 2);
+    }
+
+    #[test]
+    fn cse_zeroing_reuses_extracted_subexpressions() {
+        // Mimics the paper's U2 example: extract cos(ϕ), sin(ϕ), cos(λ), sin(λ) first,
+        // then cos(ϕ+λ). With those classes zeroed, the angle-sum expansion
+        // cosϕcosλ − sinϕsinλ is cheaper (2 mul + 1 sub = 11) than a fresh cos (50+…),
+        // so the extractor must pick the expanded, reusing form.
+        let (phi, lam) = (Expr::var("phi"), Expr::var("lam"));
+        let cp = Expr::cos(phi.clone());
+        let sp = Expr::sin(phi.clone());
+        let cl = Expr::cos(lam.clone());
+        let sl = Expr::sin(lam.clone());
+        let cpl = Expr::cos(Expr::add(phi.clone(), lam.clone()));
+
+        let mut g = EGraph::new();
+        let roots: Vec<Id> = [&cp, &sp, &cl, &sl, &cpl].iter().map(|e| g.add_expr(e)).collect();
+        Runner::new(12, 50_000).run(&mut g, &default_rules());
+        let mut ex = GreedyExtractor::new(&g, OpCost::new());
+        let exprs = ex.extract_many(&roots);
+
+        // The first four extractions are the plain trig calls.
+        assert_eq!(exprs[0], cp);
+        assert_eq!(exprs[3], sl);
+        // The fifth must not introduce a new trig node: it reuses the four extracted ones.
+        assert_eq!(exprs[4].trig_count(), 4, "expected angle-sum reuse, got {}", exprs[4]);
+        // And it must still be numerically correct.
+        let names = vec!["phi".to_string(), "lam".to_string()];
+        for point in [[0.2f64, 1.4], [1.0, -2.0]] {
+            let expect = (point[0] + point[1]).cos();
+            let got = exprs[4].eval_with(&names, &point);
+            assert!((expect - got).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn without_prior_extraction_plain_cos_wins() {
+        // Sanity check of the cost model: extracting cos(ϕ+λ) alone should keep the
+        // single-cos form (cost 51) rather than expanding to four trig calls (cost 211).
+        let (phi, lam) = (Expr::var("phi"), Expr::var("lam"));
+        let cpl = Expr::cos(Expr::add(phi, lam));
+        let s = simplify_one(&cpl);
+        assert_eq!(s.trig_count(), 1);
+    }
+
+    #[test]
+    fn extract_many_shares_across_roots() {
+        let t = Expr::var("t");
+        let a = Expr::sin(Expr::div(t.clone(), Expr::constant(2.0)));
+        let b = Expr::mul(
+            Expr::sin(Expr::div(t.clone(), Expr::constant(2.0))),
+            Expr::cos(Expr::div(t.clone(), Expr::constant(2.0))),
+        );
+        let mut g = EGraph::new();
+        let ra = g.add_expr(&a);
+        let rb = g.add_expr(&b);
+        Runner::new(10, 50_000).run(&mut g, &default_rules());
+        let mut ex = GreedyExtractor::new(&g, OpCost::new());
+        let out = ex.extract_many(&[ra, rb]);
+        assert_eq!(out[0], a);
+        // Value preserved for the second root.
+        let names = vec!["t".to_string()];
+        for p in [[0.4], [2.2]] {
+            assert!((out[1].eval_with(&names, &p) - b.eval_with(&names, &p)).abs() < 1e-12);
+        }
+    }
+}

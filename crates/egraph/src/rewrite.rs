@@ -1,0 +1,237 @@
+//! Rewrite rules and the equality-saturation runner.
+//!
+//! A [`Rewrite`] is a pair of patterns `lhs → rhs`; saturation repeatedly e-matches every
+//! rule against every e-class and unions the matched class with the instantiated
+//! right-hand side. The paper notes that QGL expressions are small and sparse, so
+//! saturation is expected to converge quickly, but standard safeguards (iteration and
+//! node-count limits) are applied to prevent blow-up (Sec. III-C).
+
+use crate::egraph::EGraph;
+use crate::language::Pattern;
+
+/// A directed rewrite rule `lhs → rhs`.
+#[derive(Debug, Clone)]
+pub struct Rewrite {
+    /// Human-readable rule name (used in reports and tests).
+    pub name: String,
+    /// Pattern to match.
+    pub lhs: Pattern,
+    /// Pattern to instantiate and union with the match.
+    pub rhs: Pattern,
+}
+
+impl Rewrite {
+    /// Creates a rewrite from textual patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the right-hand side uses a pattern variable that the left-hand side
+    /// does not bind (the rule would be unsound to instantiate).
+    pub fn new(name: &str, lhs: &str, rhs: &str) -> Self {
+        let lhs = Pattern::parse(lhs);
+        let rhs = Pattern::parse(rhs);
+        let bound = lhs.variables();
+        for v in rhs.variables() {
+            assert!(
+                bound.contains(&v),
+                "rewrite '{name}': rhs variable ?{v} is not bound by the lhs"
+            );
+        }
+        Rewrite { name: name.to_string(), lhs, rhs }
+    }
+
+    /// Creates the pair of rewrites `lhs → rhs` and `rhs → lhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either direction would reference an unbound variable.
+    pub fn bidirectional(name: &str, lhs: &str, rhs: &str) -> Vec<Self> {
+        vec![
+            Rewrite::new(&format!("{name}"), lhs, rhs),
+            Rewrite::new(&format!("{name}-rev"), rhs, lhs),
+        ]
+    }
+}
+
+/// Why the saturation loop stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// No rule produced a new union in the last iteration — the e-graph is saturated.
+    Saturated,
+    /// The iteration limit was reached.
+    IterationLimit,
+    /// The node limit was reached.
+    NodeLimit,
+}
+
+/// A report of a saturation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Number of iterations executed.
+    pub iterations: usize,
+    /// Total number of unions applied.
+    pub unions: usize,
+    /// Final e-node count.
+    pub nodes: usize,
+    /// Why the run stopped.
+    pub stop_reason: StopReason,
+}
+
+/// The equality-saturation runner with the paper's safeguards.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    /// Maximum number of saturation iterations.
+    pub iter_limit: usize,
+    /// Maximum number of e-nodes before the run is cut short.
+    pub node_limit: usize,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner { iter_limit: 8, node_limit: 10_000 }
+    }
+}
+
+impl Runner {
+    /// Creates a runner with explicit limits.
+    pub fn new(iter_limit: usize, node_limit: usize) -> Self {
+        Runner { iter_limit, node_limit }
+    }
+
+    /// Runs equality saturation with the given rules.
+    pub fn run(&self, graph: &mut EGraph, rules: &[Rewrite]) -> RunReport {
+        let mut total_unions = 0usize;
+        for iteration in 0..self.iter_limit {
+            if graph.node_count() > self.node_limit {
+                return RunReport {
+                    iterations: iteration,
+                    unions: total_unions,
+                    nodes: graph.node_count(),
+                    stop_reason: StopReason::NodeLimit,
+                };
+            }
+            // Phase 1: collect matches against the frozen e-graph. Rules are only
+            // attempted against classes that contain the rule's root operator, which
+            // keeps e-matching cheap on the small-but-wide e-graphs gate batches create.
+            let mut pending: Vec<(usize, crate::egraph::Subst, crate::language::Id)> = Vec::new();
+            for (rule_idx, rule) in rules.iter().enumerate() {
+                let candidates = match &rule.lhs {
+                    Pattern::Var(_) => graph.class_ids(),
+                    Pattern::Node(op, _) => graph.class_ids_with_op(|o| o == op),
+                };
+                for class in candidates {
+                    for subst in graph.match_pattern(&rule.lhs, class) {
+                        pending.push((rule_idx, subst, class));
+                    }
+                }
+            }
+            // Phase 2: apply.
+            let mut unions_this_iter = 0usize;
+            for (rule_idx, subst, class) in pending {
+                if graph.node_count() > self.node_limit {
+                    break;
+                }
+                let new_id = graph.instantiate(&rules[rule_idx].rhs, &subst);
+                if !graph.same_class(new_id, class) {
+                    graph.union(new_id, class);
+                    unions_this_iter += 1;
+                }
+            }
+            graph.rebuild();
+            total_unions += unions_this_iter;
+            if unions_this_iter == 0 {
+                return RunReport {
+                    iterations: iteration + 1,
+                    unions: total_unions,
+                    nodes: graph.node_count(),
+                    stop_reason: StopReason::Saturated,
+                };
+            }
+        }
+        RunReport {
+            iterations: self.iter_limit,
+            unions: total_unions,
+            nodes: graph.node_count(),
+            stop_reason: StopReason::IterationLimit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qudit_qgl::Expr;
+
+    #[test]
+    fn commutativity_discovers_equivalence() {
+        let mut g = EGraph::new();
+        let ab = g.add_expr(&Expr::Mul(
+            std::sync::Arc::new(Expr::var("a")),
+            std::sync::Arc::new(Expr::var("b")),
+        ));
+        let ba = g.add_expr(&Expr::Mul(
+            std::sync::Arc::new(Expr::var("b")),
+            std::sync::Arc::new(Expr::var("a")),
+        ));
+        assert!(!g.same_class(ab, ba));
+        let rules = vec![Rewrite::new("mul-comm", "(* ?a ?b)", "(* ?b ?a)")];
+        let report = Runner::default().run(&mut g, &rules);
+        assert!(g.same_class(ab, ba));
+        assert_eq!(report.stop_reason, StopReason::Saturated);
+    }
+
+    #[test]
+    fn add_zero_identity() {
+        let mut g = EGraph::new();
+        // Build (+ x 0) without the constructor folding by assembling nodes manually.
+        use crate::language::{Node, Op};
+        let x = g.add(Node::leaf(Op::Var("x".into())));
+        let zero = g.add(Node::leaf(Op::constant(0.0)));
+        let sum = g.add(Node::new(Op::Add, vec![x, zero]));
+        let rules = vec![Rewrite::new("add-zero", "(+ ?a 0)", "?a")];
+        Runner::default().run(&mut g, &rules);
+        assert!(g.same_class(sum, x));
+    }
+
+    #[test]
+    fn node_limit_stops_explosive_rules() {
+        let mut g = EGraph::new();
+        // A long addition chain together with associativity/commutativity explores an
+        // exponential number of re-associations; a small node limit must cut it short.
+        let mut chain = Expr::var("v0");
+        for k in 1..10 {
+            chain = Expr::add(chain, Expr::var(format!("v{k}")));
+        }
+        g.add_expr(&chain);
+        let rules = vec![
+            Rewrite::new("add-comm", "(+ ?a ?b)", "(+ ?b ?a)"),
+            Rewrite::new("add-assoc", "(+ (+ ?a ?b) ?c)", "(+ ?a (+ ?b ?c))"),
+            Rewrite::new("add-assoc-rev", "(+ ?a (+ ?b ?c))", "(+ (+ ?a ?b) ?c)"),
+        ];
+        let report = Runner::new(50, 150).run(&mut g, &rules);
+        assert_eq!(report.stop_reason, StopReason::NodeLimit);
+        assert!(report.nodes >= 150);
+    }
+
+    #[test]
+    fn iteration_limit_reported() {
+        let mut g = EGraph::new();
+        g.add_expr(&Expr::add(Expr::var("a"), Expr::var("b")));
+        let rules = vec![Rewrite::new("grow", "?a", "(+ ?a 0)")];
+        let report = Runner::new(1, 1_000_000).run(&mut g, &rules);
+        assert_eq!(report.stop_reason, StopReason::IterationLimit);
+    }
+
+    #[test]
+    #[should_panic(expected = "not bound")]
+    fn unbound_rhs_variable_panics() {
+        Rewrite::new("bad", "(sin ?x)", "(+ ?x ?y)");
+    }
+
+    #[test]
+    fn bidirectional_creates_two_rules() {
+        let rules = Rewrite::bidirectional("exp-law", "(exp (+ ?a ?b))", "(* (exp ?a) (exp ?b))");
+        assert_eq!(rules.len(), 2);
+        assert_ne!(rules[0].name, rules[1].name);
+    }
+}

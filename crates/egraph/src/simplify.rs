@@ -1,0 +1,200 @@
+//! High-level simplification entry point used by the expression JIT pipeline.
+//!
+//! The pipeline (Fig. 3 of the paper) populates one e-graph with *all* the real and
+//! imaginary component expressions of a gate's unitary and its gradient, runs equality
+//! saturation, and then extracts each root in turn with the CSE-aware greedy extractor.
+
+use qudit_qgl::Expr;
+
+use crate::cost::OpCost;
+use crate::egraph::EGraph;
+use crate::extract::GreedyExtractor;
+use crate::rewrite::{RunReport, Runner};
+use crate::rules::default_rules;
+
+/// Configuration for a simplification pass.
+#[derive(Debug, Clone)]
+pub struct SimplifyConfig {
+    /// Maximum saturation iterations.
+    pub iter_limit: usize,
+    /// Maximum e-node count before saturation is cut short.
+    pub node_limit: usize,
+    /// Whether to run the rewrite rules at all (disabled by the ablation benchmark; the
+    /// extraction then simply reproduces the input expressions).
+    pub enable_rules: bool,
+}
+
+impl Default for SimplifyConfig {
+    fn default() -> Self {
+        // QGL gate expressions are small and sparse; the paper notes their e-graphs are
+        // not expected to grow large, and applies iteration/node safeguards. Tight
+        // limits keep the AOT cost negligible relative to the optimization loop.
+        SimplifyConfig { iter_limit: 6, node_limit: 4_000, enable_rules: true }
+    }
+}
+
+/// Counts the number of *distinct* `sin`/`cos` subexpressions across a batch.
+///
+/// With common subexpression elimination, a trig term that appears in several output
+/// expressions is computed once, so uniqueness (not per-tree occurrence) is the measure
+/// the Table-I cost model actually optimizes.
+pub fn unique_trig_count(exprs: &[Expr]) -> usize {
+    use std::collections::HashSet;
+    fn walk(e: &Expr, set: &mut HashSet<Expr>) {
+        match e {
+            Expr::Sin(a) | Expr::Cos(a) => {
+                set.insert(e.clone());
+                walk(a, set);
+            }
+            Expr::Const(_) | Expr::Pi | Expr::Var(_) => {}
+            Expr::Neg(a) | Expr::Sqrt(a) | Expr::Exp(a) | Expr::Ln(a) => walk(a, set),
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
+            | Expr::Pow(a, b) => {
+                walk(a, set);
+                walk(b, set);
+            }
+        }
+    }
+    let mut set = HashSet::new();
+    for e in exprs {
+        walk(e, &mut set);
+    }
+    set.len()
+}
+
+/// The outcome of a simplification pass.
+#[derive(Debug, Clone)]
+pub struct SimplifyResult {
+    /// The simplified expressions, in the same order as the inputs.
+    pub exprs: Vec<Expr>,
+    /// The saturation report (iterations, unions, node count), if rules were run.
+    pub report: Option<RunReport>,
+    /// Number of distinct `sin`/`cos` subexpressions before simplification.
+    pub trig_before: usize,
+    /// Number of distinct `sin`/`cos` subexpressions after simplification (with CSE,
+    /// each distinct term is computed once).
+    pub trig_after: usize,
+    /// Total node count before simplification.
+    pub nodes_before: usize,
+    /// Total node count after simplification.
+    pub nodes_after: usize,
+}
+
+/// Simplifies a batch of related expressions together (sharing one e-graph so that CSE
+/// can act across them), using the default rule set and cost model.
+pub fn simplify_batch(exprs: &[Expr]) -> Vec<Expr> {
+    simplify_batch_with(exprs, &SimplifyConfig::default()).exprs
+}
+
+/// Simplifies a batch with an explicit configuration, returning statistics alongside the
+/// simplified expressions.
+pub fn simplify_batch_with(exprs: &[Expr], config: &SimplifyConfig) -> SimplifyResult {
+    let trig_before = unique_trig_count(exprs);
+    let nodes_before: usize = exprs.iter().map(Expr::node_count).sum();
+
+    let mut graph = EGraph::new();
+    let roots: Vec<_> = exprs.iter().map(|e| graph.add_expr(e)).collect();
+    let report = if config.enable_rules {
+        Some(Runner::new(config.iter_limit, config.node_limit).run(&mut graph, &default_rules()))
+    } else {
+        None
+    };
+    let mut extractor = GreedyExtractor::new(&graph, OpCost::new());
+    let out = extractor.extract_many(&roots);
+
+    let trig_after = unique_trig_count(&out);
+    let nodes_after: usize = out.iter().map(Expr::node_count).sum();
+    SimplifyResult { exprs: out, report, trig_before, trig_after, nodes_before, nodes_after }
+}
+
+/// Simplifies a single expression.
+pub fn simplify(expr: &Expr) -> Expr {
+    simplify_batch(std::slice::from_ref(expr)).remove(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qudit_qgl::diff::diff;
+    use qudit_qgl::UnitaryExpression;
+
+    #[test]
+    fn simplify_preserves_value_on_gate_expressions() {
+        let u3 = UnitaryExpression::new(
+            "U3(a, b, c) {
+                [
+                    [ cos(a/2), ~ e^(i*c) * sin(a/2) ],
+                    [ e^(i*b) * sin(a/2), e^(i*(b+c)) * cos(a/2) ],
+                ]
+            }",
+        )
+        .unwrap();
+        // Gather all component expressions of the unitary and its gradient.
+        let mut exprs = Vec::new();
+        for row in u3.elements() {
+            for el in row {
+                exprs.push(el.re.clone());
+                exprs.push(el.im.clone());
+            }
+        }
+        for g in u3.gradient() {
+            for row in &g {
+                for el in row {
+                    exprs.push(el.re.clone());
+                    exprs.push(el.im.clone());
+                }
+            }
+        }
+        let result = simplify_batch_with(&exprs, &SimplifyConfig::default());
+        assert_eq!(result.exprs.len(), exprs.len());
+        let names = vec!["a".to_string(), "b".to_string(), "c".to_string()];
+        let point = [0.8, -0.4, 1.9];
+        for (orig, simp) in exprs.iter().zip(result.exprs.iter()) {
+            let a = orig.eval_with(&names, &point);
+            let b = simp.eval_with(&names, &point);
+            assert!((a - b).abs() < 1e-10, "{orig} simplified to {simp}: {a} vs {b}");
+        }
+        // Simplification should not make things more trig-heavy overall.
+        assert!(result.trig_after <= result.trig_before);
+    }
+
+    #[test]
+    fn gradient_of_rz_phase_simplifies() {
+        // d/dθ cos(θ/2) appears throughout the benchmark gates; check the gradient
+        // batch shrinks or at least does not grow.
+        let theta = Expr::var("t");
+        let c = Expr::cos(Expr::div(theta.clone(), Expr::constant(2.0)));
+        let s = Expr::sin(Expr::div(theta.clone(), Expr::constant(2.0)));
+        let dc = diff(&c, "t");
+        let ds = diff(&s, "t");
+        let result = simplify_batch_with(&[c, s, dc, ds], &SimplifyConfig::default());
+        assert!(result.nodes_after <= result.nodes_before);
+        assert!(result.trig_after <= result.trig_before);
+        assert!(result.report.is_some());
+    }
+
+    #[test]
+    fn rules_disabled_reproduces_input() {
+        let e = Expr::mul(Expr::sin(Expr::var("x")), Expr::cos(Expr::var("x")));
+        let cfg = SimplifyConfig { enable_rules: false, ..SimplifyConfig::default() };
+        let r = simplify_batch_with(std::slice::from_ref(&e), &cfg);
+        assert!(r.report.is_none());
+        let names = vec!["x".to_string()];
+        assert!(
+            (r.exprs[0].eval_with(&names, &[0.3]) - e.eval_with(&names, &[0.3])).abs() < 1e-15
+        );
+    }
+
+    #[test]
+    fn simplify_single_entry_point() {
+        let t = Expr::var("t");
+        let e = Expr::Add(
+            std::sync::Arc::new(Expr::mul(Expr::sin(t.clone()), Expr::sin(t.clone()))),
+            std::sync::Arc::new(Expr::mul(Expr::cos(t.clone()), Expr::cos(t))),
+        );
+        assert_eq!(simplify(&e), Expr::one());
+    }
+}

@@ -1,0 +1,199 @@
+//! Lowering of a [`QuditCircuit`] into a tensor-network representation.
+//!
+//! In the tensor-network model each quantum gate becomes a tensor whose rank is twice its
+//! arity, with index cardinalities given by the qudit radices on its wires (Sec. IV-A of
+//! the paper). For the purpose of computing a circuit's unitary, every intermediate
+//! produced while contracting that network is itself an *operator on a subset of the
+//! circuit's qudits*; [`GateNode`] records exactly that view (which qudits, in which
+//! axis order, plus how the gate's parameters bind to circuit parameters), and the
+//! contraction-tree machinery in [`crate::path`] merges nodes pairwise.
+
+use qudit_circuit::{OpParams, QuditCircuit};
+use qudit_qgl::UnitaryExpression;
+
+/// How one gate parameter obtains its value at evaluation time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParamBinding {
+    /// Bound to the circuit parameter with this index.
+    Circuit(usize),
+    /// Fixed to a constant value.
+    Constant(f64),
+}
+
+impl ParamBinding {
+    /// Returns the circuit parameter index if this binding is dynamic.
+    pub fn circuit_index(&self) -> Option<usize> {
+        match self {
+            ParamBinding::Circuit(i) => Some(*i),
+            ParamBinding::Constant(_) => None,
+        }
+    }
+}
+
+/// A single gate tensor in the network.
+#[derive(Debug, Clone)]
+pub struct GateNode {
+    /// Index into the network's expression table.
+    pub expr_index: usize,
+    /// The circuit qudits this gate acts on, in the gate's own wire order.
+    pub qudits: Vec<usize>,
+    /// Position of the originating operation in the circuit (time order).
+    pub time: usize,
+    /// Per-gate-parameter bindings, in the gate's parameter order.
+    pub bindings: Vec<ParamBinding>,
+}
+
+impl GateNode {
+    /// The sorted set of circuit parameters this node depends on.
+    pub fn circuit_params(&self) -> Vec<usize> {
+        let mut v: Vec<usize> =
+            self.bindings.iter().filter_map(ParamBinding::circuit_index).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// A tensor network lowered from a circuit.
+#[derive(Debug, Clone)]
+pub struct TensorNetwork {
+    /// Unique gate expressions referenced by the nodes (deduplicated by content).
+    exprs: Vec<UnitaryExpression>,
+    /// The gate tensors, in circuit (time) order.
+    nodes: Vec<GateNode>,
+    /// The circuit's qudit radices.
+    radices: Vec<usize>,
+    /// Number of circuit-level parameters.
+    num_params: usize,
+}
+
+impl TensorNetwork {
+    /// Lowers a circuit into its tensor-network representation.
+    pub fn from_circuit(circuit: &QuditCircuit) -> Self {
+        let mut exprs: Vec<UnitaryExpression> = Vec::new();
+        let mut key_to_index = std::collections::HashMap::new();
+        let mut nodes = Vec::with_capacity(circuit.num_ops());
+        for (time, op) in circuit.ops().iter().enumerate() {
+            let expr = circuit
+                .expression(op.expr)
+                .expect("circuit operations always reference cached expressions");
+            let key = expr.canonical_key();
+            let expr_index = *key_to_index.entry(key).or_insert_with(|| {
+                exprs.push(expr.clone());
+                exprs.len() - 1
+            });
+            let bindings = match &op.params {
+                OpParams::Constant(values) => {
+                    values.iter().map(|&v| ParamBinding::Constant(v)).collect()
+                }
+                OpParams::Parameterized { offset } => {
+                    (0..expr.num_params()).map(|k| ParamBinding::Circuit(offset + k)).collect()
+                }
+            };
+            nodes.push(GateNode { expr_index, qudits: op.location.clone(), time, bindings });
+        }
+        TensorNetwork {
+            exprs,
+            nodes,
+            radices: circuit.radices().to_vec(),
+            num_params: circuit.num_params(),
+        }
+    }
+
+    /// The unique gate expressions referenced by the network.
+    pub fn expressions(&self) -> &[UnitaryExpression] {
+        &self.exprs
+    }
+
+    /// The gate nodes in time order.
+    pub fn nodes(&self) -> &[GateNode] {
+        &self.nodes
+    }
+
+    /// The circuit's qudit radices.
+    pub fn radices(&self) -> &[usize] {
+        &self.radices
+    }
+
+    /// Number of qudits.
+    pub fn num_qudits(&self) -> usize {
+        self.radices.len()
+    }
+
+    /// Number of circuit parameters.
+    pub fn num_params(&self) -> usize {
+        self.num_params
+    }
+
+    /// The Hilbert-space dimension of a set of qudits.
+    pub fn dim_of(&self, qudits: &[usize]) -> usize {
+        qudits.iter().map(|&q| self.radices[q]).product()
+    }
+
+    /// Total Hilbert-space dimension of the full circuit.
+    pub fn dim(&self) -> usize {
+        self.radices.iter().product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qudit_circuit::{builders, gates, QuditCircuit};
+
+    fn sample_circuit() -> QuditCircuit {
+        let mut c = QuditCircuit::qubits(3);
+        let u3 = c.cache_operation(gates::u3()).unwrap();
+        let cx = c.cache_operation(gates::cnot()).unwrap();
+        for q in 0..3 {
+            c.append_ref(u3, vec![q]).unwrap();
+        }
+        c.append_ref(cx, vec![0, 1]).unwrap();
+        c.append_ref_constant(u3, vec![2], vec![0.1, 0.2, 0.3]).unwrap();
+        c
+    }
+
+    #[test]
+    fn lowering_counts_and_dedup() {
+        let net = TensorNetwork::from_circuit(&sample_circuit());
+        assert_eq!(net.nodes().len(), 5);
+        // U3 and CNOT only — the constant U3 reuses the same expression entry.
+        assert_eq!(net.expressions().len(), 2);
+        assert_eq!(net.num_params(), 9);
+        assert_eq!(net.num_qudits(), 3);
+        assert_eq!(net.dim(), 8);
+    }
+
+    #[test]
+    fn bindings_follow_circuit_parameter_layout() {
+        let net = TensorNetwork::from_circuit(&sample_circuit());
+        // Second U3 (on qubit 1) owns circuit parameters 3..6.
+        assert_eq!(
+            net.nodes()[1].bindings,
+            vec![ParamBinding::Circuit(3), ParamBinding::Circuit(4), ParamBinding::Circuit(5)]
+        );
+        assert_eq!(net.nodes()[1].circuit_params(), vec![3, 4, 5]);
+        // The CNOT has no parameters.
+        assert!(net.nodes()[3].bindings.is_empty());
+        // The final constant U3 binds constants only.
+        assert!(matches!(net.nodes()[4].bindings[0], ParamBinding::Constant(v) if v == 0.1));
+        assert!(net.nodes()[4].circuit_params().is_empty());
+    }
+
+    #[test]
+    fn node_geometry() {
+        let net = TensorNetwork::from_circuit(&sample_circuit());
+        assert_eq!(net.nodes()[3].qudits, vec![0, 1]);
+        assert_eq!(net.dim_of(&[0, 1]), 4);
+        assert_eq!(net.nodes()[3].time, 3);
+    }
+
+    #[test]
+    fn mixed_radix_dimensions() {
+        let c = builders::pqc_qutrit_ladder(2, 1).unwrap();
+        let net = TensorNetwork::from_circuit(&c);
+        assert_eq!(net.dim(), 9);
+        assert_eq!(net.dim_of(&[0]), 3);
+        assert!(net.num_params() > 0);
+    }
+}

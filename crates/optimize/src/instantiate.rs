@@ -1,0 +1,289 @@
+//! Numerical instantiation: driving the LM optimizer from one or many random starting
+//! points to fit a parameterized circuit to a target unitary.
+//!
+//! This is the workload of Figs. 6 and 7 of the paper: single-start instantiation and
+//! the more realistic multi-start scenario (8 starts, matching BQSKit's `-O3` default),
+//! with early termination as soon as one start reaches the success threshold.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qudit_circuit::QuditCircuit;
+use qudit_network::{compile_network, TensorNetwork};
+use qudit_qvm::{DiffMode, ExpressionCache};
+use qudit_tensor::{C64, Matrix};
+use qudit_tnvm::Tnvm;
+
+use crate::cost::hs_infidelity;
+use crate::lm::{minimize, GradientEvaluator, LmConfig, LmResult};
+
+/// The infidelity below which an instantiation is considered successful, matching the
+/// convention used for synthesis sub-calls.
+pub const SUCCESS_THRESHOLD: f64 = 1e-8;
+
+/// Configuration for an instantiation run.
+#[derive(Debug, Clone)]
+pub struct InstantiateConfig {
+    /// Number of random restarts (1 = single-start; the paper's multi-start uses 8).
+    pub starts: usize,
+    /// Infidelity threshold for declaring success (and short-circuiting restarts).
+    pub success_threshold: f64,
+    /// LM settings shared by every start.
+    pub lm: LmConfig,
+    /// RNG seed for the random starting parameters.
+    pub seed: u64,
+}
+
+impl Default for InstantiateConfig {
+    fn default() -> Self {
+        InstantiateConfig {
+            starts: 1,
+            success_threshold: SUCCESS_THRESHOLD,
+            lm: LmConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+impl InstantiateConfig {
+    /// The paper's multi-start configuration (8 restarts).
+    pub fn multi_start(seed: u64) -> Self {
+        InstantiateConfig { starts: 8, seed, ..Default::default() }
+    }
+}
+
+/// The outcome of an instantiation.
+#[derive(Debug, Clone)]
+pub struct InstantiationResult {
+    /// Best parameters found across all starts.
+    pub params: Vec<f64>,
+    /// Hilbert–Schmidt infidelity at the best parameters.
+    pub infidelity: f64,
+    /// Whether the success threshold was reached.
+    pub success: bool,
+    /// Number of starts actually executed (early termination may use fewer).
+    pub starts_used: usize,
+    /// Total LM iterations summed over all starts.
+    pub total_iterations: usize,
+}
+
+/// Runs (multi-start) instantiation of `evaluator` against `target`.
+pub fn instantiate(
+    evaluator: &mut dyn GradientEvaluator,
+    target: &Matrix<f64>,
+    config: &InstantiateConfig,
+) -> InstantiationResult {
+    assert!(config.starts >= 1, "at least one start is required");
+    let n = evaluator.num_params();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut best: Option<(Vec<f64>, f64)> = None;
+    let mut total_iterations = 0usize;
+    let mut starts_used = 0usize;
+
+    for start_idx in 0..config.starts {
+        starts_used += 1;
+        let x0: Vec<f64> = if start_idx == 0 && n > 0 {
+            // First start near zero (a common heuristic); subsequent starts are uniform.
+            (0..n).map(|_| rng.gen_range(-0.1..0.1)).collect()
+        } else {
+            (0..n).map(|_| rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI)).collect()
+        };
+        let LmResult { params, iterations, .. } = minimize(evaluator, target, &x0, &config.lm);
+        total_iterations += iterations;
+        let (unitary, _) = evaluator.evaluate(&params);
+        let infidelity = hs_infidelity(target, &unitary);
+        let better = best.as_ref().map(|(_, b)| infidelity < *b).unwrap_or(true);
+        if better {
+            best = Some((params, infidelity));
+        }
+        if infidelity < config.success_threshold {
+            break;
+        }
+    }
+
+    let (params, infidelity) = best.expect("at least one start ran");
+    InstantiationResult {
+        params,
+        success: infidelity < config.success_threshold,
+        infidelity,
+        starts_used,
+        total_iterations,
+    }
+}
+
+/// A [`GradientEvaluator`] backed by the TNVM — the "OpenQudit side" of the evaluation.
+#[derive(Debug)]
+pub struct TnvmEvaluator {
+    vm: Tnvm<f64>,
+    num_params: usize,
+    dim: usize,
+}
+
+impl TnvmEvaluator {
+    /// Compiles `circuit` ahead of time and initializes a gradient-mode TNVM using the
+    /// given expression cache.
+    pub fn new(circuit: &QuditCircuit, cache: &ExpressionCache) -> Self {
+        let network = TensorNetwork::from_circuit(circuit);
+        let program = compile_network(&network);
+        let vm = Tnvm::new(&program, DiffMode::Gradient, cache);
+        TnvmEvaluator { num_params: circuit.num_params(), dim: circuit.dim(), vm }
+    }
+
+    /// Bytes of numerical storage held by the underlying TNVM.
+    pub fn memory_bytes(&self) -> usize {
+        self.vm.memory_bytes()
+    }
+}
+
+impl GradientEvaluator for TnvmEvaluator {
+    fn num_params(&self) -> usize {
+        self.num_params
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn evaluate(&mut self, params: &[f64]) -> (Matrix<f64>, Vec<Matrix<f64>>) {
+        let result = self.vm.evaluate(params);
+        (result.unitary, result.gradient)
+    }
+}
+
+/// Instantiates a circuit against a target unitary using the TNVM pipeline (AOT compile,
+/// TNVM init, multi-start LM). The expression cache is shared state, so repeated calls
+/// with the same gate set skip recompilation.
+pub fn instantiate_circuit(
+    circuit: &QuditCircuit,
+    target: &Matrix<f64>,
+    config: &InstantiateConfig,
+    cache: &ExpressionCache,
+) -> InstantiationResult {
+    let mut evaluator = TnvmEvaluator::new(circuit, cache);
+    instantiate(&mut evaluator, target, config)
+}
+
+/// Samples a Haar-random unitary of the given dimension (Gaussian matrix followed by
+/// Gram–Schmidt orthonormalization with phase fixing).
+pub fn haar_random_unitary(dim: usize, seed: u64) -> Matrix<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gauss = || {
+        // Box–Muller transform.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    };
+    let mut columns: Vec<Vec<C64>> = (0..dim)
+        .map(|_| (0..dim).map(|_| C64::new(gauss(), gauss())).collect())
+        .collect();
+    // Modified Gram–Schmidt.
+    for k in 0..dim {
+        for j in 0..k {
+            let proj: C64 = columns[j]
+                .iter()
+                .zip(columns[k].iter())
+                .map(|(a, b)| a.conj() * *b)
+                .sum();
+            let col_j = columns[j].clone();
+            for (vk, vj) in columns[k].iter_mut().zip(col_j.iter()) {
+                *vk = *vk - *vj * proj;
+            }
+        }
+        let norm: f64 = columns[k].iter().map(|c| c.norm_sqr()).sum::<f64>().sqrt();
+        for v in columns[k].iter_mut() {
+            *v = v.scale(1.0 / norm);
+        }
+    }
+    Matrix::from_fn(dim, dim, |r, c| columns[c][r])
+}
+
+/// Builds the target for a "reachable" benchmark: the circuit's own unitary at random
+/// parameters, guaranteeing that a perfect solution exists.
+pub fn reachable_target(circuit: &QuditCircuit, seed: u64) -> Matrix<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let params: Vec<f64> = (0..circuit.num_params())
+        .map(|_| rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI))
+        .collect();
+    circuit.unitary::<f64>(&params).expect("circuit evaluates at any parameter point")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qudit_circuit::builders;
+
+    #[test]
+    fn haar_random_unitaries_are_unitary_and_distinct() {
+        for dim in [2usize, 4, 8, 9] {
+            let u = haar_random_unitary(dim, 42);
+            assert!(u.is_unitary(1e-10), "dim {dim}");
+        }
+        let a = haar_random_unitary(4, 1);
+        let b = haar_random_unitary(4, 2);
+        assert!(a.max_elementwise_distance(&b) > 1e-3);
+    }
+
+    #[test]
+    fn single_start_instantiation_hits_reachable_target() {
+        let circuit = builders::pqc_qubit_ladder(2, 1).unwrap();
+        let target = reachable_target(&circuit, 7);
+        let cache = ExpressionCache::new();
+        let config = InstantiateConfig { starts: 4, seed: 3, ..Default::default() };
+        let result = instantiate_circuit(&circuit, &target, &config, &cache);
+        assert!(
+            result.infidelity < 1e-6,
+            "infidelity {} after {} starts",
+            result.infidelity,
+            result.starts_used
+        );
+    }
+
+    #[test]
+    fn multi_start_short_circuits_after_success() {
+        let circuit = builders::pqc_qubit_ladder(2, 1).unwrap();
+        let target = reachable_target(&circuit, 11);
+        let cache = ExpressionCache::new();
+        let config = InstantiateConfig::multi_start(5);
+        let result = instantiate_circuit(&circuit, &target, &config, &cache);
+        if result.success {
+            assert!(result.starts_used <= 8);
+        }
+        assert!(result.total_iterations > 0);
+    }
+
+    #[test]
+    fn cnot_target_is_reached_with_identity_locals() {
+        // The ladder is (U3⊗U3)·CNOT·(U3⊗U3); setting every U3 to the identity makes the
+        // circuit exactly a CNOT, so a CNOT target must instantiate to ~zero infidelity.
+        let circuit = builders::pqc_qubit_ladder(2, 1).unwrap();
+        let target = qudit_circuit::gates::cnot().to_matrix::<f64>(&[]).unwrap();
+        let cache = ExpressionCache::new();
+        let config = InstantiateConfig { starts: 4, seed: 9, ..Default::default() };
+        let result = instantiate_circuit(&circuit, &target, &config, &cache);
+        assert!(result.infidelity < 1e-6, "infidelity {}", result.infidelity);
+    }
+
+    #[test]
+    fn unreachable_target_reports_failure_honestly() {
+        // A circuit with a single parameterized RZ cannot match a Haar-random 2-qubit
+        // unitary; instantiation must report failure rather than a bogus success.
+        let mut circuit = qudit_circuit::QuditCircuit::qubits(2);
+        let rz = circuit.cache_operation(qudit_circuit::gates::rz()).unwrap();
+        circuit.append_ref(rz, vec![0]).unwrap();
+        let target = haar_random_unitary(4, 123);
+        let cache = ExpressionCache::new();
+        let result =
+            instantiate_circuit(&circuit, &target, &InstantiateConfig::default(), &cache);
+        assert!(!result.success);
+        assert!(result.infidelity > 1e-3);
+    }
+
+    #[test]
+    fn config_defaults() {
+        let c = InstantiateConfig::default();
+        assert_eq!(c.starts, 1);
+        let m = InstantiateConfig::multi_start(0);
+        assert_eq!(m.starts, 8);
+        assert_eq!(m.success_threshold, SUCCESS_THRESHOLD);
+    }
+}

@@ -1,0 +1,302 @@
+//! A from-scratch Levenberg–Marquardt optimizer.
+//!
+//! The paper deliberately evaluates OpenQudit with a *naive* LM implementation so that the
+//! measured speedups isolate the cost of the underlying unitary/gradient evaluation
+//! (Sec. VI-A). This module is that optimizer; both the TNVM-backed path and the
+//! BQSKit-style baseline engine drive it through the same [`GradientEvaluator`] trait, so
+//! optimizer quality is never a confounder in the benchmarks.
+
+use qudit_tensor::Matrix;
+
+use crate::cost::{jacobian_column_into, residual_len, residuals_into, sum_of_squares};
+
+/// Anything that can produce a unitary and its gradient for a parameter vector.
+///
+/// Implemented by the TNVM adapter (`qudit-optimize::tnvm_eval`) and by the baseline
+/// engine in `qudit-baseline`.
+pub trait GradientEvaluator {
+    /// Number of real parameters.
+    fn num_params(&self) -> usize;
+    /// The unitary dimension.
+    fn dim(&self) -> usize;
+    /// Evaluates the unitary and all partial derivatives at `params`.
+    fn evaluate(&mut self, params: &[f64]) -> (Matrix<f64>, Vec<Matrix<f64>>);
+}
+
+/// Configuration of the Levenberg–Marquardt loop.
+#[derive(Debug, Clone)]
+pub struct LmConfig {
+    /// Maximum number of LM iterations.
+    pub max_iterations: usize,
+    /// Initial damping factor λ.
+    pub initial_lambda: f64,
+    /// Multiplicative λ adjustment factor.
+    pub lambda_factor: f64,
+    /// Stop when the sum of squared residuals falls below this value.
+    pub cost_tolerance: f64,
+    /// Stop when the step norm falls below this value.
+    pub step_tolerance: f64,
+}
+
+impl Default for LmConfig {
+    fn default() -> Self {
+        LmConfig {
+            max_iterations: 100,
+            initial_lambda: 1e-3,
+            lambda_factor: 10.0,
+            cost_tolerance: 1e-16,
+            step_tolerance: 1e-12,
+        }
+    }
+}
+
+/// The outcome of one LM run.
+#[derive(Debug, Clone)]
+pub struct LmResult {
+    /// The best parameters found.
+    pub params: Vec<f64>,
+    /// The final sum of squared residuals.
+    pub cost: f64,
+    /// Number of iterations executed.
+    pub iterations: usize,
+    /// Whether a tolerance criterion was met (as opposed to exhausting iterations).
+    pub converged: bool,
+}
+
+/// Minimizes `‖U(θ) − U_target‖²` (element-wise least squares) with Levenberg–Marquardt.
+pub fn minimize(
+    evaluator: &mut dyn GradientEvaluator,
+    target: &Matrix<f64>,
+    x0: &[f64],
+    config: &LmConfig,
+) -> LmResult {
+    let n = evaluator.num_params();
+    assert_eq!(x0.len(), n, "initial guess has wrong length");
+    let dim = evaluator.dim();
+    let m = residual_len(dim);
+
+    let mut params = x0.to_vec();
+    let mut residuals = vec![0.0; m];
+    let mut jacobian = vec![0.0; m * n]; // column-major: column k at [k*m .. (k+1)*m]
+    let mut lambda = config.initial_lambda;
+
+    let (mut unitary, mut grads) = evaluator.evaluate(&params);
+    residuals_into(target, &unitary, &mut residuals);
+    let mut cost = sum_of_squares(&residuals);
+
+    let mut iterations = 0;
+    let mut converged = false;
+
+    while iterations < config.max_iterations {
+        iterations += 1;
+        if cost < config.cost_tolerance {
+            converged = true;
+            break;
+        }
+        // Assemble the Jacobian at the current point.
+        for (k, g) in grads.iter().enumerate() {
+            jacobian_column_into(g, &mut jacobian[k * m..(k + 1) * m]);
+        }
+        // Normal equations: (JᵀJ + λ diag(JᵀJ)) δ = −Jᵀ r.
+        let mut jtj = vec![0.0; n * n];
+        let mut jtr = vec![0.0; n];
+        for a in 0..n {
+            let col_a = &jacobian[a * m..(a + 1) * m];
+            for b in a..n {
+                let col_b = &jacobian[b * m..(b + 1) * m];
+                let dot: f64 = col_a.iter().zip(col_b).map(|(x, y)| x * y).sum();
+                jtj[a * n + b] = dot;
+                jtj[b * n + a] = dot;
+            }
+            jtr[a] = -col_a.iter().zip(residuals.iter()).map(|(x, y)| x * y).sum::<f64>();
+        }
+
+        let mut improved = false;
+        for _ in 0..8 {
+            // Damped system.
+            let mut system = jtj.clone();
+            for d in 0..n {
+                system[d * n + d] += lambda * jtj[d * n + d].max(1e-12);
+            }
+            let Some(step) = solve_linear_system(&system, &jtr, n) else {
+                lambda *= config.lambda_factor;
+                continue;
+            };
+            let step_norm: f64 = step.iter().map(|s| s * s).sum::<f64>().sqrt();
+            let candidate: Vec<f64> =
+                params.iter().zip(step.iter()).map(|(p, s)| p + s).collect();
+            let (cand_unitary, cand_grads) = evaluator.evaluate(&candidate);
+            let mut cand_residuals = vec![0.0; m];
+            residuals_into(target, &cand_unitary, &mut cand_residuals);
+            let cand_cost = sum_of_squares(&cand_residuals);
+            if cand_cost < cost {
+                params = candidate;
+                unitary = cand_unitary;
+                grads = cand_grads;
+                residuals = cand_residuals;
+                cost = cand_cost;
+                lambda = (lambda / config.lambda_factor).max(1e-12);
+                improved = true;
+                if step_norm < config.step_tolerance {
+                    converged = true;
+                }
+                break;
+            }
+            lambda *= config.lambda_factor;
+        }
+        if !improved {
+            // No damping value produced a decrease: treat as (local) convergence.
+            converged = true;
+            break;
+        }
+        if converged {
+            break;
+        }
+    }
+    let _ = unitary;
+    LmResult { params, cost, iterations, converged }
+}
+
+/// Solves a dense symmetric positive-definite-ish system `A x = b` by Gaussian elimination
+/// with partial pivoting. Returns `None` if the system is numerically singular.
+pub fn solve_linear_system(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
+    assert!(a.len() >= n * n && b.len() >= n, "system buffers too small");
+    let mut aug = vec![0.0; n * (n + 1)];
+    for r in 0..n {
+        aug[r * (n + 1)..r * (n + 1) + n].copy_from_slice(&a[r * n..(r + 1) * n]);
+        aug[r * (n + 1) + n] = b[r];
+    }
+    for col in 0..n {
+        // Pivot.
+        let mut pivot = col;
+        let mut best = aug[col * (n + 1) + col].abs();
+        for r in col + 1..n {
+            let v = aug[r * (n + 1) + col].abs();
+            if v > best {
+                best = v;
+                pivot = r;
+            }
+        }
+        if best < 1e-300 {
+            return None;
+        }
+        if pivot != col {
+            for k in 0..=n {
+                aug.swap(col * (n + 1) + k, pivot * (n + 1) + k);
+            }
+        }
+        let diag = aug[col * (n + 1) + col];
+        for r in col + 1..n {
+            let factor = aug[r * (n + 1) + col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..=n {
+                aug[r * (n + 1) + k] -= factor * aug[col * (n + 1) + k];
+            }
+        }
+    }
+    let mut x = vec![0.0; n];
+    for r in (0..n).rev() {
+        let mut acc = aug[r * (n + 1) + n];
+        for k in r + 1..n {
+            acc -= aug[r * (n + 1) + k] * x[k];
+        }
+        let diag = aug[r * (n + 1) + r];
+        if diag.abs() < 1e-300 {
+            return None;
+        }
+        x[r] = acc / diag;
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qudit_tensor::{C64, Matrix};
+
+    #[test]
+    fn linear_solver_inverts_small_systems() {
+        // 2x2 system.
+        let a = [4.0, 1.0, 1.0, 3.0];
+        let b = [1.0, 2.0];
+        let x = solve_linear_system(&a, &b, 2).unwrap();
+        assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+        assert!((x[0] + 3.0 * x[1] - 2.0).abs() < 1e-12);
+        // Singular system returns None.
+        let singular = [1.0, 2.0, 2.0, 4.0];
+        assert!(solve_linear_system(&singular, &b, 2).is_none());
+    }
+
+    /// A toy evaluator: U(θ) = RZ(θ0) RX(θ1) as explicit closed forms.
+    struct ToyEvaluator;
+
+    impl GradientEvaluator for ToyEvaluator {
+        fn num_params(&self) -> usize {
+            2
+        }
+        fn dim(&self) -> usize {
+            2
+        }
+        fn evaluate(&mut self, params: &[f64]) -> (Matrix<f64>, Vec<Matrix<f64>>) {
+            let (a, b) = (params[0], params[1]);
+            let rz = Matrix::from_rows(&[
+                vec![C64::cis(-a / 2.0), C64::zero()],
+                vec![C64::zero(), C64::cis(a / 2.0)],
+            ]);
+            let rx = Matrix::from_rows(&[
+                vec![C64::from_real((b / 2.0).cos()), C64::new(0.0, -(b / 2.0).sin())],
+                vec![C64::new(0.0, -(b / 2.0).sin()), C64::from_real((b / 2.0).cos())],
+            ]);
+            let u = rz.matmul(&rx);
+            let drz = Matrix::from_rows(&[
+                vec![C64::cis(-a / 2.0) * C64::new(0.0, -0.5), C64::zero()],
+                vec![C64::zero(), C64::cis(a / 2.0) * C64::new(0.0, 0.5)],
+            ]);
+            let drx = Matrix::from_rows(&[
+                vec![C64::from_real(-0.5 * (b / 2.0).sin()), C64::new(0.0, -0.5 * (b / 2.0).cos())],
+                vec![C64::new(0.0, -0.5 * (b / 2.0).cos()), C64::from_real(-0.5 * (b / 2.0).sin())],
+            ]);
+            (u.clone(), vec![drz.matmul(&rx), rz.matmul(&drx)])
+        }
+    }
+
+    #[test]
+    fn lm_recovers_known_parameters() {
+        let mut evaluator = ToyEvaluator;
+        let target_params = [0.9, -1.3];
+        let (target, _) = evaluator.evaluate(&target_params);
+        let result = minimize(&mut evaluator, &target, &[0.1, 0.1], &LmConfig::default());
+        assert!(result.cost < 1e-12, "cost {} after {} iterations", result.cost, result.iterations);
+        let (found, _) = evaluator.evaluate(&result.params);
+        assert!(found.max_elementwise_distance(&target) < 1e-6);
+    }
+
+    #[test]
+    fn lm_converges_from_multiple_starts() {
+        let mut evaluator = ToyEvaluator;
+        let (target, _) = evaluator.evaluate(&[2.2, 0.4]);
+        for start in [[0.0, 0.0], [1.0, -1.0], [-2.0, 2.0]] {
+            let result = minimize(&mut evaluator, &target, &start, &LmConfig::default());
+            assert!(result.cost < 1e-10, "start {start:?} ended at cost {}", result.cost);
+        }
+    }
+
+    #[test]
+    fn lm_respects_iteration_budget() {
+        let mut evaluator = ToyEvaluator;
+        let (target, _) = evaluator.evaluate(&[2.2, 0.4]);
+        let config = LmConfig { max_iterations: 1, ..LmConfig::default() };
+        let result = minimize(&mut evaluator, &target, &[0.0, 0.0], &config);
+        assert!(result.iterations <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn lm_validates_initial_guess() {
+        let mut evaluator = ToyEvaluator;
+        let (target, _) = evaluator.evaluate(&[0.1, 0.2]);
+        minimize(&mut evaluator, &target, &[0.0], &LmConfig::default());
+    }
+}

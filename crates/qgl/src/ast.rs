@@ -1,0 +1,107 @@
+//! Abstract syntax tree for QGL definitions, mirroring the grammar of Fig. 2 in the
+//! paper.
+
+/// A parsed QGL gate definition:
+/// `ident [radices] ( [varlist] ) { expression } [;]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Definition {
+    /// The gate name.
+    pub name: String,
+    /// Optional qudit radices (e.g. `<2, 3>` for a qubit–qutrit gate). Empty when
+    /// omitted, in which case the gate is assumed to act on qubits only.
+    pub radices: Vec<usize>,
+    /// The symbolic parameter names, in declaration order.
+    pub params: Vec<String>,
+    /// The gate body.
+    pub body: AstExpr,
+}
+
+/// Binary operators of QGL's expression grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `^`
+    Pow,
+}
+
+/// A QGL expression node.
+///
+/// Matrix literals appear directly in the expression grammar (productions 7–8 of
+/// Fig. 2), so an expression may evaluate to either a scalar or a matrix; the
+/// distinction is resolved during lowering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// A numeric literal.
+    Number(f64),
+    /// A variable reference (parameter name or one of the reserved constants
+    /// `i`, `e`, `pi`/`π`).
+    Variable(String),
+    /// A function application, e.g. `cos(θ/2)`.
+    Call {
+        /// Function name.
+        name: String,
+        /// Argument expressions.
+        args: Vec<AstExpr>,
+    },
+    /// Unary negation (spelled `~` or a leading `-`).
+    Neg(Box<AstExpr>),
+    /// A binary operation.
+    Binary {
+        /// The operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<AstExpr>,
+        /// Right operand.
+        rhs: Box<AstExpr>,
+    },
+    /// A matrix literal: a list of rows, each a list of element expressions.
+    Matrix(Vec<Vec<AstExpr>>),
+}
+
+impl AstExpr {
+    /// Convenience constructor for a binary node.
+    pub fn binary(op: BinaryOp, lhs: AstExpr, rhs: AstExpr) -> AstExpr {
+        AstExpr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+
+    /// Counts the nodes of the AST (used in parser tests).
+    pub fn node_count(&self) -> usize {
+        match self {
+            AstExpr::Number(_) | AstExpr::Variable(_) => 1,
+            AstExpr::Call { args, .. } => 1 + args.iter().map(AstExpr::node_count).sum::<usize>(),
+            AstExpr::Neg(inner) => 1 + inner.node_count(),
+            AstExpr::Binary { lhs, rhs, .. } => 1 + lhs.node_count() + rhs.node_count(),
+            AstExpr::Matrix(rows) => {
+                1 + rows
+                    .iter()
+                    .flat_map(|r| r.iter())
+                    .map(AstExpr::node_count)
+                    .sum::<usize>()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_count_walks_all_variants() {
+        let e = AstExpr::Matrix(vec![
+            vec![AstExpr::Number(1.0), AstExpr::Neg(Box::new(AstExpr::Variable("x".into())))],
+            vec![
+                AstExpr::Call { name: "sin".into(), args: vec![AstExpr::Variable("x".into())] },
+                AstExpr::binary(BinaryOp::Add, AstExpr::Number(1.0), AstExpr::Number(2.0)),
+            ],
+        ]);
+        assert_eq!(e.node_count(), 1 + 1 + 2 + 2 + 3);
+    }
+}

@@ -1,0 +1,177 @@
+//! Error types for QGL parsing and lowering.
+
+use std::fmt;
+
+/// An error produced while lexing, parsing, lowering, or validating a QGL definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QglError {
+    /// The lexer encountered a character it does not understand.
+    UnexpectedCharacter {
+        /// The offending character.
+        ch: char,
+        /// Byte offset into the source.
+        offset: usize,
+    },
+    /// A numeric literal could not be parsed.
+    InvalidNumber {
+        /// The literal text.
+        text: String,
+        /// Byte offset into the source.
+        offset: usize,
+    },
+    /// The parser expected one token but found another (or end of input).
+    UnexpectedToken {
+        /// What the parser expected.
+        expected: String,
+        /// What it found instead.
+        found: String,
+        /// Byte offset into the source.
+        offset: usize,
+    },
+    /// The source ended before the definition was complete.
+    UnexpectedEof {
+        /// What the parser expected next.
+        expected: String,
+    },
+    /// A matrix literal has rows of differing lengths.
+    RaggedMatrix {
+        /// Length of the first row.
+        expected: usize,
+        /// Length of the offending row.
+        found: usize,
+    },
+    /// A function call referenced an unknown function name.
+    UnknownFunction {
+        /// The function name.
+        name: String,
+    },
+    /// A function was called with the wrong number of arguments.
+    WrongArity {
+        /// The function name.
+        name: String,
+        /// Expected argument count.
+        expected: usize,
+        /// Provided argument count.
+        found: usize,
+    },
+    /// A non-`exp` transcendental function was applied to an argument with a nonzero
+    /// imaginary part, which QGL's element-wise closed-form semantics do not allow.
+    ComplexArgument {
+        /// The function name.
+        name: String,
+    },
+    /// The gate body did not evaluate to a matrix.
+    NotAMatrix,
+    /// The expression matrix is not square.
+    NotSquare {
+        /// Number of rows found.
+        rows: usize,
+        /// Number of columns found.
+        cols: usize,
+    },
+    /// The declared radices do not match the matrix dimension.
+    RadixMismatch {
+        /// Product of the declared radices.
+        expected_dim: usize,
+        /// Actual matrix dimension.
+        found_dim: usize,
+    },
+    /// No radices were declared and the dimension is not a power of two.
+    NotPowerOfTwo {
+        /// The matrix dimension.
+        dim: usize,
+    },
+    /// Matrix/scalar operation on operands with incompatible shapes.
+    DimensionMismatch {
+        /// Description of the operation.
+        op: String,
+    },
+    /// A referenced parameter is unknown or a parameter count is wrong.
+    ParameterMismatch {
+        /// Description of the problem.
+        detail: String,
+    },
+}
+
+impl fmt::Display for QglError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QglError::UnexpectedCharacter { ch, offset } => {
+                write!(f, "unexpected character '{ch}' at byte {offset}")
+            }
+            QglError::InvalidNumber { text, offset } => {
+                write!(f, "invalid numeric literal '{text}' at byte {offset}")
+            }
+            QglError::UnexpectedToken { expected, found, offset } => {
+                write!(f, "expected {expected}, found {found} at byte {offset}")
+            }
+            QglError::UnexpectedEof { expected } => {
+                write!(f, "unexpected end of input, expected {expected}")
+            }
+            QglError::RaggedMatrix { expected, found } => {
+                write!(f, "ragged matrix literal: expected {expected} columns, found {found}")
+            }
+            QglError::UnknownFunction { name } => write!(f, "unknown function '{name}'"),
+            QglError::WrongArity { name, expected, found } => {
+                write!(f, "function '{name}' expects {expected} argument(s), found {found}")
+            }
+            QglError::ComplexArgument { name } => {
+                write!(f, "function '{name}' applied to an argument with nonzero imaginary part")
+            }
+            QglError::NotAMatrix => write!(f, "gate body does not evaluate to a matrix"),
+            QglError::NotSquare { rows, cols } => {
+                write!(f, "gate matrix is not square ({rows}x{cols})")
+            }
+            QglError::RadixMismatch { expected_dim, found_dim } => {
+                write!(
+                    f,
+                    "declared radices imply dimension {expected_dim} but the matrix has dimension {found_dim}"
+                )
+            }
+            QglError::NotPowerOfTwo { dim } => {
+                write!(f, "no radices declared and dimension {dim} is not a power of two")
+            }
+            QglError::DimensionMismatch { op } => write!(f, "dimension mismatch in {op}"),
+            QglError::ParameterMismatch { detail } => write!(f, "parameter mismatch: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for QglError {}
+
+/// Result alias for QGL operations.
+pub type Result<T> = std::result::Result<T, QglError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let cases: Vec<QglError> = vec![
+            QglError::UnexpectedCharacter { ch: '?', offset: 3 },
+            QglError::InvalidNumber { text: "1.2.3".into(), offset: 0 },
+            QglError::UnexpectedToken { expected: "']'".into(), found: "','".into(), offset: 9 },
+            QglError::UnexpectedEof { expected: "'}'".into() },
+            QglError::RaggedMatrix { expected: 2, found: 3 },
+            QglError::UnknownFunction { name: "sinh".into() },
+            QglError::WrongArity { name: "sin".into(), expected: 1, found: 2 },
+            QglError::ComplexArgument { name: "sin".into() },
+            QglError::NotAMatrix,
+            QglError::NotSquare { rows: 2, cols: 3 },
+            QglError::RadixMismatch { expected_dim: 6, found_dim: 4 },
+            QglError::NotPowerOfTwo { dim: 3 },
+            QglError::DimensionMismatch { op: "matmul".into() },
+            QglError::ParameterMismatch { detail: "expected 3 parameters".into() },
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<QglError>();
+    }
+}

@@ -1,0 +1,313 @@
+//! Lexer for the Qudit Gate Language.
+//!
+//! QGL sources are short (a gate definition is typically a handful of lines), so the
+//! lexer simply materializes the full token stream. Identifiers may contain any Unicode
+//! alphabetic character so that definitions can use the Greek letters (θ, ϕ, λ, …) that
+//! appear in on-paper gate formulations (Listing 2 of the paper).
+
+use crate::error::{QglError, Result};
+
+/// A lexical token with its byte offset into the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character of the token.
+    pub offset: usize,
+}
+
+/// The kinds of QGL tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier (gate name, parameter, function, or reserved constant).
+    Ident(String),
+    /// A numeric literal.
+    Number(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `<`
+    Less,
+    /// `>`
+    Greater,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `^`
+    Caret,
+    /// `~` (QGL unary negation)
+    Tilde,
+}
+
+impl std::fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier '{s}'"),
+            TokenKind::Number(n) => write!(f, "number {n}"),
+            TokenKind::LParen => write!(f, "'('"),
+            TokenKind::RParen => write!(f, "')'"),
+            TokenKind::LBracket => write!(f, "'['"),
+            TokenKind::RBracket => write!(f, "']'"),
+            TokenKind::LBrace => write!(f, "'{{'"),
+            TokenKind::RBrace => write!(f, "'}}'"),
+            TokenKind::Less => write!(f, "'<'"),
+            TokenKind::Greater => write!(f, "'>'"),
+            TokenKind::Comma => write!(f, "','"),
+            TokenKind::Semicolon => write!(f, "';'"),
+            TokenKind::Plus => write!(f, "'+'"),
+            TokenKind::Minus => write!(f, "'-'"),
+            TokenKind::Star => write!(f, "'*'"),
+            TokenKind::Slash => write!(f, "'/'"),
+            TokenKind::Caret => write!(f, "'^'"),
+            TokenKind::Tilde => write!(f, "'~'"),
+        }
+    }
+}
+
+/// Returns `true` if `c` may start an identifier.
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+/// Returns `true` if `c` may continue an identifier.
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes a QGL source string.
+///
+/// # Errors
+///
+/// Returns [`QglError::UnexpectedCharacter`] or [`QglError::InvalidNumber`] on malformed
+/// input. Comments are not part of the grammar (Fig. 2 of the paper) and are rejected.
+pub fn tokenize(source: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<(usize, char)> = source.char_indices().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let (offset, c) = chars[i];
+        match c {
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, offset });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, offset });
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token { kind: TokenKind::LBracket, offset });
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token { kind: TokenKind::RBracket, offset });
+                i += 1;
+            }
+            '{' => {
+                tokens.push(Token { kind: TokenKind::LBrace, offset });
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Token { kind: TokenKind::RBrace, offset });
+                i += 1;
+            }
+            '<' => {
+                tokens.push(Token { kind: TokenKind::Less, offset });
+                i += 1;
+            }
+            '>' => {
+                tokens.push(Token { kind: TokenKind::Greater, offset });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, offset });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token { kind: TokenKind::Semicolon, offset });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token { kind: TokenKind::Plus, offset });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token { kind: TokenKind::Minus, offset });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, offset });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token { kind: TokenKind::Slash, offset });
+                i += 1;
+            }
+            '^' => {
+                tokens.push(Token { kind: TokenKind::Caret, offset });
+                i += 1;
+            }
+            '~' => {
+                tokens.push(Token { kind: TokenKind::Tilde, offset });
+                i += 1;
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                let mut seen_dot = c == '.';
+                i += 1;
+                while i < chars.len() {
+                    let ch = chars[i].1;
+                    if ch.is_ascii_digit() {
+                        i += 1;
+                    } else if ch == '.' && !seen_dot {
+                        seen_dot = true;
+                        i += 1;
+                    } else if (ch == 'e' || ch == 'E')
+                        && i + 1 < chars.len()
+                        && (chars[i + 1].1.is_ascii_digit()
+                            || ((chars[i + 1].1 == '+' || chars[i + 1].1 == '-')
+                                && i + 2 < chars.len()
+                                && chars[i + 2].1.is_ascii_digit()))
+                    {
+                        // exponent part
+                        i += 2;
+                        while i < chars.len() && chars[i].1.is_ascii_digit() {
+                            i += 1;
+                        }
+                        break;
+                    } else {
+                        break;
+                    }
+                }
+                let end = if i < chars.len() { chars[i].0 } else { source.len() };
+                let text = &source[offset..end];
+                let value: f64 = text.parse().map_err(|_| QglError::InvalidNumber {
+                    text: text.to_string(),
+                    offset,
+                })?;
+                tokens.push(Token { kind: TokenKind::Number(value), offset });
+                let _ = start;
+            }
+            c if is_ident_start(c) => {
+                let start_offset = offset;
+                i += 1;
+                while i < chars.len() && is_ident_continue(chars[i].1) {
+                    i += 1;
+                }
+                let end = if i < chars.len() { chars[i].0 } else { source.len() };
+                let text = source[start_offset..end].to_string();
+                tokens.push(Token { kind: TokenKind::Ident(text), offset: start_offset });
+            }
+            other => {
+                return Err(QglError::UnexpectedCharacter { ch: other, offset });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn punctuation_and_operators() {
+        let k = kinds("( ) [ ] { } < > , ; + - * / ^ ~");
+        assert_eq!(k.len(), 16);
+        assert_eq!(k[0], TokenKind::LParen);
+        assert_eq!(k[15], TokenKind::Tilde);
+    }
+
+    #[test]
+    fn numbers() {
+        let k = kinds("2 3.5 0.25 1e3 2.5e-2");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Number(2.0),
+                TokenKind::Number(3.5),
+                TokenKind::Number(0.25),
+                TokenKind::Number(1000.0),
+                TokenKind::Number(0.025),
+            ]
+        );
+    }
+
+    #[test]
+    fn unicode_identifiers() {
+        let k = kinds("U3(θ, ϕ, λ)");
+        assert_eq!(k[0], TokenKind::Ident("U3".into()));
+        assert_eq!(k[2], TokenKind::Ident("θ".into()));
+        assert_eq!(k[4], TokenKind::Ident("ϕ".into()));
+        assert_eq!(k[6], TokenKind::Ident("λ".into()));
+    }
+
+    #[test]
+    fn full_gate_listing_tokenizes() {
+        let src = "U3(θ,ϕ,λ) { [[ cos(θ/2), ~e^(i*λ)*sin(θ/2) ], [ e^(i*ϕ)*sin(θ/2), e^(i*(ϕ+λ))*cos(θ/2) ]] }";
+        let toks = tokenize(src).unwrap();
+        assert!(toks.len() > 40);
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Tilde));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Caret));
+    }
+
+    #[test]
+    fn offsets_point_into_source() {
+        let src = "RX(a) { [[a]] }";
+        let toks = tokenize(src).unwrap();
+        for t in &toks {
+            assert!(t.offset < src.len());
+        }
+        assert_eq!(toks[0].offset, 0);
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        assert!(matches!(
+            tokenize("U3 $ x"),
+            Err(QglError::UnexpectedCharacter { ch: '$', .. })
+        ));
+        assert!(matches!(tokenize("a # b"), Err(QglError::UnexpectedCharacter { .. })));
+    }
+
+    #[test]
+    fn number_followed_by_identifier() {
+        let k = kinds("2*pi");
+        assert_eq!(
+            k,
+            vec![TokenKind::Number(2.0), TokenKind::Star, TokenKind::Ident("pi".into())]
+        );
+    }
+
+    #[test]
+    fn display_of_token_kinds() {
+        assert_eq!(TokenKind::LBrace.to_string(), "'{'");
+        assert_eq!(TokenKind::Ident("x".into()).to_string(), "identifier 'x'");
+        assert_eq!(TokenKind::Number(1.5).to_string(), "number 1.5");
+    }
+}

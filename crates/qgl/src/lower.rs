@@ -1,0 +1,496 @@
+//! Lowering of QGL abstract syntax into the symbolic complex-matrix IR.
+//!
+//! The lowering walks the AST produced by [`crate::parser`] and evaluates it
+//! symbolically: every node becomes either a scalar [`ComplexExpr`] or a matrix of them.
+//! The reserved variables `i`, `e`, and `π`/`pi` take their usual mathematical values,
+//! trigonometric functions are canonicalized to `sin`/`cos` (e.g. `tan x → sin x / cos x`),
+//! and complex exponentials are expanded with Euler's formula so that each matrix element
+//! ends up with separate closed-form real and imaginary trees (Sec. III-B of the paper).
+
+use crate::ast::{AstExpr, BinaryOp};
+use crate::error::{QglError, Result};
+use crate::expr::{ComplexExpr, Expr};
+
+/// The result of symbolically evaluating a QGL expression node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A scalar complex symbolic value.
+    Scalar(ComplexExpr),
+    /// A matrix of complex symbolic values (row-major, rectangular).
+    Matrix(Vec<Vec<ComplexExpr>>),
+}
+
+impl Value {
+    /// Returns the matrix form, treating a scalar as a 1×1 matrix.
+    pub fn into_matrix(self) -> Vec<Vec<ComplexExpr>> {
+        match self {
+            Value::Scalar(s) => vec![vec![s]],
+            Value::Matrix(m) => m,
+        }
+    }
+}
+
+/// Lowers an AST expression into a [`Value`], given the declared parameter names.
+///
+/// # Errors
+///
+/// Returns a [`QglError`] for unknown functions, wrong arities, transcendental functions
+/// of complex arguments, or shape-incompatible matrix arithmetic.
+pub fn lower(ast: &AstExpr, params: &[String]) -> Result<Value> {
+    match ast {
+        AstExpr::Number(n) => Ok(Value::Scalar(ComplexExpr::from_const(*n))),
+        AstExpr::Variable(name) => lower_variable(name, params),
+        AstExpr::Neg(inner) => match lower(inner, params)? {
+            Value::Scalar(s) => Ok(Value::Scalar(s.neg())),
+            Value::Matrix(m) => Ok(Value::Matrix(
+                m.into_iter()
+                    .map(|row| row.into_iter().map(|e| e.neg()).collect())
+                    .collect(),
+            )),
+        },
+        AstExpr::Call { name, args } => lower_call(name, args, params),
+        AstExpr::Binary { op, lhs, rhs } => {
+            let l = lower(lhs, params)?;
+            let r = lower(rhs, params)?;
+            lower_binary(*op, l, r)
+        }
+        AstExpr::Matrix(rows) => {
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                let mut out_row = Vec::with_capacity(row.len());
+                for element in row {
+                    match lower(element, params)? {
+                        Value::Scalar(s) => out_row.push(s),
+                        Value::Matrix(_) => {
+                            return Err(QglError::DimensionMismatch {
+                                op: "nested matrix literal".to_string(),
+                            })
+                        }
+                    }
+                }
+                out.push(out_row);
+            }
+            Ok(Value::Matrix(out))
+        }
+    }
+}
+
+fn lower_variable(name: &str, params: &[String]) -> Result<Value> {
+    match name {
+        "i" => Ok(Value::Scalar(ComplexExpr::i())),
+        "e" => Ok(Value::Scalar(ComplexExpr::from_const(std::f64::consts::E))),
+        "pi" | "π" => Ok(Value::Scalar(ComplexExpr::from_real(Expr::Pi))),
+        _ => {
+            if params.iter().any(|p| p == name) {
+                Ok(Value::Scalar(ComplexExpr::from_real(Expr::var(name))))
+            } else {
+                Err(QglError::ParameterMismatch {
+                    detail: format!("variable '{name}' is not a declared parameter"),
+                })
+            }
+        }
+    }
+}
+
+fn require_real(name: &str, arg: &ComplexExpr) -> Result<Expr> {
+    if arg.im.is_zero() {
+        Ok(arg.re.clone())
+    } else {
+        Err(QglError::ComplexArgument { name: name.to_string() })
+    }
+}
+
+fn lower_call(name: &str, args: &[AstExpr], params: &[String]) -> Result<Value> {
+    let lowered: Vec<Value> = args
+        .iter()
+        .map(|a| lower(a, params))
+        .collect::<Result<Vec<_>>>()?;
+    let scalars: Vec<ComplexExpr> = lowered
+        .iter()
+        .map(|v| match v {
+            Value::Scalar(s) => Ok(s.clone()),
+            Value::Matrix(_) => Err(QglError::DimensionMismatch {
+                op: format!("matrix argument to function '{name}'"),
+            }),
+        })
+        .collect::<Result<Vec<_>>>()?;
+
+    let arity = |n: usize| -> Result<()> {
+        if scalars.len() != n {
+            Err(QglError::WrongArity { name: name.to_string(), expected: n, found: scalars.len() })
+        } else {
+            Ok(())
+        }
+    };
+
+    match name {
+        "sin" => {
+            arity(1)?;
+            let x = require_real(name, &scalars[0])?;
+            Ok(Value::Scalar(ComplexExpr::from_real(Expr::sin(x))))
+        }
+        "cos" => {
+            arity(1)?;
+            let x = require_real(name, &scalars[0])?;
+            Ok(Value::Scalar(ComplexExpr::from_real(Expr::cos(x))))
+        }
+        "tan" => {
+            // Canonicalized to sin/cos for uniform processing downstream.
+            arity(1)?;
+            let x = require_real(name, &scalars[0])?;
+            Ok(Value::Scalar(ComplexExpr::from_real(Expr::div(
+                Expr::sin(x.clone()),
+                Expr::cos(x),
+            ))))
+        }
+        "sqrt" => {
+            arity(1)?;
+            let x = require_real(name, &scalars[0])?;
+            Ok(Value::Scalar(ComplexExpr::from_real(Expr::sqrt(x))))
+        }
+        "exp" => {
+            arity(1)?;
+            Ok(Value::Scalar(scalars[0].exp()))
+        }
+        "ln" => {
+            arity(1)?;
+            let x = require_real(name, &scalars[0])?;
+            Ok(Value::Scalar(ComplexExpr::from_real(Expr::ln(x))))
+        }
+        "conj" => {
+            arity(1)?;
+            Ok(Value::Scalar(scalars[0].conj()))
+        }
+        "re" => {
+            arity(1)?;
+            Ok(Value::Scalar(ComplexExpr::from_real(scalars[0].re.clone())))
+        }
+        "im" => {
+            arity(1)?;
+            Ok(Value::Scalar(ComplexExpr::from_real(scalars[0].im.clone())))
+        }
+        _ => Err(QglError::UnknownFunction { name: name.to_string() }),
+    }
+}
+
+fn lower_binary(op: BinaryOp, lhs: Value, rhs: Value) -> Result<Value> {
+    use Value::{Matrix, Scalar};
+    match (op, lhs, rhs) {
+        (BinaryOp::Add, Scalar(a), Scalar(b)) => Ok(Scalar(a.add(&b))),
+        (BinaryOp::Sub, Scalar(a), Scalar(b)) => Ok(Scalar(a.sub(&b))),
+        (BinaryOp::Mul, Scalar(a), Scalar(b)) => Ok(Scalar(a.mul(&b))),
+        (BinaryOp::Div, Scalar(a), Scalar(b)) => Ok(Scalar(a.div(&b))),
+        (BinaryOp::Pow, Scalar(a), Scalar(b)) => lower_pow(a, b).map(Scalar),
+
+        (BinaryOp::Add, Matrix(a), Matrix(b)) => elementwise(a, b, "matrix addition", |x, y| x.add(y)),
+        (BinaryOp::Sub, Matrix(a), Matrix(b)) => {
+            elementwise(a, b, "matrix subtraction", |x, y| x.sub(y))
+        }
+        (BinaryOp::Mul, Matrix(a), Matrix(b)) => matmul(a, b),
+        (BinaryOp::Mul, Scalar(s), Matrix(m)) | (BinaryOp::Mul, Matrix(m), Scalar(s)) => {
+            Ok(Matrix(
+                m.into_iter()
+                    .map(|row| row.into_iter().map(|e| e.mul(&s)).collect())
+                    .collect(),
+            ))
+        }
+        (BinaryOp::Div, Matrix(m), Scalar(s)) => Ok(Matrix(
+            m.into_iter()
+                .map(|row| row.into_iter().map(|e| e.div(&s)).collect())
+                .collect(),
+        )),
+        (BinaryOp::Pow, Matrix(m), Scalar(s)) => matrix_power(m, s),
+        (op, l, r) => Err(QglError::DimensionMismatch {
+            op: format!(
+                "{op:?} between {} and {}",
+                kind_name(&l),
+                kind_name(&r)
+            ),
+        }),
+    }
+}
+
+fn kind_name(v: &Value) -> &'static str {
+    match v {
+        Value::Scalar(_) => "scalar",
+        Value::Matrix(_) => "matrix",
+    }
+}
+
+fn lower_pow(base: ComplexExpr, exponent: ComplexExpr) -> Result<ComplexExpr> {
+    // Integer exponents on arbitrary complex bases: repeated multiplication.
+    if exponent.im.is_zero() {
+        if let Some(e) = exponent.re.as_const() {
+            if e.fract() == 0.0 && (0.0..=16.0).contains(&e) {
+                let n = e as u32;
+                let mut acc = ComplexExpr::one();
+                for _ in 0..n {
+                    acc = acc.mul(&base);
+                }
+                return Ok(acc);
+            }
+        }
+    }
+    // Real base, real exponent: stays in the real tree.
+    if base.im.is_zero() && exponent.im.is_zero() {
+        return Ok(ComplexExpr::from_real(Expr::pow(base.re, exponent.re)));
+    }
+    // Complex exponent: base must be a (symbolically) real, positive quantity so that
+    // `base^z = exp(z · ln base)` has a closed element-wise form. The ubiquitous case is
+    // base = e, for which ln(e) folds to 1 and the expansion is Euler's formula.
+    if base.im.is_zero() {
+        let ln_base = Expr::ln(base.re);
+        let scaled = ComplexExpr::new(
+            Expr::mul(exponent.re.clone(), ln_base.clone()),
+            Expr::mul(exponent.im.clone(), ln_base),
+        );
+        return Ok(scaled.exp());
+    }
+    Err(QglError::ComplexArgument { name: "pow (complex base with complex exponent)".to_string() })
+}
+
+fn elementwise(
+    a: Vec<Vec<ComplexExpr>>,
+    b: Vec<Vec<ComplexExpr>>,
+    op: &str,
+    f: impl Fn(&ComplexExpr, &ComplexExpr) -> ComplexExpr,
+) -> Result<Value> {
+    if a.len() != b.len() || a.iter().zip(b.iter()).any(|(x, y)| x.len() != y.len()) {
+        return Err(QglError::DimensionMismatch { op: op.to_string() });
+    }
+    Ok(Value::Matrix(
+        a.iter()
+            .zip(b.iter())
+            .map(|(ra, rb)| ra.iter().zip(rb.iter()).map(|(x, y)| f(x, y)).collect())
+            .collect(),
+    ))
+}
+
+/// Symbolic matrix multiplication of two expression matrices.
+pub fn matmul(a: Vec<Vec<ComplexExpr>>, b: Vec<Vec<ComplexExpr>>) -> Result<Value> {
+    let (ar, ac) = (a.len(), a.first().map(|r| r.len()).unwrap_or(0));
+    let (br, bc) = (b.len(), b.first().map(|r| r.len()).unwrap_or(0));
+    if ac != br {
+        return Err(QglError::DimensionMismatch { op: "matrix multiplication".to_string() });
+    }
+    let mut out = vec![vec![ComplexExpr::zero(); bc]; ar];
+    for (i, out_row) in out.iter_mut().enumerate() {
+        for (j, out_elem) in out_row.iter_mut().enumerate() {
+            let mut acc = ComplexExpr::zero();
+            for (k, b_row) in b.iter().enumerate() {
+                let term = a[i][k].mul(&b_row[j]);
+                if acc.is_zero() {
+                    acc = term;
+                } else if !term.is_zero() {
+                    acc = acc.add(&term);
+                }
+            }
+            *out_elem = acc;
+        }
+    }
+    Ok(Value::Matrix(out))
+}
+
+fn matrix_power(m: Vec<Vec<ComplexExpr>>, s: ComplexExpr) -> Result<Value> {
+    if !s.im.is_zero() {
+        return Err(QglError::ComplexArgument { name: "matrix power".to_string() });
+    }
+    let e = s.re.as_const().ok_or_else(|| QglError::DimensionMismatch {
+        op: "matrix power with non-constant exponent".to_string(),
+    })?;
+    if e.fract() != 0.0 || e < 0.0 {
+        return Err(QglError::DimensionMismatch {
+            op: "matrix power with non-natural exponent".to_string(),
+        });
+    }
+    let n = m.len();
+    if m.iter().any(|r| r.len() != n) {
+        return Err(QglError::NotSquare { rows: n, cols: m.first().map(|r| r.len()).unwrap_or(0) });
+    }
+    let mut acc: Vec<Vec<ComplexExpr>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| if i == j { ComplexExpr::one() } else { ComplexExpr::zero() })
+                .collect()
+        })
+        .collect();
+    for _ in 0..(e as usize) {
+        acc = match matmul(acc, m.clone())? {
+            Value::Matrix(mm) => mm,
+            Value::Scalar(_) => unreachable!("matmul of matrices returns a matrix"),
+        };
+    }
+    Ok(Value::Matrix(acc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expression;
+
+    fn lower_str(src: &str, params: &[&str]) -> Result<Value> {
+        let params: Vec<String> = params.iter().map(|s| s.to_string()).collect();
+        lower(&parse_expression(src).unwrap(), &params)
+    }
+
+    fn eval_scalar(v: &Value, names: &[&str], vals: &[f64]) -> (f64, f64) {
+        let names: Vec<String> = names.iter().map(|s| s.to_string()).collect();
+        match v {
+            Value::Scalar(s) => s.eval_with(&names, vals),
+            Value::Matrix(_) => panic!("expected scalar"),
+        }
+    }
+
+    #[test]
+    fn reserved_constants() {
+        let (re, im) = eval_scalar(&lower_str("i", &[]).unwrap(), &[], &[]);
+        assert_eq!((re, im), (0.0, 1.0));
+        let (re, _) = eval_scalar(&lower_str("pi", &[]).unwrap(), &[], &[]);
+        assert!((re - std::f64::consts::PI).abs() < 1e-15);
+        let (re, _) = eval_scalar(&lower_str("π/2", &[]).unwrap(), &[], &[]);
+        assert!((re - std::f64::consts::FRAC_PI_2).abs() < 1e-15);
+        let (re, _) = eval_scalar(&lower_str("e", &[]).unwrap(), &[], &[]);
+        assert!((re - std::f64::consts::E).abs() < 1e-15);
+    }
+
+    #[test]
+    fn undeclared_parameter_is_rejected() {
+        assert!(matches!(
+            lower_str("cos(theta)", &[]),
+            Err(QglError::ParameterMismatch { .. })
+        ));
+        assert!(lower_str("cos(theta)", &["theta"]).is_ok());
+    }
+
+    #[test]
+    fn euler_formula_from_power_syntax() {
+        let v = lower_str("e^(i*t)", &["t"]).unwrap();
+        let (re, im) = eval_scalar(&v, &["t"], &[0.7]);
+        assert!((re - 0.7f64.cos()).abs() < 1e-12);
+        assert!((im - 0.7f64.sin()).abs() < 1e-12);
+        // And no exp/ln node survives in the trees (Euler short-circuit + folding).
+        if let Value::Scalar(s) = &v {
+            assert!(!s.re.to_string().contains("exp"));
+            assert!(!s.re.to_string().contains("ln"));
+        }
+    }
+
+    #[test]
+    fn negated_phase() {
+        let v = lower_str("e^(~i*t/2)", &["t"]).unwrap();
+        let (re, im) = eval_scalar(&v, &["t"], &[1.3]);
+        assert!((re - (0.65f64).cos()).abs() < 1e-12);
+        assert!((im + (0.65f64).sin()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trig_canonicalization_of_tan() {
+        let v = lower_str("tan(x)", &["x"]).unwrap();
+        if let Value::Scalar(s) = &v {
+            let txt = s.re.to_string();
+            assert!(txt.contains("sin") && txt.contains("cos") && !txt.contains("tan"));
+        }
+        let (re, _) = eval_scalar(&v, &["x"], &[0.4]);
+        assert!((re - 0.4f64.tan()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complex_argument_to_sin_is_rejected() {
+        assert!(matches!(
+            lower_str("sin(i*x)", &["x"]),
+            Err(QglError::ComplexArgument { .. })
+        ));
+        assert!(matches!(lower_str("ln(i)", &[]), Err(QglError::ComplexArgument { .. })));
+    }
+
+    #[test]
+    fn unknown_function_and_arity_errors() {
+        assert!(matches!(
+            lower_str("sinh(x)", &["x"]),
+            Err(QglError::UnknownFunction { .. })
+        ));
+        assert!(matches!(
+            lower_str("sin(x, x)", &["x"]),
+            Err(QglError::WrongArity { .. })
+        ));
+    }
+
+    #[test]
+    fn matrix_scalar_operations() {
+        let v = lower_str("2 * [[1, 0], [0, 1]]", &[]).unwrap();
+        match v {
+            Value::Matrix(m) => {
+                let (re, _) = m[0][0].eval_with(&[], &[]);
+                assert_eq!(re, 2.0);
+            }
+            _ => panic!("expected matrix"),
+        }
+        let v = lower_str("[[2, 0], [0, 2]] / 2", &[]).unwrap();
+        match v {
+            Value::Matrix(m) => {
+                let (re, _) = m[1][1].eval_with(&[], &[]);
+                assert_eq!(re, 1.0);
+            }
+            _ => panic!("expected matrix"),
+        }
+    }
+
+    #[test]
+    fn matrix_matmul_and_add() {
+        // X * X = I
+        let v = lower_str("[[0,1],[1,0]] * [[0,1],[1,0]]", &[]).unwrap();
+        match v {
+            Value::Matrix(m) => {
+                assert_eq!(m[0][0].eval_with(&[], &[]), (1.0, 0.0));
+                assert_eq!(m[0][1].eval_with(&[], &[]), (0.0, 0.0));
+            }
+            _ => panic!("expected matrix"),
+        }
+        let v = lower_str("[[1,0],[0,1]] + [[1,0],[0,1]]", &[]).unwrap();
+        match v {
+            Value::Matrix(m) => assert_eq!(m[1][1].eval_with(&[], &[]), (2.0, 0.0)),
+            _ => panic!("expected matrix"),
+        }
+        assert!(lower_str("[[1,0],[0,1]] + [[1,0,0],[0,1,0]]", &[]).is_err());
+        assert!(lower_str("[[1,0],[0,1]] * [[1,0,0]]", &[]).is_err());
+    }
+
+    #[test]
+    fn matrix_power() {
+        // X^2 = I
+        let v = lower_str("[[0,1],[1,0]]^2", &[]).unwrap();
+        match v {
+            Value::Matrix(m) => {
+                assert_eq!(m[0][0].eval_with(&[], &[]), (1.0, 0.0));
+                assert_eq!(m[1][0].eval_with(&[], &[]), (0.0, 0.0));
+            }
+            _ => panic!("expected matrix"),
+        }
+        assert!(lower_str("[[0,1],[1,0]]^0.5", &[]).is_err());
+        assert!(lower_str("[[0,1],[1,0]]^x", &["x"]).is_err());
+    }
+
+    #[test]
+    fn integer_power_of_complex_scalar() {
+        let v = lower_str("(i)^2", &[]).unwrap();
+        assert_eq!(eval_scalar(&v, &[], &[]), (-1.0, 0.0));
+        let v = lower_str("(1 + i)^2", &[]).unwrap();
+        let (re, im) = eval_scalar(&v, &[], &[]);
+        assert!((re - 0.0).abs() < 1e-12 && (im - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conj_re_im_helpers() {
+        let v = lower_str("conj(i)", &[]).unwrap();
+        assert_eq!(eval_scalar(&v, &[], &[]), (0.0, -1.0));
+        let v = lower_str("re(3 + 2*i)", &[]).unwrap();
+        assert_eq!(eval_scalar(&v, &[], &[]).0, 3.0);
+        let v = lower_str("im(3 + 2*i)", &[]).unwrap();
+        assert_eq!(eval_scalar(&v, &[], &[]).0, 2.0);
+    }
+
+    #[test]
+    fn nested_matrix_rejected() {
+        assert!(lower_str("[[ [[1]] ]]", &[]).is_err());
+    }
+}

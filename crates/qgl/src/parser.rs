@@ -1,0 +1,542 @@
+//! Recursive-descent parser for QGL, implementing the grammar of Fig. 2 in the paper.
+//!
+//! ```text
+//! definition ::= ident [radices] ( [varlist] ) { expression } [;]
+//! radices    ::= < intlist >
+//! expression ::= term {(+|-) term}
+//! term       ::= {~} factor {(*|/) factor}
+//! factor     ::= primary {^ primary}
+//! primary    ::= variable | constant | function | matrix | (expression)
+//! matrix     ::= [ row {, row} [,] ]
+//! row        ::= [ exprlist ]
+//! ```
+//!
+//! A leading `-` is accepted as a synonym for the QGL negation operator `~`.
+
+use crate::ast::{AstExpr, BinaryOp, Definition};
+use crate::error::{QglError, Result};
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Parses a full QGL gate definition from source text.
+///
+/// # Errors
+///
+/// Returns a [`QglError`] describing the first lexical or syntactic problem found.
+///
+/// # Example
+///
+/// ```
+/// use qudit_qgl::parser::parse_definition;
+/// let def = parse_definition("RZ(theta) { [[e^(~i*theta/2), 0], [0, e^(i*theta/2)]] }")?;
+/// assert_eq!(def.name, "RZ");
+/// assert_eq!(def.params, vec!["theta".to_string()]);
+/// # Ok::<(), qudit_qgl::QglError>(())
+/// ```
+pub fn parse_definition(source: &str) -> Result<Definition> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let def = parser.definition()?;
+    parser.expect_eof()?;
+    Ok(def)
+}
+
+/// Parses a bare QGL expression (no surrounding definition). Used by tests and by the
+/// library when composing expressions programmatically.
+///
+/// # Errors
+///
+/// Returns a [`QglError`] on malformed input.
+pub fn parse_expression(source: &str) -> Result<AstExpr> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let expr = parser.expression()?;
+    parser.expect_eof()?;
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens.get(self.pos).map(|t| t.offset).unwrap_or(usize::MAX)
+    }
+
+    fn advance(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, expected: &TokenKind, what: &str) -> Result<()> {
+        match self.peek() {
+            Some(k) if k == expected => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(k) => Err(QglError::UnexpectedToken {
+                expected: what.to_string(),
+                found: k.to_string(),
+                offset: self.offset(),
+            }),
+            None => Err(QglError::UnexpectedEof { expected: what.to_string() }),
+        }
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        if self.pos < self.tokens.len() {
+            return Err(QglError::UnexpectedToken {
+                expected: "end of input".to_string(),
+                found: self.tokens[self.pos].kind.to_string(),
+                offset: self.tokens[self.pos].offset,
+            });
+        }
+        Ok(())
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.peek() {
+            Some(TokenKind::Ident(name)) => {
+                let name = name.clone();
+                self.pos += 1;
+                Ok(name)
+            }
+            Some(k) => Err(QglError::UnexpectedToken {
+                expected: what.to_string(),
+                found: k.to_string(),
+                offset: self.offset(),
+            }),
+            None => Err(QglError::UnexpectedEof { expected: what.to_string() }),
+        }
+    }
+
+    fn definition(&mut self) -> Result<Definition> {
+        let name = self.ident("gate name")?;
+
+        // Optional radices: < intlist >
+        let mut radices = Vec::new();
+        if self.peek() == Some(&TokenKind::Less) {
+            self.advance();
+            loop {
+                match self.advance() {
+                    Some(TokenKind::Number(n)) if n.fract() == 0.0 && n >= 2.0 => {
+                        radices.push(n as usize);
+                    }
+                    Some(k) => {
+                        return Err(QglError::UnexpectedToken {
+                            expected: "radix (integer >= 2)".to_string(),
+                            found: k.to_string(),
+                            offset: self.offset(),
+                        })
+                    }
+                    None => {
+                        return Err(QglError::UnexpectedEof {
+                            expected: "radix (integer >= 2)".to_string(),
+                        })
+                    }
+                }
+                match self.peek() {
+                    Some(TokenKind::Comma) => {
+                        self.advance();
+                    }
+                    Some(TokenKind::Greater) => {
+                        self.advance();
+                        break;
+                    }
+                    _ => {
+                        return Err(QglError::UnexpectedToken {
+                            expected: "',' or '>' in radix list".to_string(),
+                            found: self
+                                .peek()
+                                .map(|k| k.to_string())
+                                .unwrap_or_else(|| "end of input".to_string()),
+                            offset: self.offset(),
+                        })
+                    }
+                }
+            }
+        }
+
+        // Parameter list: ( [varlist] )
+        self.expect(&TokenKind::LParen, "'('")?;
+        let mut params = Vec::new();
+        if self.peek() != Some(&TokenKind::RParen) {
+            loop {
+                params.push(self.ident("parameter name")?);
+                match self.peek() {
+                    Some(TokenKind::Comma) => {
+                        self.advance();
+                    }
+                    _ => break,
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen, "')'")?;
+
+        // Body: { expression }
+        self.expect(&TokenKind::LBrace, "'{'")?;
+        let body = self.expression()?;
+        self.expect(&TokenKind::RBrace, "'}'")?;
+
+        // Optional trailing semicolon.
+        if self.peek() == Some(&TokenKind::Semicolon) {
+            self.advance();
+        }
+
+        Ok(Definition { name, radices, params, body })
+    }
+
+    /// expression ::= term {(+|-) term}
+    fn expression(&mut self) -> Result<AstExpr> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Plus) => BinaryOp::Add,
+                Some(TokenKind::Minus) => BinaryOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.term()?;
+            lhs = AstExpr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    /// term ::= {~} factor {(*|/) factor}
+    fn term(&mut self) -> Result<AstExpr> {
+        let mut negations = 0usize;
+        while matches!(self.peek(), Some(TokenKind::Tilde) | Some(TokenKind::Minus)) {
+            negations += 1;
+            self.advance();
+        }
+        let mut lhs = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Star) => BinaryOp::Mul,
+                Some(TokenKind::Slash) => BinaryOp::Div,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.factor()?;
+            lhs = AstExpr::binary(op, lhs, rhs);
+        }
+        if negations % 2 == 1 {
+            lhs = AstExpr::Neg(Box::new(lhs));
+        }
+        Ok(lhs)
+    }
+
+    /// factor ::= primary {^ primary}  (right-associative)
+    fn factor(&mut self) -> Result<AstExpr> {
+        let base = self.primary()?;
+        if self.peek() == Some(&TokenKind::Caret) {
+            self.advance();
+            // Allow a unary negation directly in the exponent, e.g. `e^~i*t` is rare but
+            // `e^(~i*t/2)` is the common parenthesized form; handle `^~x` gracefully.
+            let exponent = if matches!(self.peek(), Some(TokenKind::Tilde) | Some(TokenKind::Minus))
+            {
+                self.advance();
+                AstExpr::Neg(Box::new(self.factor()?))
+            } else {
+                self.factor()?
+            };
+            return Ok(AstExpr::binary(BinaryOp::Pow, base, exponent));
+        }
+        Ok(base)
+    }
+
+    /// primary ::= variable | constant | function | matrix | (expression)
+    fn primary(&mut self) -> Result<AstExpr> {
+        match self.peek().cloned() {
+            Some(TokenKind::Number(n)) => {
+                self.advance();
+                Ok(AstExpr::Number(n))
+            }
+            Some(TokenKind::Ident(name)) => {
+                self.advance();
+                if self.peek() == Some(&TokenKind::LParen) {
+                    // Function call.
+                    self.advance();
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expression()?);
+                            match self.peek() {
+                                Some(TokenKind::Comma) => {
+                                    self.advance();
+                                }
+                                _ => break,
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RParen, "')'")?;
+                    Ok(AstExpr::Call { name, args })
+                } else {
+                    Ok(AstExpr::Variable(name))
+                }
+            }
+            Some(TokenKind::LParen) => {
+                self.advance();
+                let e = self.expression()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                Ok(e)
+            }
+            Some(TokenKind::LBracket) => self.matrix(),
+            Some(k) => Err(QglError::UnexpectedToken {
+                expected: "expression".to_string(),
+                found: k.to_string(),
+                offset: self.offset(),
+            }),
+            None => Err(QglError::UnexpectedEof { expected: "expression".to_string() }),
+        }
+    }
+
+    /// matrix ::= [ row {, row} [,] ]   with   row ::= [ exprlist ]
+    fn matrix(&mut self) -> Result<AstExpr> {
+        self.expect(&TokenKind::LBracket, "'['")?;
+        let mut rows: Vec<Vec<AstExpr>> = Vec::new();
+        loop {
+            match self.peek() {
+                Some(TokenKind::LBracket) => {
+                    rows.push(self.row()?);
+                    match self.peek() {
+                        Some(TokenKind::Comma) => {
+                            self.advance();
+                            // Allow a trailing comma before the closing bracket.
+                            if self.peek() == Some(&TokenKind::RBracket) {
+                                self.advance();
+                                break;
+                            }
+                        }
+                        Some(TokenKind::RBracket) => {
+                            self.advance();
+                            break;
+                        }
+                        _ => {
+                            return Err(QglError::UnexpectedToken {
+                                expected: "',' or ']' after matrix row".to_string(),
+                                found: self
+                                    .peek()
+                                    .map(|k| k.to_string())
+                                    .unwrap_or_else(|| "end of input".to_string()),
+                                offset: self.offset(),
+                            })
+                        }
+                    }
+                }
+                Some(k) => {
+                    return Err(QglError::UnexpectedToken {
+                        expected: "matrix row starting with '['".to_string(),
+                        found: k.to_string(),
+                        offset: self.offset(),
+                    })
+                }
+                None => {
+                    return Err(QglError::UnexpectedEof {
+                        expected: "matrix row starting with '['".to_string(),
+                    })
+                }
+            }
+        }
+        // Column-count consistency.
+        if let Some(first) = rows.first() {
+            let expected = first.len();
+            for row in &rows {
+                if row.len() != expected {
+                    return Err(QglError::RaggedMatrix { expected, found: row.len() });
+                }
+            }
+        }
+        Ok(AstExpr::Matrix(rows))
+    }
+
+    fn row(&mut self) -> Result<Vec<AstExpr>> {
+        self.expect(&TokenKind::LBracket, "'['")?;
+        let mut elements = Vec::new();
+        if self.peek() != Some(&TokenKind::RBracket) {
+            loop {
+                elements.push(self.expression()?);
+                match self.peek() {
+                    Some(TokenKind::Comma) => {
+                        self.advance();
+                        if self.peek() == Some(&TokenKind::RBracket) {
+                            break;
+                        }
+                    }
+                    _ => break,
+                }
+            }
+        }
+        self.expect(&TokenKind::RBracket, "']'")?;
+        Ok(elements)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_u3_listing() {
+        let src = "U3(θ,ϕ,λ) {
+            [
+                [ cos(θ/2), ~ e^(i*λ) * sin(θ/2) ],
+                [ e^(i*ϕ) * sin(θ/2), e^(i*(ϕ+λ)) * cos(θ/2) ],
+            ]
+        }";
+        let def = parse_definition(src).unwrap();
+        assert_eq!(def.name, "U3");
+        assert_eq!(def.params, vec!["θ", "ϕ", "λ"]);
+        assert!(def.radices.is_empty());
+        match def.body {
+            AstExpr::Matrix(rows) => {
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[0].len(), 2);
+            }
+            other => panic!("expected matrix body, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_radices() {
+        let src = "CSUM<3,3>() { [[1]] }";
+        let def = parse_definition(src).unwrap();
+        assert_eq!(def.radices, vec![3, 3]);
+        assert!(def.params.is_empty());
+    }
+
+    #[test]
+    fn parses_trailing_semicolon_and_no_params() {
+        let def = parse_definition("X() { [[0,1],[1,0]] };").unwrap();
+        assert_eq!(def.name, "X");
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // a + b * c parses as a + (b*c)
+        let e = parse_expression("a + b * c").unwrap();
+        match e {
+            AstExpr::Binary { op: BinaryOp::Add, rhs, .. } => match *rhs {
+                AstExpr::Binary { op: BinaryOp::Mul, .. } => {}
+                other => panic!("expected mul on rhs, got {other:?}"),
+            },
+            other => panic!("expected add at root, got {other:?}"),
+        }
+        // a * b ^ c parses as a * (b^c)
+        let e = parse_expression("a * b ^ c").unwrap();
+        match e {
+            AstExpr::Binary { op: BinaryOp::Mul, rhs, .. } => match *rhs {
+                AstExpr::Binary { op: BinaryOp::Pow, .. } => {}
+                other => panic!("expected pow on rhs, got {other:?}"),
+            },
+            other => panic!("expected mul at root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tilde_negates_whole_term() {
+        // ~i*sin(t) should negate the product i*sin(t), matching the paper's usage.
+        let e = parse_expression("~i*sin(t)").unwrap();
+        match e {
+            AstExpr::Neg(inner) => match *inner {
+                AstExpr::Binary { op: BinaryOp::Mul, .. } => {}
+                other => panic!("expected mul under neg, got {other:?}"),
+            },
+            other => panic!("expected negation at root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let e = parse_expression("~~x").unwrap();
+        assert_eq!(e, AstExpr::Variable("x".into()));
+    }
+
+    #[test]
+    fn minus_as_unary() {
+        let e = parse_expression("-x + y").unwrap();
+        match e {
+            AstExpr::Binary { op: BinaryOp::Add, lhs, .. } => {
+                assert!(matches!(*lhs, AstExpr::Neg(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exponent_with_negation() {
+        let e = parse_expression("e^~i").unwrap();
+        match e {
+            AstExpr::Binary { op: BinaryOp::Pow, rhs, .. } => {
+                assert!(matches!(*rhs, AstExpr::Neg(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_expression("e^(~i*t/2)").is_ok());
+    }
+
+    #[test]
+    fn function_call_with_multiple_args() {
+        let e = parse_expression("atan2(y, x)").unwrap();
+        match e {
+            AstExpr::Call { name, args } => {
+                assert_eq!(name, "atan2");
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_matrix_row_and_trailing_commas() {
+        let e = parse_expression("[[1, 2,], [3, 4,],]").unwrap();
+        match e {
+            AstExpr::Matrix(rows) => {
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[0].len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ragged_matrix_rejected() {
+        assert!(matches!(
+            parse_expression("[[1,2],[3]]"),
+            Err(QglError::RaggedMatrix { expected: 2, found: 1 })
+        ));
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(parse_definition("U3(θ { [[1]] }").is_err());
+        assert!(parse_definition("U3() [[1]]").is_err());
+        assert!(parse_definition("U3() { [[1]] } extra").is_err());
+        assert!(parse_definition("() { [[1]] }").is_err());
+        assert!(parse_definition("U3() { }").is_err());
+        assert!(parse_expression("1 +").is_err());
+        assert!(parse_expression("sin(").is_err());
+        assert!(parse_expression("[1, 2]").is_err(), "rows must be bracketed");
+    }
+
+    #[test]
+    fn radix_validation() {
+        assert!(parse_definition("G<1>() { [[1]] }").is_err());
+        assert!(parse_definition("G<2.5>() { [[1]] }").is_err());
+        assert!(parse_definition("G<2 3>() { [[1]] }").is_err());
+    }
+
+    #[test]
+    fn nested_parentheses() {
+        let e = parse_expression("((a + (b)) * ((c)))").unwrap();
+        assert_eq!(e.node_count(), 5);
+    }
+}

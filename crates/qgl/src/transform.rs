@@ -1,0 +1,486 @@
+//! Symbolic transformations on [`UnitaryExpression`]s.
+//!
+//! The paper (Sec. III-B) lists the transformations that make the symbolic IR composable:
+//! matrix multiplication, Kronecker product, substitution, and conjugation, which enable
+//! "the flexible, on-the-fly creation of composite gates — such as controlled, inverted,
+//! or fused operations — directly from the user's high-level QGL definitions". This
+//! module implements those operations, plus the transpose/trace push-downs used by the
+//! contraction-tree fusion pass.
+
+use crate::error::{QglError, Result};
+use crate::expr::{ComplexExpr, Expr};
+use crate::lower;
+use crate::unitary_expr::UnitaryExpression;
+
+/// Returns the conjugate transpose (inverse, for unitaries) of `expr`.
+pub fn dagger(expr: &UnitaryExpression) -> UnitaryExpression {
+    let dim = expr.dim();
+    let elements: Vec<Vec<ComplexExpr>> = (0..dim)
+        .map(|r| (0..dim).map(|c| expr.element(c, r).conj()).collect())
+        .collect();
+    UnitaryExpression::from_parts_unchecked(
+        format!("{}†", expr.name()),
+        expr.radices().to_vec(),
+        expr.params().to_vec(),
+        elements,
+    )
+}
+
+/// Returns the element-wise complex conjugate of `expr`.
+pub fn conjugate(expr: &UnitaryExpression) -> UnitaryExpression {
+    let elements: Vec<Vec<ComplexExpr>> = expr
+        .elements()
+        .iter()
+        .map(|row| row.iter().map(|el| el.conj()).collect())
+        .collect();
+    UnitaryExpression::from_parts_unchecked(
+        format!("conj({})", expr.name()),
+        expr.radices().to_vec(),
+        expr.params().to_vec(),
+        elements,
+    )
+}
+
+/// Returns the (non-conjugating) transpose of `expr`.
+///
+/// Used by the contraction-tree fusion pass, which pushes a runtime `TRANSPOSE` of a leaf
+/// tensor into the leaf's symbolic expression so the compiled code writes the transposed
+/// matrix directly (Sec. IV-A of the paper).
+pub fn transpose(expr: &UnitaryExpression) -> UnitaryExpression {
+    let dim = expr.dim();
+    let elements: Vec<Vec<ComplexExpr>> = (0..dim)
+        .map(|r| (0..dim).map(|c| expr.element(c, r).clone()).collect())
+        .collect();
+    UnitaryExpression::from_parts_unchecked(
+        format!("{}ᵀ", expr.name()),
+        expr.radices().to_vec(),
+        expr.params().to_vec(),
+        elements,
+    )
+}
+
+/// Merges two parameter lists, returning the union (left list first) without duplicates.
+fn merge_params(a: &[String], b: &[String]) -> Vec<String> {
+    let mut out = a.to_vec();
+    for p in b {
+        if !out.contains(p) {
+            out.push(p.clone());
+        }
+    }
+    out
+}
+
+/// Symbolic matrix product `lhs · rhs` (i.e. apply `rhs` first, then `lhs`).
+///
+/// Shared parameter names are treated as the *same* parameter, which is what gate fusion
+/// wants; rename with [`UnitaryExpression::map_params`] first if independence is needed.
+///
+/// # Errors
+///
+/// Returns [`QglError::DimensionMismatch`] if the radices differ.
+pub fn matmul(lhs: &UnitaryExpression, rhs: &UnitaryExpression) -> Result<UnitaryExpression> {
+    if lhs.radices() != rhs.radices() {
+        return Err(QglError::DimensionMismatch {
+            op: format!(
+                "matmul of {:?} with {:?} radices",
+                lhs.radices(),
+                rhs.radices()
+            ),
+        });
+    }
+    let a = lhs.elements().to_vec();
+    let b = rhs.elements().to_vec();
+    let elements = match lower::matmul(a, b)? {
+        lower::Value::Matrix(m) => m,
+        lower::Value::Scalar(_) => unreachable!("matrix product of matrices is a matrix"),
+    };
+    Ok(UnitaryExpression::from_parts_unchecked(
+        format!("{}·{}", lhs.name(), rhs.name()),
+        lhs.radices().to_vec(),
+        merge_params(lhs.params(), rhs.params()),
+        elements,
+    ))
+}
+
+/// Symbolic Kronecker product `lhs ⊗ rhs`.
+///
+/// The resulting gate acts on the concatenation of the operand radices.
+pub fn kron(lhs: &UnitaryExpression, rhs: &UnitaryExpression) -> UnitaryExpression {
+    let (ad, bd) = (lhs.dim(), rhs.dim());
+    let dim = ad * bd;
+    let mut elements = vec![vec![ComplexExpr::zero(); dim]; dim];
+    for i in 0..ad {
+        for j in 0..ad {
+            let a_ij = lhs.element(i, j);
+            if a_ij.is_zero() {
+                continue;
+            }
+            for p in 0..bd {
+                for q in 0..bd {
+                    let b_pq = rhs.element(p, q);
+                    if b_pq.is_zero() {
+                        continue;
+                    }
+                    elements[i * bd + p][j * bd + q] = a_ij.mul(b_pq);
+                }
+            }
+        }
+    }
+    let mut radices = lhs.radices().to_vec();
+    radices.extend_from_slice(rhs.radices());
+    UnitaryExpression::from_parts_unchecked(
+        format!("{}⊗{}", lhs.name(), rhs.name()),
+        radices,
+        merge_params(lhs.params(), rhs.params()),
+        elements,
+    )
+}
+
+/// Substitutes parameter `param` with an arbitrary real expression over (possibly new)
+/// parameters listed in `new_params`.
+///
+/// This implements both partial application (substituting a constant removes the
+/// parameter) and re-parameterization (e.g. `θ ↦ θ/2` or `θ ↦ α + β`).
+///
+/// # Errors
+///
+/// Returns [`QglError::ParameterMismatch`] if `param` is not a parameter of `expr`.
+pub fn substitute(
+    expr: &UnitaryExpression,
+    param: &str,
+    replacement: &Expr,
+    new_params: &[String],
+) -> Result<UnitaryExpression> {
+    if !expr.params().iter().any(|p| p == param) {
+        return Err(QglError::ParameterMismatch {
+            detail: format!("gate '{}' has no parameter '{param}'", expr.name()),
+        });
+    }
+    let elements: Vec<Vec<ComplexExpr>> = expr
+        .elements()
+        .iter()
+        .map(|row| row.iter().map(|el| el.substitute(param, replacement)).collect())
+        .collect();
+    let mut params: Vec<String> =
+        expr.params().iter().filter(|p| p.as_str() != param).cloned().collect();
+    for p in new_params {
+        if !params.contains(p) {
+            params.push(p.clone());
+        }
+    }
+    Ok(UnitaryExpression::from_parts_unchecked(
+        expr.name().to_string(),
+        expr.radices().to_vec(),
+        params,
+        elements,
+    ))
+}
+
+/// Fixes a parameter to a constant value (partial application).
+///
+/// # Errors
+///
+/// Returns [`QglError::ParameterMismatch`] if `param` is not a parameter of `expr`.
+pub fn fix_param(expr: &UnitaryExpression, param: &str, value: f64) -> Result<UnitaryExpression> {
+    substitute(expr, param, &Expr::constant(value), &[])
+}
+
+/// Builds the controlled version of `expr` with a control qudit of the given radix.
+///
+/// The control is prepended (most-significant qudit). The gate applies `expr` when the
+/// control is in its highest basis state `|radix-1⟩` and the identity otherwise, the
+/// usual generalization of the qubit-controlled gate to qudits.
+pub fn control(expr: &UnitaryExpression, control_radix: usize) -> UnitaryExpression {
+    let d = expr.dim();
+    let dim = d * control_radix;
+    let mut elements = vec![vec![ComplexExpr::zero(); dim]; dim];
+    // Identity blocks for control states 0..radix-2.
+    for block in 0..control_radix - 1 {
+        for k in 0..d {
+            elements[block * d + k][block * d + k] = ComplexExpr::one();
+        }
+    }
+    // The target block.
+    let last = (control_radix - 1) * d;
+    for r in 0..d {
+        for c in 0..d {
+            elements[last + r][last + c] = expr.element(r, c).clone();
+        }
+    }
+    let mut radices = vec![control_radix];
+    radices.extend_from_slice(expr.radices());
+    UnitaryExpression::from_parts_unchecked(
+        format!("C{}", expr.name()),
+        radices,
+        expr.params().to_vec(),
+        elements,
+    )
+}
+
+/// Symbolic trace of the expression matrix (sum of the diagonal elements).
+///
+/// Contraction-tree construction applies traces symbolically at the leaves so the runtime
+/// bytecode never needs a trace instruction (Sec. IV-A of the paper).
+pub fn trace(expr: &UnitaryExpression) -> ComplexExpr {
+    let mut acc = ComplexExpr::zero();
+    for i in 0..expr.dim() {
+        let el = expr.element(i, i);
+        if acc.is_zero() {
+            acc = el.clone();
+        } else if !el.is_zero() {
+            acc = acc.add(el);
+        }
+    }
+    acc
+}
+
+/// Permutes the qudit wires of the expression: wire `i` of the result is wire `perm[i]`
+/// of the original.
+///
+/// # Errors
+///
+/// Returns [`QglError::DimensionMismatch`] if `perm` is not a permutation of the qudits.
+pub fn permute_qudits(expr: &UnitaryExpression, perm: &[usize]) -> Result<UnitaryExpression> {
+    let n = expr.num_qudits();
+    let mut seen = vec![false; n];
+    if perm.len() != n || perm.iter().any(|&p| p >= n || std::mem::replace(&mut seen[p], true)) {
+        return Err(QglError::DimensionMismatch {
+            op: format!("qudit permutation {perm:?} on {n} qudits"),
+        });
+    }
+    let radices = expr.radices();
+    let new_radices: Vec<usize> = perm.iter().map(|&p| radices[p]).collect();
+    let dim = expr.dim();
+
+    // Map a flat basis index under the new radices to a flat index under the old ones.
+    let decode = |mut flat: usize, rad: &[usize]| -> Vec<usize> {
+        let mut digits = vec![0usize; rad.len()];
+        for i in (0..rad.len()).rev() {
+            digits[i] = flat % rad[i];
+            flat /= rad[i];
+        }
+        digits
+    };
+    let encode = |digits: &[usize], rad: &[usize]| -> usize {
+        digits.iter().zip(rad.iter()).fold(0usize, |acc, (&d, &r)| acc * r + d)
+    };
+
+    let mut elements = vec![vec![ComplexExpr::zero(); dim]; dim];
+    for r in 0..dim {
+        let new_digits_r = decode(r, &new_radices);
+        // new wire i carries old wire perm[i]
+        let mut old_digits_r = vec![0usize; n];
+        for (i, &p) in perm.iter().enumerate() {
+            old_digits_r[p] = new_digits_r[i];
+        }
+        let old_r = encode(&old_digits_r, radices);
+        for c in 0..dim {
+            let new_digits_c = decode(c, &new_radices);
+            let mut old_digits_c = vec![0usize; n];
+            for (i, &p) in perm.iter().enumerate() {
+                old_digits_c[p] = new_digits_c[i];
+            }
+            let old_c = encode(&old_digits_c, radices);
+            elements[r][c] = expr.element(old_r, old_c).clone();
+        }
+    }
+    Ok(UnitaryExpression::from_parts_unchecked(
+        format!("perm({})", expr.name()),
+        new_radices,
+        expr.params().to_vec(),
+        elements,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qudit_tensor::Matrix;
+
+    fn rx() -> UnitaryExpression {
+        UnitaryExpression::new(
+            "RX(theta) { [[cos(theta/2), ~i*sin(theta/2)], [~i*sin(theta/2), cos(theta/2)]] }",
+        )
+        .unwrap()
+    }
+
+    fn rz() -> UnitaryExpression {
+        UnitaryExpression::new("RZ(phi) { [[e^(~i*phi/2), 0], [0, e^(i*phi/2)]] }").unwrap()
+    }
+
+    fn x_gate() -> UnitaryExpression {
+        UnitaryExpression::new("X() { [[0, 1], [1, 0]] }").unwrap()
+    }
+
+    #[test]
+    fn dagger_is_inverse() {
+        let g = rx();
+        let composed = matmul(&dagger(&g), &g).unwrap();
+        let m = composed.to_matrix::<f64>(&[0.83]).unwrap();
+        assert!(m.is_identity(1e-12));
+    }
+
+    #[test]
+    fn dagger_of_constant_gate() {
+        let x = x_gate();
+        let xd = dagger(&x);
+        assert!(matmul(&xd, &x).unwrap().to_matrix::<f64>(&[]).unwrap().is_identity(1e-15));
+        assert!(xd.name().contains('†'));
+    }
+
+    #[test]
+    fn conjugate_and_transpose_compose_to_dagger() {
+        let g = rz();
+        let via = transpose(&conjugate(&g));
+        let direct = dagger(&g);
+        let a = via.to_matrix::<f64>(&[1.3]).unwrap();
+        let b = direct.to_matrix::<f64>(&[1.3]).unwrap();
+        assert!(a.max_elementwise_distance(&b) < 1e-14);
+    }
+
+    #[test]
+    fn matmul_matches_numeric_product() {
+        let a = rx();
+        let b = rz();
+        let ab = matmul(&a, &b).unwrap();
+        assert_eq!(ab.params(), &["theta".to_string(), "phi".to_string()]);
+        let sym = ab.to_matrix::<f64>(&[0.4, 1.1]).unwrap();
+        let num = a
+            .to_matrix::<f64>(&[0.4])
+            .unwrap()
+            .matmul(&b.to_matrix::<f64>(&[1.1]).unwrap());
+        assert!(sym.max_elementwise_distance(&num) < 1e-13);
+    }
+
+    #[test]
+    fn matmul_shared_parameter_is_single_parameter() {
+        let a = rx();
+        let b = rx(); // same parameter name "theta"
+        let ab = matmul(&a, &b).unwrap();
+        assert_eq!(ab.num_params(), 1);
+        // RX(t)·RX(t) = RX(2t)
+        let m = ab.to_matrix::<f64>(&[0.6]).unwrap();
+        let expect = rx().to_matrix::<f64>(&[1.2]).unwrap();
+        assert!(m.max_elementwise_distance(&expect) < 1e-13);
+    }
+
+    #[test]
+    fn matmul_rejects_radix_mismatch() {
+        let qutrit = UnitaryExpression::new("P<3>(x) { [[1,0,0],[0,e^(i*x),0],[0,0,1]] }").unwrap();
+        assert!(matmul(&rx(), &qutrit).is_err());
+    }
+
+    #[test]
+    fn kron_matches_numeric_kron() {
+        let a = rx();
+        let b = rz();
+        let ab = kron(&a, &b);
+        assert_eq!(ab.radices(), &[2, 2]);
+        let sym = ab.to_matrix::<f64>(&[0.9, -0.2]).unwrap();
+        let num = a
+            .to_matrix::<f64>(&[0.9])
+            .unwrap()
+            .kron(&b.to_matrix::<f64>(&[-0.2]).unwrap());
+        assert!(sym.max_elementwise_distance(&num) < 1e-13);
+    }
+
+    #[test]
+    fn kron_mixed_radices() {
+        let qutrit = UnitaryExpression::new("P<3>(x) { [[1,0,0],[0,e^(i*x),0],[0,0,1]] }").unwrap();
+        let k = kron(&rx(), &qutrit);
+        assert_eq!(k.radices(), &[2, 3]);
+        assert_eq!(k.dim(), 6);
+        assert!(k.check_unitary(&[0.3, 0.8], 1e-12));
+    }
+
+    #[test]
+    fn substitution_reparameterizes() {
+        let g = rx();
+        // θ ↦ 2·α
+        let s = substitute(&g, "theta", &Expr::mul(Expr::constant(2.0), Expr::var("alpha")), &[
+            "alpha".to_string(),
+        ])
+        .unwrap();
+        assert_eq!(s.params(), &["alpha".to_string()]);
+        let a = s.to_matrix::<f64>(&[0.4]).unwrap();
+        let b = g.to_matrix::<f64>(&[0.8]).unwrap();
+        assert!(a.max_elementwise_distance(&b) < 1e-14);
+        assert!(substitute(&g, "missing", &Expr::zero(), &[]).is_err());
+    }
+
+    #[test]
+    fn fix_param_creates_constant_gate() {
+        let g = rx();
+        let fixed = fix_param(&g, "theta", std::f64::consts::PI).unwrap();
+        assert!(fixed.is_constant());
+        let m = fixed.to_matrix::<f64>(&[]).unwrap();
+        // RX(π) = -i X
+        let mut expect = Matrix::<f64>::zeros(2, 2);
+        expect.set(0, 1, qudit_tensor::C64::new(0.0, -1.0));
+        expect.set(1, 0, qudit_tensor::C64::new(0.0, -1.0));
+        assert!(m.max_elementwise_distance(&expect) < 1e-14);
+    }
+
+    #[test]
+    fn controlled_x_is_cnot() {
+        let cx = control(&x_gate(), 2);
+        assert_eq!(cx.radices(), &[2, 2]);
+        let m = cx.to_matrix::<f64>(&[]).unwrap();
+        let mut cnot = Matrix::<f64>::identity(4);
+        cnot.set(2, 2, qudit_tensor::C64::zero());
+        cnot.set(3, 3, qudit_tensor::C64::zero());
+        cnot.set(2, 3, qudit_tensor::C64::one());
+        cnot.set(3, 2, qudit_tensor::C64::one());
+        assert!(m.max_elementwise_distance(&cnot) < 1e-15);
+    }
+
+    #[test]
+    fn qutrit_control_block_structure() {
+        let cg = control(&rx(), 3);
+        assert_eq!(cg.radices(), &[3, 2]);
+        let m = cg.to_matrix::<f64>(&[0.7]).unwrap();
+        // First 4x4 block is identity.
+        for i in 0..4 {
+            for j in 0..4 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((m.get(i, j).re - expect).abs() < 1e-15);
+            }
+        }
+        assert!(m.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn trace_of_rz_matches_numeric() {
+        let tr = trace(&rz());
+        let (re, im) = tr.eval_with(&["phi".to_string()], &[0.9]);
+        // Tr RZ(φ) = 2 cos(φ/2)
+        assert!((re - 2.0 * (0.45f64).cos()).abs() < 1e-13);
+        assert!(im.abs() < 1e-13);
+    }
+
+    #[test]
+    fn permute_qudits_swaps_cnot_direction() {
+        let cnot =
+            UnitaryExpression::new("CNOT() { [[1,0,0,0],[0,1,0,0],[0,0,0,1],[0,0,1,0]] }").unwrap();
+        let swapped = permute_qudits(&cnot, &[1, 0]).unwrap();
+        let m = swapped.to_matrix::<f64>(&[]).unwrap();
+        // Reverse CNOT: |ab⟩ → |a⊕b, b⟩
+        let mut expect = Matrix::<f64>::zeros(4, 4);
+        for (r, c) in [(0usize, 0usize), (3, 1), (2, 2), (1, 3)] {
+            expect.set(r, c, qudit_tensor::C64::one());
+        }
+        assert!(m.max_elementwise_distance(&expect) < 1e-15);
+        assert!(permute_qudits(&cnot, &[0, 0]).is_err());
+        assert!(permute_qudits(&cnot, &[0]).is_err());
+    }
+
+    #[test]
+    fn transpose_pushdown_equivalence() {
+        // Pushing a transpose into the expression and evaluating equals evaluating then
+        // transposing numerically — the property the fusion pass relies on.
+        let g = rx();
+        let sym = transpose(&g).to_matrix::<f64>(&[1.0]).unwrap();
+        let num = g.to_matrix::<f64>(&[1.0]).unwrap().transpose();
+        assert!(sym.max_elementwise_distance(&num) < 1e-15);
+    }
+}

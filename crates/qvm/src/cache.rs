@@ -1,0 +1,170 @@
+//! The expression cache.
+//!
+//! JIT compilation of a single QGL expression is orders of magnitude slower than a single
+//! numerical evaluation of the resulting circuit, so the paper amortizes it with an
+//! `ExpressionCache` attached to each circuit and managed as shared state: each unique
+//! QGL expression is compiled only once per process, and subsequent TNVM initializations
+//! retrieve the pre-compiled artifact via a fast lookup (Sec. IV-B).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+use qudit_qgl::UnitaryExpression;
+
+use crate::compile::{CompileOptions, CompiledExpression, DiffMode};
+
+/// A thread-safe cache of compiled expressions, keyed by the expression's canonical text
+/// and the requested differentiation mode.
+#[derive(Debug, Default, Clone)]
+pub struct ExpressionCache {
+    inner: Arc<Mutex<CacheInner>>,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    compiled: HashMap<(String, bool), Arc<CompiledExpression>>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Cache statistics, exposed for the construction benchmark and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of lookups satisfied from the cache.
+    pub hits: u64,
+    /// Number of lookups that had to compile.
+    pub misses: u64,
+    /// Number of distinct compiled artifacts currently stored.
+    pub entries: usize,
+}
+
+impl ExpressionCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the compiled form of `expr`, compiling it (and caching the result) if
+    /// this is the first time the expression is seen with this differentiation mode.
+    pub fn get_or_compile(
+        &self,
+        expr: &UnitaryExpression,
+        options: &CompileOptions,
+    ) -> Arc<CompiledExpression> {
+        let key = (expr.canonical_key(), options.diff_mode == DiffMode::Gradient);
+        // Fast path: shared lock-and-lookup.
+        {
+            let mut inner = self.inner.lock();
+            if let Some(found) = inner.compiled.get(&key) {
+                let found = Arc::clone(found);
+                inner.hits += 1;
+                return found;
+            }
+            inner.misses += 1;
+        }
+        // Compile outside the lock (compilation may take milliseconds).
+        let compiled = Arc::new(CompiledExpression::compile(expr, options));
+        let mut inner = self.inner.lock();
+        Arc::clone(inner.compiled.entry(key).or_insert(compiled))
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock();
+        CacheStats { hits: inner.hits, misses: inner.misses, entries: inner.compiled.len() }
+    }
+
+    /// Removes every cached artifact (used by benchmarks that need cold-cache numbers).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.compiled.clear();
+        inner.hits = 0;
+        inner.misses = 0;
+    }
+}
+
+/// Returns a process-wide shared cache. Circuits created without an explicit cache share
+/// this one, which mirrors the paper's "managed as shared state" design.
+pub fn global_cache() -> ExpressionCache {
+    static GLOBAL: std::sync::OnceLock<ExpressionCache> = std::sync::OnceLock::new();
+    GLOBAL.get_or_init(ExpressionCache::new).clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rx() -> UnitaryExpression {
+        UnitaryExpression::new(
+            "RX(t) { [[cos(t/2), ~i*sin(t/2)], [~i*sin(t/2), cos(t/2)]] }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn second_lookup_hits_cache() {
+        let cache = ExpressionCache::new();
+        let a = cache.get_or_compile(&rx(), &CompileOptions::default());
+        let b = cache.get_or_compile(&rx(), &CompileOptions::default());
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn gradient_mode_is_a_distinct_entry() {
+        let cache = ExpressionCache::new();
+        let _ = cache.get_or_compile(&rx(), &CompileOptions::default());
+        let _ = cache.get_or_compile(&rx(), &CompileOptions::with_gradient());
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn different_gates_are_different_entries() {
+        let cache = ExpressionCache::new();
+        let rz = UnitaryExpression::new("RZ(t) { [[e^(~i*t/2), 0], [0, e^(i*t/2)]] }").unwrap();
+        let _ = cache.get_or_compile(&rx(), &CompileOptions::default());
+        let _ = cache.get_or_compile(&rz, &CompileOptions::default());
+        assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let cache = ExpressionCache::new();
+        let _ = cache.get_or_compile(&rx(), &CompileOptions::default());
+        cache.clear();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 0, 0));
+    }
+
+    #[test]
+    fn cache_is_cloneable_shared_state() {
+        let cache = ExpressionCache::new();
+        let clone = cache.clone();
+        let _ = cache.get_or_compile(&rx(), &CompileOptions::default());
+        // The clone sees the entry because the state is shared.
+        assert_eq!(clone.stats().entries, 1);
+        let _ = clone.get_or_compile(&rx(), &CompileOptions::default());
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn global_cache_is_shared() {
+        let a = global_cache();
+        let b = global_cache();
+        let before = a.stats().entries;
+        let _ = a.get_or_compile(&rx(), &CompileOptions::default());
+        assert!(b.stats().entries >= before);
+    }
+
+    #[test]
+    fn cache_is_send_sync() {
+        fn assert_ss<T: Send + Sync>() {}
+        assert_ss::<ExpressionCache>();
+    }
+}

@@ -1,0 +1,478 @@
+//! Complex scalar arithmetic generic over the floating-point precision.
+//!
+//! The TNVM in the paper is generic over `f32`/`f64` (Sec. VI-C); the [`Float`] trait
+//! is the abstraction that makes that genericity possible throughout this workspace.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Real scalar types usable as the precision parameter of the numerical pipeline.
+///
+/// Implemented for `f32` and `f64`. This trait is sealed in spirit: downstream crates
+/// are not expected to implement it, but it is left open so tests can use wrappers.
+pub trait Float:
+    Copy
+    + Clone
+    + PartialEq
+    + PartialOrd
+    + fmt::Debug
+    + fmt::Display
+    + Default
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Convert from `f64` (used to materialize symbolic constants).
+    fn from_f64(v: f64) -> Self;
+    /// Convert to `f64` (used for reporting and error measurement).
+    fn to_f64(self) -> f64;
+    /// Sine.
+    fn sin(self) -> Self;
+    /// Cosine.
+    fn cos(self) -> Self;
+    /// Tangent.
+    fn tan(self) -> Self;
+    /// Natural exponential.
+    fn exp(self) -> Self;
+    /// Natural logarithm.
+    fn ln(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Raise to a real power.
+    fn powf(self, e: Self) -> Self;
+    /// Two-argument arctangent.
+    fn atan2(self, other: Self) -> Self;
+    /// Machine epsilon for the type.
+    fn epsilon() -> Self;
+    /// The constant π.
+    fn pi() -> Self {
+        Self::from_f64(std::f64::consts::PI)
+    }
+    /// Returns `true` if the value is finite (not NaN or infinite).
+    fn is_finite(self) -> bool;
+    /// Maximum of two values (NaN-propagating is acceptable).
+    fn max(self, other: Self) -> Self {
+        if self > other {
+            self
+        } else {
+            other
+        }
+    }
+    /// Minimum of two values.
+    fn min(self, other: Self) -> Self {
+        if self < other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+macro_rules! impl_float {
+    ($t:ty) => {
+        impl Float for $t {
+            #[inline]
+            fn zero() -> Self {
+                0.0
+            }
+            #[inline]
+            fn one() -> Self {
+                1.0
+            }
+            #[inline]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline]
+            fn sin(self) -> Self {
+                self.sin()
+            }
+            #[inline]
+            fn cos(self) -> Self {
+                self.cos()
+            }
+            #[inline]
+            fn tan(self) -> Self {
+                self.tan()
+            }
+            #[inline]
+            fn exp(self) -> Self {
+                self.exp()
+            }
+            #[inline]
+            fn ln(self) -> Self {
+                self.ln()
+            }
+            #[inline]
+            fn sqrt(self) -> Self {
+                self.sqrt()
+            }
+            #[inline]
+            fn abs(self) -> Self {
+                self.abs()
+            }
+            #[inline]
+            fn powf(self, e: Self) -> Self {
+                self.powf(e)
+            }
+            #[inline]
+            fn atan2(self, other: Self) -> Self {
+                self.atan2(other)
+            }
+            #[inline]
+            fn epsilon() -> Self {
+                <$t>::EPSILON
+            }
+            #[inline]
+            fn is_finite(self) -> bool {
+                self.is_finite()
+            }
+        }
+    };
+}
+
+impl_float!(f32);
+impl_float!(f64);
+
+/// A complex number `re + i·im` over the real scalar type `T`.
+///
+/// # Example
+///
+/// ```
+/// use qudit_tensor::Complex;
+/// let a = Complex::new(1.0_f64, 2.0);
+/// let b = Complex::new(3.0, -1.0);
+/// assert_eq!(a * b, Complex::new(5.0, 5.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex<T> {
+    /// Real part.
+    pub re: T,
+    /// Imaginary part.
+    pub im: T,
+}
+
+/// Single-precision complex number.
+pub type C32 = Complex<f32>;
+/// Double-precision complex number.
+pub type C64 = Complex<f64>;
+
+impl<T: Float> Complex<T> {
+    /// Creates a complex number from its real and imaginary parts.
+    #[inline]
+    pub fn new(re: T, im: T) -> Self {
+        Complex { re, im }
+    }
+
+    /// The additive identity `0 + 0i`.
+    #[inline]
+    pub fn zero() -> Self {
+        Complex { re: T::zero(), im: T::zero() }
+    }
+
+    /// The multiplicative identity `1 + 0i`.
+    #[inline]
+    pub fn one() -> Self {
+        Complex { re: T::one(), im: T::zero() }
+    }
+
+    /// The imaginary unit `0 + 1i`.
+    #[inline]
+    pub fn i() -> Self {
+        Complex { re: T::zero(), im: T::one() }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub fn from_real(re: T) -> Self {
+        Complex { re, im: T::zero() }
+    }
+
+    /// Creates a complex number from `f64` parts, converting to the target precision.
+    #[inline]
+    pub fn from_f64(re: f64, im: f64) -> Self {
+        Complex { re: T::from_f64(re), im: T::from_f64(im) }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude `re² + im²`.
+    #[inline]
+    pub fn norm_sqr(self) -> T {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `sqrt(re² + im²)`.
+    #[inline]
+    pub fn abs(self) -> T {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in radians.
+    #[inline]
+    pub fn arg(self) -> T {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// Returns non-finite components when `self` is zero.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Complex { re: self.re / d, im: -self.im / d }
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, s: T) -> Self {
+        Complex { re: self.re * s, im: self.im * s }
+    }
+
+    /// Complex exponential `e^self`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        Complex { re: r * self.im.cos(), im: r * self.im.sin() }
+    }
+
+    /// `e^{iθ} = cos θ + i sin θ` for a real angle θ.
+    #[inline]
+    pub fn cis(theta: T) -> Self {
+        Complex { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Converts the components to `f64` precision.
+    #[inline]
+    pub fn to_c64(self) -> Complex<f64> {
+        Complex { re: self.re.to_f64(), im: self.im.to_f64() }
+    }
+
+    /// Distance to another complex number.
+    #[inline]
+    pub fn dist(self, other: Self) -> T {
+        (self - other).abs()
+    }
+
+    /// Returns `true` if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Fused multiply-add: `self * b + c`.
+    #[inline]
+    pub fn mul_add(self, b: Self, c: Self) -> Self {
+        self * b + c
+    }
+}
+
+impl<T: Float> Add for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl<T: Float> Sub for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl<T: Float> Mul for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl<T: Float> Div for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.recip()
+    }
+}
+
+impl<T: Float> Neg for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Complex { re: -self.re, im: -self.im }
+    }
+}
+
+impl<T: Float> AddAssign for Complex<T> {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl<T: Float> SubAssign for Complex<T> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl<T: Float> MulAssign for Complex<T> {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<T: Float> Mul<T> for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: T) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl<T: Float> Sum for Complex<T> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Complex::zero(), |a, b| a + b)
+    }
+}
+
+impl<T: Float> From<T> for Complex<T> {
+    fn from(re: T) -> Self {
+        Complex::from_real(re)
+    }
+}
+
+impl<T: Float> fmt::Display for Complex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= T::zero() {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: C64, b: C64) -> bool {
+        a.dist(b) < 1e-12
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = C64::new(1.5, -2.0);
+        assert_eq!(a + C64::zero(), a);
+        assert_eq!(a * C64::one(), a);
+        assert!(close(a * a.recip(), C64::one()));
+        assert_eq!(-(-a), a);
+        assert_eq!(a - a, C64::zero());
+    }
+
+    #[test]
+    fn multiplication_matches_formula() {
+        let a = C64::new(2.0, 3.0);
+        let b = C64::new(-1.0, 4.0);
+        assert_eq!(a * b, C64::new(-14.0, 5.0));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = C64::new(0.3, -0.7);
+        let b = C64::new(2.0, 1.0);
+        assert!(close((a * b) / b, a));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(C64::i() * C64::i(), C64::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let a = C64::new(3.0, 4.0);
+        assert_eq!(a.conj(), C64::new(3.0, -4.0));
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+        assert!(close(a * a.conj(), C64::from_real(25.0)));
+    }
+
+    #[test]
+    fn euler_identity() {
+        let e_ipi = C64::cis(std::f64::consts::PI);
+        assert!(close(e_ipi, C64::new(-1.0, 0.0)));
+        let e = C64::new(0.0, std::f64::consts::FRAC_PI_2).exp();
+        assert!(close(e, C64::i()));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(C64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(C64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn f32_precision_roundtrip() {
+        let a = C32::from_f64(0.5, -0.25);
+        assert_eq!(a.to_c64(), C64::new(0.5, -0.25));
+    }
+
+    #[test]
+    fn sum_of_iterator() {
+        let total: C64 = (0..4).map(|k| C64::new(k as f64, 1.0)).sum();
+        assert_eq!(total, C64::new(6.0, 4.0));
+    }
+
+    #[test]
+    fn float_trait_consts() {
+        assert_eq!(<f64 as Float>::pi(), std::f64::consts::PI);
+        assert_eq!(<f64 as Float>::one(), 1.0);
+        assert!(<f64 as Float>::epsilon() > 0.0);
+        assert_eq!(2.0f64.max(3.0), 3.0);
+        assert_eq!(Float::min(2.0f64, 3.0), 2.0);
+    }
+
+    #[test]
+    fn arg_and_cis_roundtrip() {
+        let theta = 0.73;
+        let z = C64::cis(theta);
+        assert!((z.arg() - theta).abs() < 1e-12);
+        assert!((z.abs() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,157 @@
+//! Kronecker-product kernels.
+//!
+//! The KRON bytecode instruction of the TNVM (Table II in the paper) combines the
+//! tensors of gates acting on disjoint qudits into a single larger tensor. These kernels
+//! operate directly on flat row-major buffers so the virtual machine can run them against
+//! its pre-allocated arena without constructing intermediate `Matrix` values.
+
+use crate::complex::{Complex, Float};
+
+/// Computes `out = a ⊗ b` where `a` is `ar×ac`, `b` is `br×bc`, and `out` is
+/// `(ar·br)×(ac·bc)`, all row-major.
+///
+/// # Panics
+///
+/// Panics if any buffer is smaller than its stated dimensions imply.
+pub fn kron_into<T: Float>(
+    a: &[Complex<T>],
+    ar: usize,
+    ac: usize,
+    b: &[Complex<T>],
+    br: usize,
+    bc: usize,
+    out: &mut [Complex<T>],
+) {
+    assert!(a.len() >= ar * ac, "kron lhs buffer too small");
+    assert!(b.len() >= br * bc, "kron rhs buffer too small");
+    let (or, oc) = (ar * br, ac * bc);
+    assert!(out.len() >= or * oc, "kron output buffer too small");
+    for i in 0..ar {
+        for j in 0..ac {
+            let a_ij = a[i * ac + j];
+            let row0 = i * br;
+            let col0 = j * bc;
+            if a_ij.re == T::zero() && a_ij.im == T::zero() {
+                for p in 0..br {
+                    let orow = (row0 + p) * oc + col0;
+                    for q in 0..bc {
+                        out[orow + q] = Complex::zero();
+                    }
+                }
+                continue;
+            }
+            for p in 0..br {
+                let brow = p * bc;
+                let orow = (row0 + p) * oc + col0;
+                for q in 0..bc {
+                    out[orow + q] = a_ij * b[brow + q];
+                }
+            }
+        }
+    }
+}
+
+/// Accumulating Kronecker product `out += a ⊗ b`.
+///
+/// Used by the product-rule expansion of KRON under forward-mode differentiation.
+pub fn kron_acc_into<T: Float>(
+    a: &[Complex<T>],
+    ar: usize,
+    ac: usize,
+    b: &[Complex<T>],
+    br: usize,
+    bc: usize,
+    out: &mut [Complex<T>],
+) {
+    assert!(a.len() >= ar * ac, "kron lhs buffer too small");
+    assert!(b.len() >= br * bc, "kron rhs buffer too small");
+    let (or, oc) = (ar * br, ac * bc);
+    assert!(out.len() >= or * oc, "kron output buffer too small");
+    for i in 0..ar {
+        for j in 0..ac {
+            let a_ij = a[i * ac + j];
+            if a_ij.re == T::zero() && a_ij.im == T::zero() {
+                continue;
+            }
+            let row0 = i * br;
+            let col0 = j * bc;
+            for p in 0..br {
+                let brow = p * bc;
+                let orow = (row0 + p) * oc + col0;
+                for q in 0..bc {
+                    out[orow + q] += a_ij * b[brow + q];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Matrix, C64};
+
+    #[test]
+    fn kron_identity_with_x() {
+        let id = Matrix::<f64>::identity(2);
+        let x = Matrix::from_rows(&[
+            vec![C64::zero(), C64::one()],
+            vec![C64::one(), C64::zero()],
+        ]);
+        let k = id.kron(&x);
+        // Expected block-diagonal [[X, 0], [0, X]].
+        for (r, c, v) in k.iter() {
+            let expect = if (r / 2 == c / 2) && (r % 2 != c % 2) { C64::one() } else { C64::zero() };
+            assert_eq!(v, expect, "element ({r},{c})");
+        }
+    }
+
+    #[test]
+    fn kron_dimensions_multiply() {
+        let a = Matrix::<f64>::zeros(2, 3);
+        let b = Matrix::<f64>::zeros(4, 5);
+        let k = a.kron(&b);
+        assert_eq!((k.rows(), k.cols()), (8, 15));
+    }
+
+    #[test]
+    fn kron_mixed_radix() {
+        // Qubit ⊗ qutrit identity = 6-dimensional identity.
+        let q2 = Matrix::<f64>::identity(2);
+        let q3 = Matrix::<f64>::identity(3);
+        assert!(q2.kron(&q3).is_identity(0.0));
+    }
+
+    #[test]
+    fn kron_scalar_structure() {
+        let a = Matrix::from_rows(&[vec![C64::new(2.0, 0.0)]]);
+        let b = Matrix::from_rows(&[
+            vec![C64::new(1.0, 1.0), C64::zero()],
+            vec![C64::zero(), C64::new(0.0, -1.0)],
+        ]);
+        let k = a.kron(&b);
+        assert_eq!(k.get(0, 0), C64::new(2.0, 2.0));
+        assert_eq!(k.get(1, 1), C64::new(0.0, -2.0));
+    }
+
+    #[test]
+    fn kron_mixed_product_property() {
+        // (A ⊗ B)(C ⊗ D) = (AC) ⊗ (BD)
+        let a = Matrix::from_fn(2, 2, |r, c| C64::new((r + 2 * c) as f64, 1.0));
+        let b = Matrix::from_fn(3, 3, |r, c| C64::new(r as f64, c as f64));
+        let c = Matrix::from_fn(2, 2, |r, c| C64::new((r * c) as f64, -1.0));
+        let d = Matrix::from_fn(3, 3, |r, c| C64::new((r + c) as f64, 0.5));
+        let lhs = a.kron(&b).matmul(&c.kron(&d));
+        let rhs = a.matmul(&c).kron(&b.matmul(&d));
+        assert!(lhs.max_elementwise_distance(&rhs) < 1e-10);
+    }
+
+    #[test]
+    fn kron_acc_adds() {
+        let a = [C64::one(); 1];
+        let b = [C64::one(); 1];
+        let mut out = [C64::new(3.0, 0.0)];
+        kron_acc_into(&a, 1, 1, &b, 1, 1, &mut out);
+        assert_eq!(out[0], C64::new(4.0, 0.0));
+    }
+}

@@ -1,0 +1,199 @@
+//! Index-permutation kernels (the "transpose" half of the TTGT contraction strategy).
+//!
+//! The TNVM's `TRANSPOSE` instruction (Table II in the paper) fuses three operations:
+//! reshape a matrix buffer into a multi-index tensor, permute the indices, and reshape
+//! back into a matrix. Because the data is stored contiguously in row-major order, the
+//! reshape steps are free; only the permutation moves data. This module provides that
+//! data movement over flat buffers.
+
+use crate::complex::{Complex, Float};
+
+/// Computes row-major strides for `shape`.
+pub fn strides_for(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * shape[i + 1];
+    }
+    strides
+}
+
+/// Returns `true` if `perm` is a permutation of `0..rank`.
+pub fn is_permutation(perm: &[usize], rank: usize) -> bool {
+    if perm.len() != rank {
+        return false;
+    }
+    let mut seen = vec![false; rank];
+    for &p in perm {
+        if p >= rank || seen[p] {
+            return false;
+        }
+        seen[p] = true;
+    }
+    true
+}
+
+/// Permutes the axes of a row-major tensor stored in `src` with the given `shape`,
+/// writing the result (also row-major, with shape `perm.map(|p| shape[p])`) into `dst`.
+///
+/// # Panics
+///
+/// Panics if `perm` is not a valid permutation of the axes, or if the buffers are too
+/// small for `shape`.
+pub fn permute_into<T: Float>(
+    src: &[Complex<T>],
+    shape: &[usize],
+    perm: &[usize],
+    dst: &mut [Complex<T>],
+) {
+    let rank = shape.len();
+    assert!(is_permutation(perm, rank), "invalid permutation {perm:?} for rank {rank}");
+    let total: usize = shape.iter().product();
+    assert!(src.len() >= total, "permute source buffer too small");
+    assert!(dst.len() >= total, "permute destination buffer too small");
+
+    if total == 0 {
+        return;
+    }
+
+    // Identity permutation: straight copy.
+    if perm.iter().enumerate().all(|(i, &p)| i == p) {
+        dst[..total].copy_from_slice(&src[..total]);
+        return;
+    }
+
+    let src_strides = strides_for(shape);
+    let out_shape: Vec<usize> = perm.iter().map(|&p| shape[p]).collect();
+    let out_strides = strides_for(&out_shape);
+
+    // For each output axis, the stride to advance in the source buffer.
+    let src_stride_for_out: Vec<usize> = perm.iter().map(|&p| src_strides[p]).collect();
+
+    // Odometer walk over the output index space.
+    let mut idx = vec![0usize; rank];
+    let mut src_off = 0usize;
+    for dst_off in 0..total {
+        dst[dst_off] = src[src_off];
+        // Increment the odometer (last axis fastest, matching row-major dst_off order).
+        for axis in (0..rank).rev() {
+            idx[axis] += 1;
+            src_off += src_stride_for_out[axis];
+            if idx[axis] < out_shape[axis] {
+                break;
+            }
+            src_off -= src_stride_for_out[axis] * out_shape[axis];
+            idx[axis] = 0;
+        }
+        let _ = out_strides; // strides kept for documentation symmetry
+    }
+}
+
+/// Convenience wrapper allocating the destination buffer.
+pub fn permute<T: Float>(src: &[Complex<T>], shape: &[usize], perm: &[usize]) -> Vec<Complex<T>> {
+    let total: usize = shape.iter().product();
+    let mut dst = vec![Complex::zero(); total];
+    permute_into(src, shape, perm, &mut dst);
+    dst
+}
+
+/// Plain 2-D matrix transpose over flat buffers: `dst[c][r] = src[r][c]`.
+pub fn transpose_into<T: Float>(
+    src: &[Complex<T>],
+    rows: usize,
+    cols: usize,
+    dst: &mut [Complex<T>],
+) {
+    permute_into(src, &[rows, cols], &[1, 0], dst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::C64;
+
+    fn seq(n: usize) -> Vec<C64> {
+        (0..n).map(|i| C64::new(i as f64, 0.0)).collect()
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(strides_for(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides_for(&[5]), vec![1]);
+        assert_eq!(strides_for(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn permutation_validation() {
+        assert!(is_permutation(&[2, 0, 1], 3));
+        assert!(!is_permutation(&[0, 0], 2));
+        assert!(!is_permutation(&[0, 2], 2));
+        assert!(!is_permutation(&[0], 2));
+    }
+
+    #[test]
+    fn transpose_2x3() {
+        let src = seq(6); // [[0,1,2],[3,4,5]]
+        let mut dst = vec![C64::zero(); 6];
+        transpose_into(&src, 2, 3, &mut dst);
+        let expected: Vec<f64> = vec![0.0, 3.0, 1.0, 4.0, 2.0, 5.0];
+        for (d, e) in dst.iter().zip(expected) {
+            assert_eq!(d.re, e);
+        }
+    }
+
+    #[test]
+    fn identity_permutation_is_copy() {
+        let src = seq(24);
+        let out = permute(&src, &[2, 3, 4], &[0, 1, 2]);
+        assert_eq!(out, src);
+    }
+
+    #[test]
+    fn rank3_permutation() {
+        // shape [2,3,4], permute to [4,2,3] via perm [2,0,1]
+        let src = seq(24);
+        let out = permute(&src, &[2, 3, 4], &[2, 0, 1]);
+        // out[k][i][j] = src[i][j][k]
+        let src_at = |i: usize, j: usize, k: usize| src[i * 12 + j * 4 + k];
+        for k in 0..4 {
+            for i in 0..2 {
+                for j in 0..3 {
+                    assert_eq!(out[k * 6 + i * 3 + j], src_at(i, j, k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn double_permutation_roundtrips() {
+        let src = seq(2 * 3 * 5);
+        let perm = [1, 2, 0];
+        let once = permute(&src, &[2, 3, 5], &perm);
+        // Inverse of [1,2,0] is [2,0,1].
+        let back = permute(&once, &[3, 5, 2], &[2, 0, 1]);
+        assert_eq!(back, src);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid permutation")]
+    fn invalid_permutation_panics() {
+        let src = seq(4);
+        let mut dst = vec![C64::zero(); 4];
+        permute_into(&src, &[2, 2], &[0, 0], &mut dst);
+    }
+
+    #[test]
+    fn swap_qubit_wires_of_unitary() {
+        // Permuting tensor indices [out0,out1,in0,in1] with the wire swap
+        // [1,0,3,2] on a CNOT(control=0) yields CNOT(control=1).
+        let mut cnot = vec![C64::zero(); 16];
+        for (r, c) in [(0usize, 0usize), (1, 1), (2, 3), (3, 2)] {
+            cnot[r * 4 + c] = C64::one();
+        }
+        let swapped = permute(&cnot, &[2, 2, 2, 2], &[1, 0, 3, 2]);
+        let mut expected = vec![C64::zero(); 16];
+        for (r, c) in [(0usize, 0usize), (2, 2), (1, 3), (3, 1)] {
+            expected[r * 4 + c] = C64::one();
+        }
+        assert_eq!(swapped, expected);
+    }
+}

@@ -1,0 +1,417 @@
+//! Dense complex tensors of arbitrary rank.
+//!
+//! In the tensor-network lowering of a circuit (Sec. IV-A of the paper) every gate
+//! becomes a tensor whose rank is twice its arity and whose index cardinalities are the
+//! qudit radices on its wires. [`Tensor`] carries the shape metadata needed to reshape,
+//! permute, and contract those objects, while the heavy data movement is delegated to
+//! the flat-buffer kernels in [`crate::gemm`], [`crate::kron`], and [`crate::permute`].
+
+use crate::complex::{Complex, Float};
+use crate::matrix::Matrix;
+use crate::{gemm, permute, Result, TensorError};
+
+/// A dense, row-major complex tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor<T> {
+    shape: Vec<usize>,
+    data: Vec<Complex<T>>,
+}
+
+impl<T: Float> Tensor<T> {
+    /// Creates a zero tensor with the given shape.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        let n: usize = shape.iter().product();
+        Tensor { shape, data: vec![Complex::zero(); n] }
+    }
+
+    /// Creates a tensor from a shape and a row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidReshape`] if the element counts disagree.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<Complex<T>>) -> Result<Self> {
+        let n: usize = shape.iter().product();
+        if n != data.len() {
+            return Err(TensorError::InvalidReshape { from: data.len(), to: n });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Converts a matrix into a rank-2 tensor.
+    pub fn from_matrix(m: Matrix<T>) -> Self {
+        let shape = vec![m.rows(), m.cols()];
+        Tensor { shape, data: m.into_vec() }
+    }
+
+    /// The tensor's shape.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The tensor's rank (number of indices).
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the tensor holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the flat buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex<T>] {
+        &self.data
+    }
+
+    /// Mutable view of the flat buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [Complex<T>] {
+        &mut self.data
+    }
+
+    /// Element accessor by multi-index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if the index is invalid.
+    pub fn get(&self, index: &[usize]) -> Result<Complex<T>> {
+        let off = self.offset(index)?;
+        Ok(self.data[off])
+    }
+
+    /// Element mutator by multi-index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if the index is invalid.
+    pub fn set(&mut self, index: &[usize], v: Complex<T>) -> Result<()> {
+        let off = self.offset(index)?;
+        self.data[off] = v;
+        Ok(())
+    }
+
+    fn offset(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.shape.len()
+            || index.iter().zip(self.shape.iter()).any(|(i, s)| i >= s)
+        {
+            return Err(TensorError::IndexOutOfBounds {
+                index: index.to_vec(),
+                shape: self.shape.clone(),
+            });
+        }
+        let strides = permute::strides_for(&self.shape);
+        Ok(index.iter().zip(strides.iter()).map(|(i, s)| i * s).sum())
+    }
+
+    /// Reinterprets the tensor with a new shape (no data movement).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidReshape`] if the element counts disagree.
+    pub fn reshape(mut self, shape: Vec<usize>) -> Result<Self> {
+        let n: usize = shape.iter().product();
+        if n != self.data.len() {
+            return Err(TensorError::InvalidReshape { from: self.data.len(), to: n });
+        }
+        self.shape = shape;
+        Ok(self)
+    }
+
+    /// Permutes the tensor's indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidPermutation`] if `perm` is not a permutation of the
+    /// axes.
+    pub fn permute(&self, perm: &[usize]) -> Result<Self> {
+        if !permute::is_permutation(perm, self.rank()) {
+            return Err(TensorError::InvalidPermutation {
+                perm: perm.to_vec(),
+                rank: self.rank(),
+            });
+        }
+        let data = permute::permute(&self.data, &self.shape, perm);
+        let shape = perm.iter().map(|&p| self.shape[p]).collect();
+        Ok(Tensor { shape, data })
+    }
+
+    /// Views the tensor as a matrix by splitting its axes at `split`: the first `split`
+    /// axes become rows, the remainder become columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidReshape`] if `split > rank`.
+    pub fn to_matrix(&self, split: usize) -> Result<Matrix<T>> {
+        if split > self.rank() {
+            return Err(TensorError::InvalidReshape { from: self.rank(), to: split });
+        }
+        let rows: usize = self.shape[..split].iter().product();
+        let cols: usize = self.shape[split..].iter().product();
+        Matrix::from_vec(rows, cols, self.data.clone())
+    }
+
+    /// Contracts `self` with `other` over the given index pairs using the
+    /// transpose–transpose–GEMM–transpose (TTGT) strategy described in the paper.
+    ///
+    /// `pairs` lists `(axis_in_self, axis_in_other)` index pairs to sum over. The result
+    /// keeps the uncontracted axes of `self` (in order) followed by the uncontracted
+    /// axes of `other` (in order).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if an axis is repeated, out of range, or the paired
+    /// dimensions disagree.
+    pub fn contract(&self, other: &Tensor<T>, pairs: &[(usize, usize)]) -> Result<Tensor<T>> {
+        // Validate.
+        let mut self_contracted = vec![false; self.rank()];
+        let mut other_contracted = vec![false; other.rank()];
+        for &(a, b) in pairs {
+            if a >= self.rank() || b >= other.rank() || self_contracted[a] || other_contracted[b] {
+                return Err(TensorError::InvalidPermutation {
+                    perm: pairs.iter().map(|p| p.0).collect(),
+                    rank: self.rank(),
+                });
+            }
+            if self.shape[a] != other.shape[b] {
+                return Err(TensorError::ShapeMismatch {
+                    op: "contract",
+                    lhs: self.shape.clone(),
+                    rhs: other.shape.clone(),
+                });
+            }
+            self_contracted[a] = true;
+            other_contracted[b] = true;
+        }
+
+        let self_free: Vec<usize> =
+            (0..self.rank()).filter(|&i| !self_contracted[i]).collect();
+        let other_free: Vec<usize> =
+            (0..other.rank()).filter(|&i| !other_contracted[i]).collect();
+
+        // T1: permute self so free axes come first, contracted last (in pair order).
+        let mut self_perm = self_free.clone();
+        self_perm.extend(pairs.iter().map(|p| p.0));
+        let a = self.permute(&self_perm)?;
+
+        // T2: permute other so contracted axes come first (in pair order), free last.
+        let mut other_perm: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+        other_perm.extend(other_free.iter().copied());
+        let b = other.permute(&other_perm)?;
+
+        let m: usize = self_free.iter().map(|&i| self.shape[i]).product();
+        let k: usize = pairs.iter().map(|&(i, _)| self.shape[i]).product();
+        let n: usize = other_free.iter().map(|&i| other.shape[i]).product();
+
+        // GEMM.
+        let mut out = vec![Complex::zero(); m * n];
+        gemm::matmul_into(a.as_slice(), m, k, b.as_slice(), n, &mut out);
+
+        // Final shape: free(self) ++ free(other). No trailing transpose is required
+        // because we chose the output ordering up front (the "T" of TTGT is folded in).
+        let mut shape: Vec<usize> = self_free.iter().map(|&i| self.shape[i]).collect();
+        shape.extend(other_free.iter().map(|&i| other.shape[i]));
+        if shape.is_empty() {
+            shape.push(1);
+        }
+        Tensor::from_vec(shape, out)
+    }
+
+    /// Partial trace over a pair of axes of equal dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if the axes coincide, are out of range, or have
+    /// different dimensions.
+    pub fn trace_axes(&self, ax0: usize, ax1: usize) -> Result<Tensor<T>> {
+        if ax0 == ax1 || ax0 >= self.rank() || ax1 >= self.rank() {
+            return Err(TensorError::InvalidPermutation {
+                perm: vec![ax0, ax1],
+                rank: self.rank(),
+            });
+        }
+        if self.shape[ax0] != self.shape[ax1] {
+            return Err(TensorError::ShapeMismatch {
+                op: "trace",
+                lhs: vec![self.shape[ax0]],
+                rhs: vec![self.shape[ax1]],
+            });
+        }
+        let keep: Vec<usize> = (0..self.rank()).filter(|&i| i != ax0 && i != ax1).collect();
+        let out_shape: Vec<usize> = if keep.is_empty() {
+            vec![1]
+        } else {
+            keep.iter().map(|&i| self.shape[i]).collect()
+        };
+        let mut out = Tensor::zeros(out_shape);
+        let strides = permute::strides_for(&self.shape);
+        let d = self.shape[ax0];
+        let out_len = out.data.len();
+        // Iterate over the kept index space.
+        let keep_shape: Vec<usize> = keep.iter().map(|&i| self.shape[i]).collect();
+        let mut idx = vec![0usize; keep.len()];
+        for flat in 0..out_len {
+            let mut base = 0usize;
+            for (pos, &axis) in keep.iter().enumerate() {
+                base += idx[pos] * strides[axis];
+            }
+            let mut acc = Complex::zero();
+            for t in 0..d {
+                acc += self.data[base + t * strides[ax0] + t * strides[ax1]];
+            }
+            out.data[flat] = acc;
+            // advance odometer
+            for pos in (0..keep.len()).rev() {
+                idx[pos] += 1;
+                if idx[pos] < keep_shape[pos] {
+                    break;
+                }
+                idx[pos] = 0;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::C64;
+
+    fn mat(rows: &[Vec<(f64, f64)>]) -> Matrix<f64> {
+        Matrix::from_rows(
+            &rows
+                .iter()
+                .map(|r| r.iter().map(|&(re, im)| C64::new(re, im)).collect())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn roundtrip_matrix_tensor() {
+        let m = mat(&[vec![(1.0, 0.0), (2.0, 1.0)], vec![(3.0, -1.0), (4.0, 0.0)]]);
+        let t = Tensor::from_matrix(m.clone());
+        assert_eq!(t.rank(), 2);
+        assert_eq!(t.to_matrix(1).unwrap(), m);
+    }
+
+    #[test]
+    fn reshape_checks_counts() {
+        let t = Tensor::<f64>::zeros(vec![2, 3]);
+        assert!(t.clone().reshape(vec![3, 2]).is_ok());
+        assert!(t.reshape(vec![4, 2]).is_err());
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tensor::<f64>::zeros(vec![2, 2, 2]);
+        t.set(&[1, 0, 1], C64::new(5.0, -1.0)).unwrap();
+        assert_eq!(t.get(&[1, 0, 1]).unwrap(), C64::new(5.0, -1.0));
+        assert!(t.get(&[2, 0, 0]).is_err());
+        assert!(t.get(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn contraction_is_matrix_product() {
+        let a = mat(&[vec![(1.0, 0.0), (2.0, 0.0)], vec![(3.0, 0.0), (4.0, 0.0)]]);
+        let b = mat(&[vec![(0.0, 1.0), (1.0, 0.0)], vec![(1.0, 0.0), (0.0, -1.0)]]);
+        let ta = Tensor::from_matrix(a.clone());
+        let tb = Tensor::from_matrix(b.clone());
+        // Contract a's column index with b's row index.
+        let c = ta.contract(&tb, &[(1, 0)]).unwrap();
+        let expected = a.matmul(&b);
+        assert_eq!(c.to_matrix(1).unwrap(), expected);
+    }
+
+    #[test]
+    fn contraction_full_inner_product() {
+        let a = Tensor::from_vec(vec![2, 2], vec![C64::one(), C64::zero(), C64::zero(), C64::one()])
+            .unwrap();
+        let b = a.clone();
+        let c = a.contract(&b, &[(0, 0), (1, 1)]).unwrap();
+        assert_eq!(c.shape(), &[1]);
+        assert_eq!(c.as_slice()[0], C64::new(2.0, 0.0));
+    }
+
+    #[test]
+    fn contraction_rejects_mismatched_dims() {
+        let a = Tensor::<f64>::zeros(vec![2, 3]);
+        let b = Tensor::<f64>::zeros(vec![4, 2]);
+        assert!(a.contract(&b, &[(1, 0)]).is_err());
+        assert!(a.contract(&b, &[(5, 0)]).is_err());
+    }
+
+    #[test]
+    fn rank4_gate_contraction_matches_kron_matmul() {
+        // Two 1-qubit gates on different wires contracted with a 2-qubit gate
+        // reproduce (A ⊗ B) composed with the 2-qubit unitary.
+        let x = mat(&[vec![(0.0, 0.0), (1.0, 0.0)], vec![(1.0, 0.0), (0.0, 0.0)]]);
+        let h = {
+            let s = 1.0 / 2.0_f64.sqrt();
+            mat(&[vec![(s, 0.0), (s, 0.0)], vec![(s, 0.0), (-s, 0.0)]])
+        };
+        let mut cnot = Matrix::<f64>::zeros(4, 4);
+        for (r, c) in [(0usize, 0usize), (1, 1), (2, 3), (3, 2)] {
+            cnot.set(r, c, C64::one());
+        }
+        // Tensor forms: 1-qubit gates rank 2 [out,in]; CNOT rank 4 [o0,o1,i0,i1].
+        let tx = Tensor::from_matrix(x.clone());
+        let th = Tensor::from_matrix(h.clone());
+        let tc = Tensor::from_matrix(cnot.clone()).reshape(vec![2, 2, 2, 2]).unwrap();
+        // circuit: first (X on q0) ⊗ (H on q1), then CNOT.
+        // CNOT input indices contract with single-qubit gate output indices.
+        let step = tc.contract(&tx, &[(2, 0)]).unwrap(); // [o0,o1,i1, x_in]
+        let full = step.contract(&th, &[(2, 0)]).unwrap(); // [o0,o1,x_in,h_in]
+        let u = full.to_matrix(2).unwrap();
+        let expected = cnot.matmul(&x.kron(&h));
+        assert!(u.max_elementwise_distance(&expected) < 1e-12);
+    }
+
+    #[test]
+    fn permute_validates() {
+        let t = Tensor::<f64>::zeros(vec![2, 3, 4]);
+        assert!(t.permute(&[0, 1]).is_err());
+        assert!(t.permute(&[0, 1, 1]).is_err());
+        let p = t.permute(&[2, 0, 1]).unwrap();
+        assert_eq!(p.shape(), &[4, 2, 3]);
+    }
+
+    #[test]
+    fn trace_axes_of_identity() {
+        let id = Tensor::from_matrix(Matrix::<f64>::identity(3));
+        let tr = id.trace_axes(0, 1).unwrap();
+        assert_eq!(tr.as_slice()[0], C64::new(3.0, 0.0));
+    }
+
+    #[test]
+    fn trace_axes_partial() {
+        // shape [2,3,3]: trace over last two axes leaves shape [2].
+        let mut t = Tensor::<f64>::zeros(vec![2, 3, 3]);
+        for a in 0..2 {
+            for i in 0..3 {
+                t.set(&[a, i, i], C64::from_real((a + 1) as f64)).unwrap();
+            }
+        }
+        let tr = t.trace_axes(1, 2).unwrap();
+        assert_eq!(tr.shape(), &[2]);
+        assert_eq!(tr.as_slice()[0], C64::from_real(3.0));
+        assert_eq!(tr.as_slice()[1], C64::from_real(6.0));
+    }
+
+    #[test]
+    fn trace_axes_rejects_bad_axes() {
+        let t = Tensor::<f64>::zeros(vec![2, 3]);
+        assert!(t.trace_axes(0, 0).is_err());
+        assert!(t.trace_axes(0, 1).is_err()); // dims differ
+        assert!(t.trace_axes(0, 5).is_err());
+    }
+}

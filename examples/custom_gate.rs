@@ -1,0 +1,47 @@
+//! Extensibility demo: define a brand-new qutrit gate in QGL, derive its gradient
+//! automatically, compose it symbolically (controlled version, dagger), and compile it.
+//!
+//! Run with `cargo run --release -p openqudit-examples --bin custom_gate`.
+
+use openqudit::prelude::*;
+use openqudit::qgl::transform;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A custom two-parameter qutrit rotation a domain expert might want to add. In a
+    // traditional framework this needs a class plus a hand-derived gradient (Listing 1 of
+    // the paper); in QGL it is one declaration.
+    let givens = UnitaryExpression::new(
+        "Givens01<3>(theta, phi) {
+            [[cos(theta), ~e^(i*phi)*sin(theta), 0],
+             [e^(~i*phi)*sin(theta), cos(theta), 0],
+             [0, 0, 1]]
+        }",
+    )?;
+    println!("gate: {givens}");
+    println!("unitary at (0.4, 1.2)? {}", givens.check_unitary(&[0.4, 1.2], 1e-12));
+
+    // The analytical gradient comes for free.
+    let grads = givens.gradient_matrices::<f64>(&[0.4, 1.2])?;
+    println!("gradient components: {}", grads.len());
+
+    // Symbolic composition: invert it, control it on a qubit, fuse two of them.
+    let inverse = transform::dagger(&givens);
+    let controlled = transform::control(&givens, 2);
+    let fused = transform::matmul(&givens, &inverse)?;
+    println!("controlled gate acts on radices {:?}", controlled.radices());
+    println!(
+        "G·G† is the identity: {}",
+        fused.to_matrix::<f64>(&[0.4, 1.2])?.is_identity(1e-12)
+    );
+
+    // Compile it (simplification + register program) and compare against the tree walk.
+    let compiled = CompiledExpression::compile(&givens, &CompileOptions::with_gradient());
+    let (unitary, _) = compiled.evaluate_with_gradient::<f64>(&[0.4, 1.2]);
+    let reference = givens.to_matrix::<f64>(&[0.4, 1.2])?;
+    println!(
+        "compiled program: {} instructions, max deviation from tree walk: {:.2e}",
+        compiled.gradient_program().map(|p| p.len()).unwrap_or(0),
+        unitary.max_elementwise_distance(&reference)
+    );
+    Ok(())
+}

@@ -1,0 +1,2 @@
+//! Shared helpers for the runnable examples. The examples themselves are standalone
+//! binaries; see `quickstart.rs` for the recommended starting point.

@@ -1,0 +1,153 @@
+//! End-to-end integration tests spanning the whole pipeline: QGL parsing → symbolic
+//! differentiation → e-graph simplification → expression compilation → tensor-network
+//! lowering → TNVM execution → numerical instantiation, cross-checked against the
+//! baseline engine.
+
+use openqudit::network::{compile_network, TensorNetwork};
+use openqudit::prelude::*;
+
+fn params_for(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 30) as f64) - 2.0
+        })
+        .collect()
+}
+
+#[test]
+fn qgl_definition_to_tnvm_round_trip() {
+    // A gate defined here, from scratch, flows through the whole stack.
+    let gate = UnitaryExpression::new(
+        "Mix(alpha, beta) {
+            [[cos(alpha)*cos(beta), ~sin(alpha), ~cos(alpha)*sin(beta), 0],
+             [sin(alpha)*cos(beta), cos(alpha), ~sin(alpha)*sin(beta), 0],
+             [sin(beta), 0, cos(beta), 0],
+             [0, 0, 0, e^(i*(alpha+beta))]]
+        }",
+    )
+    .unwrap();
+    let mut circuit = QuditCircuit::qubits(3);
+    let mix = circuit.cache_operation(gate).unwrap();
+    let u3 = circuit.cache_operation(gates::u3()).unwrap();
+    circuit.append_ref(u3, vec![2]).unwrap();
+    circuit.append_ref(mix, vec![0, 1]).unwrap();
+    circuit.append_ref(mix, vec![1, 2]).unwrap();
+
+    let params = params_for(circuit.num_params(), 11);
+    let code = compile_network(&TensorNetwork::from_circuit(&circuit));
+    let cache = ExpressionCache::new();
+    let mut vm: Tnvm<f64> = Tnvm::new(&code, DiffMode::Gradient, &cache);
+    let result = vm.evaluate(&params);
+    let reference = circuit.unitary::<f64>(&params).unwrap();
+    assert!(result.unitary.max_elementwise_distance(&reference) < 1e-10);
+    assert!(result.unitary.is_unitary(1e-10));
+
+    // Gradient agrees with central finite differences of the reference evaluator.
+    let h = 1e-6;
+    for k in 0..circuit.num_params() {
+        let mut plus = params.clone();
+        let mut minus = params.clone();
+        plus[k] += h;
+        minus[k] -= h;
+        let fd = circuit
+            .unitary::<f64>(&plus)
+            .unwrap()
+            .sub(&circuit.unitary::<f64>(&minus).unwrap())
+            .unwrap()
+            .scale(C64::from_real(1.0 / (2.0 * h)));
+        assert!(result.gradient[k].max_elementwise_distance(&fd) < 1e-5, "param {k}");
+    }
+}
+
+#[test]
+fn tnvm_and_baseline_agree_on_all_fig5_workloads() {
+    use openqudit::circuit::builders;
+    let workloads = vec![
+        builders::pqc_qubit_ladder(2, 1).unwrap(),
+        builders::pqc_qubit_ladder(3, 3).unwrap(),
+        builders::pqc_qutrit_ladder(2, 1).unwrap(),
+    ];
+    let cache = ExpressionCache::new();
+    for (i, circuit) in workloads.into_iter().enumerate() {
+        let params = params_for(circuit.num_params(), 100 + i as u64);
+        let mut tnvm_eval = TnvmEvaluator::new(&circuit, &cache);
+        let mut base_eval = BaselineEvaluator::from_qudit_circuit(&circuit).unwrap();
+        let (tu, tg) = tnvm_eval.evaluate(&params);
+        let (bu, bg) = base_eval.evaluate(&params);
+        assert!(tu.max_elementwise_distance(&bu) < 1e-9, "workload {i} unitary");
+        for (a, b) in tg.iter().zip(bg.iter()) {
+            assert!(a.max_elementwise_distance(b) < 1e-9, "workload {i} gradient");
+        }
+    }
+}
+
+#[test]
+fn instantiation_agrees_between_backends() {
+    use openqudit::circuit::builders;
+    let circuit = builders::pqc_qubit_ladder(2, 1).unwrap();
+    let target = reachable_target(&circuit, 77);
+    let config = InstantiateConfig { starts: 4, seed: 5, ..Default::default() };
+    let cache = ExpressionCache::new();
+    let oq = instantiate_circuit(&circuit, &target, &config, &cache);
+    let mut baseline = BaselineEvaluator::from_qudit_circuit(&circuit).unwrap();
+    let bl = instantiate(&mut baseline, &target, &config);
+    assert!(oq.infidelity < 1e-6, "openqudit infidelity {}", oq.infidelity);
+    assert!(bl.infidelity < 1e-6, "baseline infidelity {}", bl.infidelity);
+}
+
+#[test]
+fn expression_cache_amortizes_across_circuits() {
+    use openqudit::circuit::builders;
+    let cache = ExpressionCache::new();
+    let a = builders::pqc_qubit_ladder(3, 2).unwrap();
+    let b = builders::pqc_qubit_ladder(3, 6).unwrap();
+    let _ = TnvmEvaluator::new(&a, &cache);
+    let misses = cache.stats().misses;
+    // The deeper circuit uses the same gate set, so no new compilations are needed.
+    let _ = TnvmEvaluator::new(&b, &cache);
+    assert_eq!(cache.stats().misses, misses);
+}
+
+#[test]
+fn qft_on_tnvm_matches_closed_form() {
+    use openqudit::circuit::builders;
+    let circuit = builders::qft(3).unwrap();
+    let code = compile_network(&TensorNetwork::from_circuit(&circuit));
+    let cache = ExpressionCache::new();
+    let mut vm: Tnvm<f64> = Tnvm::new(&code, DiffMode::None, &cache);
+    let u = vm.evaluate_unitary(&[]);
+    let dim = 8usize;
+    let omega = 2.0 * std::f64::consts::PI / dim as f64;
+    for j in 0..dim {
+        for k in 0..dim {
+            let expect = C64::cis(omega * (j * k) as f64).scale(1.0 / (dim as f64).sqrt());
+            assert!(u.get(j, k).dist(expect) < 1e-10);
+        }
+    }
+}
+
+#[test]
+fn mixed_radix_circuit_end_to_end() {
+    // A qubit–qutrit system exercising mixed radices through the whole stack.
+    let mut circuit = QuditCircuit::pure(vec![2, 3]);
+    let rx = circuit.cache_operation(gates::rx()).unwrap();
+    let p3 = circuit.cache_operation(gates::qutrit_phase()).unwrap();
+    let ctrl = {
+        // A custom qubit-controlled qutrit phase defined via the symbolic control transform.
+        let controlled = openqudit::qgl::transform::control(&gates::qutrit_phase(), 2);
+        circuit.cache_operation(controlled).unwrap()
+    };
+    circuit.append_ref(rx, vec![0]).unwrap();
+    circuit.append_ref(p3, vec![1]).unwrap();
+    circuit.append_ref(ctrl, vec![0, 1]).unwrap();
+    let params = params_for(circuit.num_params(), 55);
+    let code = compile_network(&TensorNetwork::from_circuit(&circuit));
+    let cache = ExpressionCache::new();
+    let mut vm: Tnvm<f64> = Tnvm::new(&code, DiffMode::Gradient, &cache);
+    let result = vm.evaluate(&params);
+    let reference = circuit.unitary::<f64>(&params).unwrap();
+    assert_eq!(result.unitary.rows(), 6);
+    assert!(result.unitary.max_elementwise_distance(&reference) < 1e-10);
+}

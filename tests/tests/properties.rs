@@ -1,0 +1,164 @@
+//! Property-based tests over the core data structures and invariants, using proptest.
+
+use openqudit::egraph::simplify::simplify_batch;
+use openqudit::prelude::*;
+use openqudit::qgl::diff::{diff, finite_difference};
+use openqudit::qvm::{CompileOptions, CompiledExpression};
+use proptest::prelude::*;
+
+/// A strategy producing small random real-valued expression trees over up to three
+/// variables.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-3.0..3.0f64).prop_map(Expr::constant),
+        Just(Expr::Pi),
+        prop_oneof![Just("x"), Just("y"), Just("z")].prop_map(Expr::var),
+    ];
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::add(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::sub(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::mul(a, b)),
+            inner.clone().prop_map(Expr::sin),
+            inner.clone().prop_map(Expr::cos),
+            inner.clone().prop_map(Expr::neg),
+        ]
+    })
+}
+
+fn names() -> Vec<String> {
+    vec!["x".to_string(), "y".to_string(), "z".to_string()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn symbolic_derivative_matches_finite_differences(e in arb_expr(), x in -1.5..1.5f64, y in -1.5..1.5f64, z in -1.5..1.5f64) {
+        let ns = names();
+        let point = [x, y, z];
+        let value = e.eval_with(&ns, &point);
+        prop_assume!(value.is_finite());
+        for var in ["x", "y", "z"] {
+            let d = diff(&e, var).eval_with(&ns, &point);
+            let fd = finite_difference(&e, &ns, &point, var, 1e-5);
+            prop_assume!(d.is_finite() && fd.is_finite());
+            // Scale-aware tolerance: trees can produce values in the hundreds.
+            let tol = 1e-3 * (1.0 + d.abs().max(fd.abs()));
+            prop_assert!((d - fd).abs() < tol, "d/d{var} of {e}: {d} vs {fd}");
+        }
+    }
+
+    #[test]
+    fn egraph_simplification_preserves_value(e in arb_expr(), x in -1.5..1.5f64, y in -1.5..1.5f64, z in -1.5..1.5f64) {
+        let ns = names();
+        let point = [x, y, z];
+        let before = e.eval_with(&ns, &point);
+        prop_assume!(before.is_finite());
+        let simplified = simplify_batch(std::slice::from_ref(&e)).remove(0);
+        let after = simplified.eval_with(&ns, &point);
+        let tol = 1e-6 * (1.0 + before.abs());
+        prop_assert!((before - after).abs() < tol, "{e} -> {simplified}: {before} vs {after}");
+    }
+
+    #[test]
+    fn substitution_then_eval_equals_eval_then_substitute(e in arb_expr(), x in -1.0..1.0f64, y in -1.0..1.0f64) {
+        let ns = names();
+        // Substitute z := y and check consistency.
+        let substituted = e.substitute("z", &Expr::var("y"));
+        let a = substituted.eval_with(&ns, &[x, y, f64::NAN]);
+        let b = e.eval_with(&ns, &[x, y, y]);
+        prop_assume!(a.is_finite() && b.is_finite());
+        prop_assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()));
+    }
+
+    #[test]
+    fn matrix_kron_dimension_and_unitarity(theta in -3.0..3.0f64, phi in -3.0..3.0f64) {
+        let a = gates::rx().to_matrix::<f64>(&[theta]).unwrap();
+        let b = gates::rz().to_matrix::<f64>(&[phi]).unwrap();
+        let k = a.kron(&b);
+        prop_assert_eq!(k.rows(), 4);
+        prop_assert!(k.is_unitary(1e-10));
+        // (A ⊗ B)† = A† ⊗ B†
+        let lhs = k.dagger();
+        let rhs = a.dagger().kron(&b.dagger());
+        prop_assert!(lhs.max_elementwise_distance(&rhs) < 1e-12);
+    }
+
+    #[test]
+    fn compiled_u3_agrees_with_tree_walk(t in -3.0..3.0f64, p in -3.0..3.0f64, l in -3.0..3.0f64) {
+        // Compile once and reuse across proptest cases (compilation is deterministic).
+        static COMPILED: std::sync::OnceLock<(openqudit::qgl::UnitaryExpression, CompiledExpression)> =
+            std::sync::OnceLock::new();
+        let (expr, compiled) = COMPILED.get_or_init(|| {
+            let expr = gates::u3();
+            let compiled = CompiledExpression::compile(&expr, &CompileOptions::default());
+            (expr, compiled)
+        });
+        let fast = compiled.evaluate_unitary::<f64>(&[t, p, l]);
+        let slow = expr.to_matrix::<f64>(&[t, p, l]).unwrap();
+        prop_assert!(fast.max_elementwise_distance(&slow) < 1e-11);
+    }
+
+    #[test]
+    fn tnvm_is_unitary_for_random_ladder_parameters(seed in 0u64..500) {
+        use openqudit::circuit::builders;
+        use openqudit::network::{compile_network, TensorNetwork};
+        // Compile the circuit and its expressions once; each case only re-evaluates.
+        static SETUP: std::sync::OnceLock<(openqudit::circuit::QuditCircuit, TnvmProgram, ExpressionCache)> =
+            std::sync::OnceLock::new();
+        let (circuit, code, cache) = SETUP.get_or_init(|| {
+            let circuit = builders::pqc_qubit_ladder(2, 2).unwrap();
+            let code = compile_network(&TensorNetwork::from_circuit(&circuit));
+            let cache = ExpressionCache::new();
+            (circuit, code, cache)
+        });
+        let mut vm: Tnvm<f64> = Tnvm::new(code, DiffMode::None, cache);
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(17);
+        let params: Vec<f64> = (0..circuit.num_params()).map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 30) as f64) - 2.0
+        }).collect();
+        let u = vm.evaluate_unitary(&params);
+        prop_assert!(u.is_unitary(1e-9));
+    }
+
+    #[test]
+    fn haar_random_targets_are_unitary(dim in prop_oneof![Just(2usize), Just(4), Just(8), Just(9)], seed in 0u64..1000) {
+        let u = haar_random_unitary(dim, seed);
+        prop_assert!(u.is_unitary(1e-9));
+    }
+
+    #[test]
+    fn infidelity_is_bounded_and_phase_invariant(dim in prop_oneof![Just(2usize), Just(4)], seed in 0u64..200, phase in -3.0..3.0f64) {
+        let a = haar_random_unitary(dim, seed);
+        let b = haar_random_unitary(dim, seed + 1);
+        let inf = hs_infidelity(&a, &b);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&inf));
+        let rotated = b.scale(C64::cis(phase));
+        prop_assert!((hs_infidelity(&a, &rotated) - inf).abs() < 1e-9);
+        prop_assert!(hs_infidelity(&a, &a.scale(C64::cis(phase))) < 1e-9);
+    }
+}
+
+#[test]
+fn failure_injection_malformed_inputs() {
+    // Malformed QGL never panics, always returns structured errors.
+    for src in [
+        "",
+        "U3(",
+        "U3() {}",
+        "U3() { [[1,2],[3]] }",
+        "U3(x) { [[unknownfn(x), 0],[0, 1]] }",
+        "U3<5>(x) { [[cos(x), sin(x)],[~sin(x), cos(x)]] }",
+        "G(x) { [[sin(i*x), 0],[0, 1]] }",
+    ] {
+        assert!(UnitaryExpression::new(src).is_err(), "{src:?} should fail to build");
+    }
+    // Circuit misuse is rejected, not silently accepted.
+    let mut circ = QuditCircuit::qubits(1);
+    let rx = circ.cache_operation(gates::rx()).unwrap();
+    assert!(circ.append_ref(rx, vec![3]).is_err());
+    assert!(circ.append_ref_constant(rx, vec![0], vec![1.0, 2.0]).is_err());
+    assert!(circ.unitary::<f64>(&[0.0, 1.0]).is_err());
+}
