@@ -249,7 +249,12 @@ impl BaselineCircuit {
             .iter()
             .map(|op| {
                 let values = self.op_values(op, params);
-                embed_gate(&op.gate.unitary(&values), op.gate.radices(), &op.location, &self.radices)
+                embed_gate(
+                    &op.gate.unitary(&values),
+                    op.gate.radices(),
+                    &op.location,
+                    &self.radices,
+                )
             })
             .collect();
         // prefix[i] = op_{i-1} · … · op_0 (identity for i = 0).
@@ -271,8 +276,7 @@ impl BaselineCircuit {
             let Binding::Free { offset } = op.binding else { continue };
             let values = self.op_values(op, params);
             for (j, dgate) in op.gate.gradient(&values).into_iter().enumerate() {
-                let embedded =
-                    embed_gate(&dgate, op.gate.radices(), &op.location, &self.radices);
+                let embedded = embed_gate(&dgate, op.gate.radices(), &op.location, &self.radices);
                 gradient[offset + j] = suffix[i + 1].matmul(&embedded).matmul(&prefix[i]);
             }
         }

@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use qudit_tensor::{C64, Matrix};
+use qudit_tensor::{Matrix, C64};
 
 /// A gate with hand-coded unitary and analytical-gradient functions.
 pub trait BaselineGate: Send + Sync + std::fmt::Debug {
@@ -57,10 +57,7 @@ impl BaselineGate for U3Gate {
         let (ct, st) = ((p[0] / 2.0).cos(), (p[0] / 2.0).sin());
         let ep = C64::cis(p[1]);
         let el = C64::cis(p[2]);
-        m2([
-            [C64::from_real(ct), -el.scale(st)],
-            [ep.scale(st), ep * el.scale(ct)],
-        ])
+        m2([[C64::from_real(ct), -el.scale(st)], [ep.scale(st), ep * el.scale(ct)]])
     }
     fn gradient(&self, p: &[f64]) -> Vec<Matrix<f64>> {
         let (ct, st) = ((p[0] / 2.0).cos(), (p[0] / 2.0).sin());
@@ -95,10 +92,7 @@ impl BaselineGate for RxGate {
     }
     fn unitary(&self, p: &[f64]) -> Matrix<f64> {
         let (c, s) = ((p[0] / 2.0).cos(), (p[0] / 2.0).sin());
-        m2([
-            [C64::from_real(c), C64::new(0.0, -s)],
-            [C64::new(0.0, -s), C64::from_real(c)],
-        ])
+        m2([[C64::from_real(c), C64::new(0.0, -s)], [C64::new(0.0, -s), C64::from_real(c)]])
     }
     fn gradient(&self, p: &[f64]) -> Vec<Matrix<f64>> {
         let (c, s) = ((p[0] / 2.0).cos(), (p[0] / 2.0).sin());
@@ -124,10 +118,7 @@ impl BaselineGate for RzGate {
         &[2]
     }
     fn unitary(&self, p: &[f64]) -> Matrix<f64> {
-        m2([
-            [C64::cis(-p[0] / 2.0), zero()],
-            [zero(), C64::cis(p[0] / 2.0)],
-        ])
+        m2([[C64::cis(-p[0] / 2.0), zero()], [zero(), C64::cis(p[0] / 2.0)]])
     }
     fn gradient(&self, p: &[f64]) -> Vec<Matrix<f64>> {
         vec![m2([
@@ -237,10 +228,7 @@ impl ConstantGate {
         ConstantGate::new(
             "H",
             vec![2],
-            m2([
-                [C64::from_real(s), C64::from_real(s)],
-                [C64::from_real(s), C64::from_real(-s)],
-            ]),
+            m2([[C64::from_real(s), C64::from_real(s)], [C64::from_real(s), C64::from_real(-s)]]),
         )
     }
 
@@ -519,8 +507,7 @@ mod tests {
             Box::new(QutritUGate),
         ];
         for gate in &gates {
-            let params: Vec<f64> =
-                (0..gate.num_params()).map(|k| 0.31 + 0.63 * k as f64).collect();
+            let params: Vec<f64> = (0..gate.num_params()).map(|k| 0.31 + 0.63 * k as f64).collect();
             assert!(gate.unitary(&params).is_unitary(1e-10), "{} unitarity", gate.name());
             finite_difference_check(gate.as_ref(), &params);
         }

@@ -2,7 +2,9 @@
 //! OpenQudit cached-reference path vs the baseline per-append-check path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qudit_bench::{build_dtc_baseline, build_dtc_openqudit, build_qft_baseline, build_qft_openqudit};
+use qudit_bench::{
+    build_dtc_baseline, build_dtc_openqudit, build_qft_baseline, build_qft_openqudit,
+};
 
 fn bench_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_construction");

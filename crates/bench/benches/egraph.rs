@@ -9,11 +9,10 @@ use openqudit::qvm::{CompileOptions, CompiledExpression, DiffMode};
 fn bench_egraph(c: &mut Criterion) {
     let mut group = c.benchmark_group("egraph_simplification");
     group.sample_size(10);
-    for (name, gate) in [("U3", gates::u3()), ("RZZ", gates::rzz()), ("P3", gates::qutrit_phase())] {
+    for (name, gate) in [("U3", gates::u3()), ("RZZ", gates::rzz()), ("P3", gates::qutrit_phase())]
+    {
         group.bench_function(format!("compile_with_simplification_{name}"), |b| {
-            b.iter(|| {
-                CompiledExpression::compile(&gate, &CompileOptions::with_gradient())
-            })
+            b.iter(|| CompiledExpression::compile(&gate, &CompileOptions::with_gradient()))
         });
         group.bench_function(format!("compile_without_simplification_{name}"), |b| {
             b.iter(|| {

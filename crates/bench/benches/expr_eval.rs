@@ -20,10 +20,11 @@ fn bench_expr_eval(c: &mut Criterion) {
     });
     group.bench_function("compiled_unitary_and_gradient", |b| {
         b.iter(|| {
-            compiled
-                .gradient_program()
-                .expect("compiled with gradient")
-                .run(&params, &mut scratch, &mut out)
+            compiled.gradient_program().expect("compiled with gradient").run(
+                &params,
+                &mut scratch,
+                &mut out,
+            )
         })
     });
     group.bench_function("symbolic_tree_walk", |b| {

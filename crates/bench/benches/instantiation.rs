@@ -3,7 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use openqudit::prelude::*;
-use qudit_bench::{fig5_workloads_small, reachable_targets, run_baseline_instantiation, run_openqudit_instantiation};
+use qudit_bench::{
+    fig5_workloads_small, reachable_targets, run_baseline_instantiation,
+    run_openqudit_instantiation,
+};
 
 fn bench_instantiation(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_fig7_instantiation");
@@ -11,14 +14,13 @@ fn bench_instantiation(c: &mut Criterion) {
     for w in fig5_workloads_small() {
         let target = reachable_targets(&w.circuit, 1, 42).remove(0);
         for starts in [1usize, 8] {
-            let config = InstantiateConfig { starts, seed: 13, ..Default::default() };
+            // Serial starts on both engines: this bench compares evaluation speed.
+            let config = InstantiateConfig { starts, seed: 13, threads: 1, ..Default::default() };
             let cache = ExpressionCache::new();
             group.bench_with_input(
                 BenchmarkId::new(format!("openqudit_{}start", starts), w.name),
                 &w,
-                |b, w| {
-                    b.iter(|| run_openqudit_instantiation(&w.circuit, &target, &config, &cache))
-                },
+                |b, w| b.iter(|| run_openqudit_instantiation(&w.circuit, &target, &config, &cache)),
             );
             group.bench_with_input(
                 BenchmarkId::new(format!("baseline_{}start", starts), w.name),

@@ -1,0 +1,36 @@
+//! Criterion smoke bench for the bottom-up synthesis engine: end-to-end search time
+//! for the constant-CNOT workload and a reachable two-qubit target, with the
+//! expression cache shared across iterations (the steady-state a compiler sees).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use openqudit::prelude::*;
+use qudit_bench::{synthesis_config, synthesis_workloads};
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis");
+    group.sample_size(10);
+    for workload in synthesis_workloads()
+        .into_iter()
+        .filter(|w| matches!(w.name, "2-qubit cnot" | "2-qubit reachable depth-2"))
+    {
+        let config = synthesis_config(&workload);
+        let cache = ExpressionCache::new();
+        group.bench_function(workload.name, |b| {
+            b.iter(|| {
+                synthesize_with_cache(&workload.target, &config, &cache)
+                    .expect("benchmark workloads are valid")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_synthesis
+}
+criterion_main!(benches);

@@ -5,7 +5,10 @@
 //! Run with `cargo run --release -p qudit-bench --bin report_construction`.
 //! Set `OPENQUDIT_FULL=1` to extend to the paper's largest sizes (QFT 1023, DTC 512).
 
-use qudit_bench::{build_dtc_baseline, build_dtc_openqudit, build_qft_baseline, build_qft_openqudit, fmt_duration, time_it};
+use qudit_bench::{
+    build_dtc_baseline, build_dtc_openqudit, build_qft_baseline, build_qft_openqudit, fmt_duration,
+    time_it,
+};
 
 fn main() {
     let full = std::env::var("OPENQUDIT_FULL").is_ok();
@@ -14,14 +17,14 @@ fn main() {
     } else {
         vec![4, 8, 16, 32, 64, 128, 256]
     };
-    let dtc_sizes: Vec<usize> = if full {
-        vec![4, 8, 16, 32, 64, 128, 256, 512]
-    } else {
-        vec![4, 8, 16, 32, 64, 128]
-    };
+    let dtc_sizes: Vec<usize> =
+        if full { vec![4, 8, 16, 32, 64, 128, 256, 512] } else { vec![4, 8, 16, 32, 64, 128] };
 
     println!("== Figure 4 (left): QFT construction time ==");
-    println!("{:>7} {:>10} {:>16} {:>16} {:>9}", "qubits", "ops", "openqudit", "baseline", "speedup");
+    println!(
+        "{:>7} {:>10} {:>16} {:>16} {:>9}",
+        "qubits", "ops", "openqudit", "baseline", "speedup"
+    );
     for &n in &qft_sizes {
         let (oq, t_oq) = time_it(|| build_qft_openqudit(n));
         let (bl, t_bl) = time_it(|| build_qft_baseline(n));
@@ -38,7 +41,10 @@ fn main() {
 
     println!();
     println!("== Figure 4 (right): DTC construction time ==");
-    println!("{:>7} {:>10} {:>16} {:>16} {:>9}", "qubits", "ops", "openqudit", "baseline", "speedup");
+    println!(
+        "{:>7} {:>10} {:>16} {:>16} {:>9}",
+        "qubits", "ops", "openqudit", "baseline", "speedup"
+    );
     for &n in &dtc_sizes {
         let (oq, t_oq) = time_it(|| build_dtc_openqudit(n));
         let (bl, t_bl) = time_it(|| build_dtc_baseline(n));

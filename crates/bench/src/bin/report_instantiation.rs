@@ -6,11 +6,18 @@
 //! Set `OPENQUDIT_TRIALS=<n>` to change the number of targets per workload (default 5).
 
 use openqudit::prelude::*;
-use qudit_bench::{fig5_workloads, fmt_duration, reachable_targets, run_baseline_instantiation, run_openqudit_instantiation};
+use qudit_bench::{
+    fig5_workloads, fmt_duration, reachable_targets, run_baseline_instantiation,
+    run_openqudit_instantiation,
+};
 
 fn main() {
-    let trials: usize = std::env::var("OPENQUDIT_TRIALS").ok().and_then(|s| s.parse().ok()).unwrap_or(5);
-    for (label, starts) in [("Figure 6: single-start instantiation", 1usize), ("Figure 7: multi-start instantiation (8 starts)", 8)] {
+    let trials: usize =
+        std::env::var("OPENQUDIT_TRIALS").ok().and_then(|s| s.parse().ok()).unwrap_or(5);
+    for (label, starts) in [
+        ("Figure 6: single-start instantiation", 1usize),
+        ("Figure 7: multi-start instantiation (8 starts)", 8),
+    ] {
         println!("== {label} ==");
         println!(
             "{:<18} {:>7} {:>14} {:>14} {:>9} {:>11} {:>11}",
@@ -24,7 +31,15 @@ fn main() {
             let mut oq_success = 0usize;
             let mut bl_success = 0usize;
             for (k, target) in targets.iter().enumerate() {
-                let config = InstantiateConfig { starts, seed: 7 + k as u64, ..Default::default() };
+                // threads: 1 keeps the engine comparison apples-to-apples (the paper's
+                // Fig. 6/7 measure evaluation speed, not thread parallelism); the
+                // parallel multi-start path is reported by report_synthesis instead.
+                let config = InstantiateConfig {
+                    starts,
+                    seed: 7 + k as u64,
+                    threads: 1,
+                    ..Default::default()
+                };
                 let oq = run_openqudit_instantiation(&w.circuit, target, &config, &cache);
                 let bl = run_baseline_instantiation(&w.circuit, target, &config);
                 oq_total += oq.elapsed;

@@ -4,9 +4,9 @@
 //!
 //! Run with `cargo run --release -p qudit-bench --bin report_simplification`.
 
+use openqudit::circuit::gates;
 use openqudit::egraph::simplify::{simplify_batch_with, SimplifyConfig};
 use openqudit::qgl::Expr;
-use openqudit::circuit::gates;
 
 fn batch_for(gate: &openqudit::qgl::UnitaryExpression) -> Vec<Expr> {
     let mut exprs = Vec::new();

@@ -1,0 +1,73 @@
+//! Reports the bottom-up synthesis workloads: nodes expanded, wall-clock time, and
+//! final infidelity per workload, emitted as JSON (one object per line would also be
+//! fine for downstream tooling; a single array keeps it self-describing).
+//!
+//! Run with `cargo run --release -p qudit-bench --bin report_synthesis`.
+//! Set `OPENQUDIT_SYNTH_TRIALS=<n>` to repeat each workload (default 1; the report
+//! records the mean wall-clock over trials and the worst infidelity).
+
+use openqudit::prelude::*;
+use qudit_bench::{synthesis_config, synthesis_workloads, time_it};
+
+/// Minimal JSON string escaping for workload names (no exotic characters expected).
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let trials: usize = std::env::var("OPENQUDIT_SYNTH_TRIALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+        .max(1);
+
+    let mut entries: Vec<String> = Vec::new();
+    for workload in synthesis_workloads() {
+        let config = synthesis_config(&workload);
+        // One shared cache per workload: trials after the first measure a warm cache,
+        // matching how a compiler would amortize gate compilation across partitions.
+        let cache = ExpressionCache::new();
+        let mut total_time = std::time::Duration::ZERO;
+        // Infidelity, nodes_expanded, and blocks are all taken from the *worst* trial
+        // (by infidelity), so the row always describes one run that actually happened.
+        let mut worst_infidelity = f64::NEG_INFINITY;
+        let mut nodes_expanded = 0usize;
+        let mut blocks = 0usize;
+        let mut success = true;
+        for _ in 0..trials {
+            let (result, elapsed) =
+                time_it(|| synthesize_with_cache(&workload.target, &config, &cache));
+            let result = match result {
+                Ok(result) => result,
+                Err(e) => {
+                    eprintln!("workload '{}' failed: {e}", workload.name);
+                    std::process::exit(1);
+                }
+            };
+            total_time += elapsed;
+            if result.infidelity > worst_infidelity {
+                worst_infidelity = result.infidelity;
+                nodes_expanded = result.nodes_expanded;
+                blocks = result.blocks.len();
+            }
+            success &= result.success;
+        }
+        let mean_seconds = total_time.as_secs_f64() / trials as f64;
+        entries.push(format!(
+            concat!(
+                "  {{\"workload\": \"{}\", \"radices\": {:?}, \"trials\": {}, ",
+                "\"nodes_expanded\": {}, \"blocks\": {}, \"mean_seconds\": {:.6}, ",
+                "\"infidelity\": {:.3e}, \"success\": {}}}"
+            ),
+            json_escape(workload.name),
+            workload.radices,
+            trials,
+            nodes_expanded,
+            blocks,
+            mean_seconds,
+            worst_infidelity,
+            success,
+        ));
+    }
+    println!("[\n{}\n]", entries.join(",\n"));
+}

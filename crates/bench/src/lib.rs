@@ -162,6 +162,65 @@ pub fn build_dtc_baseline(n: usize) -> BaselineCircuit {
     circ
 }
 
+/// One bottom-up synthesis workload: a named target over a qudit system.
+pub struct SynthWorkload {
+    /// Human-readable name used in reports.
+    pub name: &'static str,
+    /// The qudit radices of the system.
+    pub radices: Vec<usize>,
+    /// The target unitary.
+    pub target: Matrix<f64>,
+    /// Search depth bound (entangling blocks).
+    pub max_blocks: usize,
+}
+
+/// Builds the synthesis workload suite: constant two-qubit gates plus reachable
+/// random targets on qubit and qutrit systems (targets generated by the synthesis
+/// template itself at random parameters, so a perfect solution always exists).
+pub fn synthesis_workloads() -> Vec<SynthWorkload> {
+    use openqudit::circuit::builders;
+    let reachable = |radices: &[usize], blocks: &[(usize, usize)], seed: u64| {
+        let template = builders::pqc_template(radices, blocks).expect("valid template");
+        reachable_target(&template, seed)
+    };
+    vec![
+        SynthWorkload {
+            name: "2-qubit cnot",
+            radices: vec![2, 2],
+            target: openqudit::circuit::gates::cnot().to_matrix::<f64>(&[]).expect("constant gate"),
+            max_blocks: 3,
+        },
+        SynthWorkload {
+            name: "2-qubit reachable depth-2",
+            radices: vec![2, 2],
+            target: reachable(&[2, 2], &[(0, 1), (0, 1)], 41),
+            max_blocks: 3,
+        },
+        SynthWorkload {
+            name: "3-qubit reachable depth-2",
+            radices: vec![2, 2, 2],
+            target: reachable(&[2, 2, 2], &[(0, 1), (1, 2)], 43),
+            max_blocks: 3,
+        },
+        SynthWorkload {
+            name: "2-qutrit reachable depth-1",
+            radices: vec![3, 3],
+            target: reachable(&[3, 3], &[(0, 1)], 47),
+            max_blocks: 2,
+        },
+    ]
+}
+
+/// The synthesis configuration a workload runs under.
+pub fn synthesis_config(workload: &SynthWorkload) -> SynthesisConfig {
+    let mut config = match workload.radices[0] {
+        3 => SynthesisConfig::qutrits(workload.radices.len()),
+        _ => SynthesisConfig::qubits(workload.radices.len()),
+    };
+    config.max_blocks = workload.max_blocks;
+    config
+}
+
 /// Formats a duration in engineering units for report tables.
 pub fn fmt_duration(d: Duration) -> String {
     let secs = d.as_secs_f64();
@@ -205,6 +264,18 @@ mod tests {
         let bl = run_baseline_instantiation(&w.circuit, &target, &config);
         assert!(oq.infidelity < 1e-4, "openqudit infidelity {}", oq.infidelity);
         assert!(bl.infidelity < 1e-4, "baseline infidelity {}", bl.infidelity);
+    }
+
+    #[test]
+    fn synthesis_workloads_are_well_formed() {
+        for w in synthesis_workloads() {
+            let dim: usize = w.radices.iter().product();
+            assert_eq!(w.target.rows(), dim, "{}", w.name);
+            assert!(w.target.is_unitary(1e-8), "{}", w.name);
+            let config = synthesis_config(&w);
+            assert_eq!(config.radices, w.radices);
+            assert_eq!(config.max_blocks, w.max_blocks);
+        }
     }
 
     #[test]

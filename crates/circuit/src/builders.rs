@@ -130,6 +130,109 @@ pub fn pqc_qutrit_ladder(n: usize, layers: usize) -> Result<QuditCircuit> {
     Ok(circ)
 }
 
+/// The general single-qudit gate used by synthesis building blocks for `radix`
+/// (U3 for qubits, the 8-parameter general qutrit gate for qutrits). Returns `None`
+/// for radices without a registered gate set.
+pub fn synthesis_local(radix: usize) -> Option<qudit_qgl::UnitaryExpression> {
+    match radix {
+        2 => Some(gates::u3()),
+        3 => Some(gates::qutrit_u()),
+        _ => None,
+    }
+}
+
+/// The two-qudit entangling gate used by synthesis building blocks for `radix`
+/// (CNOT for qubit pairs, CSUM for qutrit pairs). Returns `None` for radices without
+/// a registered gate set.
+pub fn synthesis_entangler(radix: usize) -> Option<qudit_qgl::UnitaryExpression> {
+    match radix {
+        2 => Some(gates::cnot()),
+        3 => Some(gates::csum()),
+        _ => None,
+    }
+}
+
+/// Builds the QSearch-style *seed* circuit for bottom-up synthesis: one parameterized
+/// general local gate on every qudit and nothing else. Expanding it one
+/// [`append_pqc_block`] at a time grows the template the synthesis search explores.
+///
+/// # Errors
+///
+/// Returns [`crate::CircuitError::InvalidExpression`] when a radix has no registered
+/// synthesis gate set (currently: anything other than 2 or 3).
+pub fn pqc_initial(radices: &[usize]) -> Result<QuditCircuit> {
+    let mut circ = QuditCircuit::pure(radices.to_vec());
+    for (q, &radix) in radices.iter().enumerate() {
+        let local =
+            synthesis_local(radix).ok_or_else(|| crate::CircuitError::InvalidExpression {
+                detail: format!("no synthesis gate set registered for radix {radix}"),
+            })?;
+        let local_ref = circ.cache_operation(local)?;
+        circ.append_ref(local_ref, vec![q])?;
+    }
+    Ok(circ)
+}
+
+/// Appends one synthesis building block to `circ` in place — the incremental
+/// layer-append hook used by the bottom-up search: an entangler on `(a, b)` followed by
+/// general local gates on both wires. The gates' parameters become new trailing entries
+/// of the circuit parameter vector, so previously optimized parameters keep their
+/// positions (enabling warm-started re-instantiation of the extended circuit).
+///
+/// # Errors
+///
+/// Returns a [`crate::CircuitError`] when the wires are out of range, the radices
+/// differ (no mixed-radix entangler is registered), or no gate set exists for the
+/// radix.
+pub fn append_pqc_block(circ: &mut QuditCircuit, a: usize, b: usize) -> Result<()> {
+    let radices = circ.radices();
+    let (ra, rb) = match (radices.get(a), radices.get(b)) {
+        (Some(&ra), Some(&rb)) => (ra, rb),
+        _ => {
+            return Err(crate::CircuitError::InvalidLocation {
+                detail: format!(
+                    "block wires ({a}, {b}) out of range for {} qudits",
+                    circ.num_qudits()
+                ),
+            })
+        }
+    };
+    if ra != rb {
+        return Err(crate::CircuitError::RadixMismatch {
+            detail: format!("no entangler registered for mixed radix pair ({ra}, {rb})"),
+        });
+    }
+    let (entangler, local) = match (synthesis_entangler(ra), synthesis_local(ra)) {
+        (Some(e), Some(l)) => (e, l),
+        _ => {
+            return Err(crate::CircuitError::InvalidExpression {
+                detail: format!("no synthesis gate set registered for radix {ra}"),
+            })
+        }
+    };
+    let ent_ref = circ.cache_operation(entangler)?;
+    let local_ref = circ.cache_operation(local)?;
+    circ.append_ref(ent_ref, vec![a, b])?;
+    circ.append_ref(local_ref, vec![a])?;
+    circ.append_ref(local_ref, vec![b])?;
+    Ok(())
+}
+
+/// Builds a full synthesis template: the [`pqc_initial`] seed followed by one
+/// [`append_pqc_block`] per entry of `blocks`. This is the circuit shape the
+/// bottom-up search enumerates, exposed directly for tests and benchmarks.
+///
+/// # Errors
+///
+/// Propagates the errors of [`pqc_initial`] and [`append_pqc_block`].
+pub fn pqc_template(radices: &[usize], blocks: &[(usize, usize)]) -> Result<QuditCircuit> {
+    let mut circ = pqc_initial(radices)?;
+    for &(a, b) in blocks {
+        append_pqc_block(&mut circ, a, b)?;
+    }
+    Ok(circ)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,6 +306,49 @@ mod tests {
         assert_eq!(c.dim(), 9);
         let params: Vec<f64> = (0..c.num_params()).map(|k| 0.05 * (k + 1) as f64).collect();
         assert!(c.unitary::<f64>(&params).unwrap().is_unitary(1e-10));
+    }
+
+    #[test]
+    fn synthesis_seed_and_block_hooks() {
+        // Qubit seed: one U3 per wire.
+        let mut c = pqc_initial(&[2, 2, 2]).unwrap();
+        assert_eq!(c.num_ops(), 3);
+        assert_eq!(c.num_params(), 9);
+        // One block: CNOT + two U3s, parameters appended at the tail.
+        append_pqc_block(&mut c, 0, 1).unwrap();
+        assert_eq!(c.num_ops(), 6);
+        assert_eq!(c.num_params(), 15);
+        let params: Vec<f64> = (0..c.num_params()).map(|k| 0.1 * k as f64).collect();
+        assert!(c.unitary::<f64>(&params).unwrap().is_unitary(1e-10));
+
+        // Qutrit seed and block.
+        let mut q = pqc_initial(&[3, 3]).unwrap();
+        assert_eq!(q.num_params(), 16);
+        append_pqc_block(&mut q, 1, 0).unwrap();
+        assert_eq!(q.num_params(), 32);
+
+        // The template builder composes the two.
+        let t = pqc_template(&[2, 2], &[(0, 1), (0, 1)]).unwrap();
+        assert_eq!(t.num_ops(), 2 + 2 * 3);
+        assert_eq!(t.num_params(), 6 + 2 * 6);
+    }
+
+    #[test]
+    fn synthesis_hooks_reject_invalid_blocks() {
+        assert!(pqc_initial(&[2, 5]).is_err());
+        let mut c = pqc_initial(&[2, 3]).unwrap();
+        // Mixed-radix pair has no registered entangler.
+        assert!(matches!(
+            append_pqc_block(&mut c, 0, 1),
+            Err(crate::CircuitError::RadixMismatch { .. })
+        ));
+        // Out-of-range wires.
+        assert!(matches!(
+            append_pqc_block(&mut c, 0, 7),
+            Err(crate::CircuitError::InvalidLocation { .. })
+        ));
+        assert!(synthesis_local(4).is_none());
+        assert!(synthesis_entangler(4).is_none());
     }
 
     #[test]

@@ -241,7 +241,10 @@ impl QuditCircuit {
         for (&q, &expected_radix) in location.iter().zip(expr.radices().iter()) {
             if q >= self.num_qudits() {
                 return Err(CircuitError::InvalidLocation {
-                    detail: format!("qudit index {q} out of range for {} qudits", self.num_qudits()),
+                    detail: format!(
+                        "qudit index {q} out of range for {} qudits",
+                        self.num_qudits()
+                    ),
                 });
             }
             if seen[q] {
@@ -345,7 +348,10 @@ impl QuditCircuit {
                 let expr = self.expression(op.expr)?;
                 let end = offset + expr.num_params();
                 if params.len() < end {
-                    return Err(CircuitError::ParameterCount { expected: end, found: params.len() });
+                    return Err(CircuitError::ParameterCount {
+                        expected: end,
+                        found: params.len(),
+                    });
                 }
                 Ok(params[*offset..end].to_vec())
             }
@@ -372,9 +378,9 @@ impl QuditCircuit {
         for op in &self.ops {
             let expr = self.expression(op.expr)?;
             let values = self.op_values(op, params)?;
-            let gate = expr.to_matrix::<T>(&values).map_err(|e| CircuitError::InvalidExpression {
-                detail: e.to_string(),
-            })?;
+            let gate = expr
+                .to_matrix::<T>(&values)
+                .map_err(|e| CircuitError::InvalidExpression { detail: e.to_string() })?;
             let embedded = embed_gate(&gate, expr.radices(), &op.location, &self.radices);
             total = embedded.matmul(&total);
         }
@@ -405,10 +411,7 @@ pub fn embed_gate<T: Float>(
         d
     };
     let gate_index = |d: &[usize]| -> usize {
-        location
-            .iter()
-            .zip(gate_radices.iter())
-            .fold(0usize, |acc, (&q, &r)| acc * r + d[q])
+        location.iter().zip(gate_radices.iter()).fold(0usize, |acc, (&q, &r)| acc * r + d[q])
     };
     let mut out = Matrix::<T>::zeros(dim, dim);
     for row in 0..dim {
@@ -471,10 +474,7 @@ mod tests {
     fn cache_rejects_non_unitary() {
         let mut c = QuditCircuit::qubits(1);
         let bad = qudit_qgl::UnitaryExpression::new("Bad() { [[1, 1], [0, 1]] }").unwrap();
-        assert!(matches!(
-            c.cache_operation(bad),
-            Err(CircuitError::InvalidExpression { .. })
-        ));
+        assert!(matches!(c.cache_operation(bad), Err(CircuitError::InvalidExpression { .. })));
     }
 
     #[test]
@@ -483,26 +483,17 @@ mod tests {
         let rx = c.cache_operation(gates::rx()).unwrap();
         let csum = c.cache_operation(gates::csum()).unwrap();
         // Wrong arity.
-        assert!(matches!(
-            c.append_ref(rx, vec![0, 1]),
-            Err(CircuitError::InvalidLocation { .. })
-        ));
+        assert!(matches!(c.append_ref(rx, vec![0, 1]), Err(CircuitError::InvalidLocation { .. })));
         // Out of range.
         assert!(matches!(c.append_ref(rx, vec![5]), Err(CircuitError::InvalidLocation { .. })));
         // Radix mismatch: RX on the qutrit wire.
         assert!(matches!(c.append_ref(rx, vec![1]), Err(CircuitError::RadixMismatch { .. })));
         // CSUM needs two qutrits; wire 0 is a qubit.
-        assert!(matches!(
-            c.append_ref(csum, vec![0, 1]),
-            Err(CircuitError::RadixMismatch { .. })
-        ));
+        assert!(matches!(c.append_ref(csum, vec![0, 1]), Err(CircuitError::RadixMismatch { .. })));
         // Repeated index.
         let mut cq = QuditCircuit::qubits(2);
         let cx = cq.cache_operation(gates::cnot()).unwrap();
-        assert!(matches!(
-            cq.append_ref(cx, vec![0, 0]),
-            Err(CircuitError::InvalidLocation { .. })
-        ));
+        assert!(matches!(cq.append_ref(cx, vec![0, 0]), Err(CircuitError::InvalidLocation { .. })));
         // Valid appends.
         assert!(c.append_ref(rx, vec![0]).is_ok());
     }
@@ -515,10 +506,7 @@ mod tests {
             b.cache_operation(gates::rx()).unwrap()
         };
         // The reference index happens to be valid only if `a` has cached something.
-        assert!(matches!(
-            a.append_ref(b_ref, vec![0]),
-            Err(CircuitError::UnknownReference { .. })
-        ));
+        assert!(matches!(a.append_ref(b_ref, vec![0]), Err(CircuitError::UnknownReference { .. })));
     }
 
     #[test]
@@ -609,9 +597,7 @@ mod tests {
         for block in 0..3 {
             for r in 0..2 {
                 for c_ in 0..2 {
-                    assert!(
-                        emb.get(2 * block + r, 2 * block + c_).dist(rxm.get(r, c_)) < 1e-14
-                    );
+                    assert!(emb.get(2 * block + r, 2 * block + c_).dist(rxm.get(r, c_)) < 1e-14);
                 }
             }
         }

@@ -208,12 +208,8 @@ mod tests {
     #[test]
     fn every_gate_is_unitary_at_random_parameters() {
         for (name, gate) in all_gates() {
-            let params: Vec<f64> =
-                (0..gate.num_params()).map(|k| 0.37 + 0.71 * k as f64).collect();
-            assert!(
-                gate.check_unitary(&params, 1e-10),
-                "{name} is not unitary at {params:?}"
-            );
+            let params: Vec<f64> = (0..gate.num_params()).map(|k| 0.37 + 0.71 * k as f64).collect();
+            assert!(gate.check_unitary(&params, 1e-10), "{name} is not unitary at {params:?}");
         }
     }
 

@@ -16,7 +16,8 @@
 //! | [`circuit`] | `qudit-circuit` | `QuditCircuit`, the QGL gate library, QFT/DTC/PQC builders |
 //! | [`network`] | `qudit-network` | AOT tensor-network lowering, contraction paths, TNVM bytecode |
 //! | [`tnvm`] | `qudit-tnvm` | the Tensor Network Virtual Machine with forward-mode AD |
-//! | [`optimize`] | `qudit-optimize` | Hilbert–Schmidt cost, Levenberg–Marquardt, multi-start instantiation |
+//! | [`optimize`] | `qudit-optimize` | Hilbert–Schmidt cost, Levenberg–Marquardt, parallel multi-start instantiation |
+//! | [`synth`] | `qudit-synth` | instantiation-driven bottom-up synthesis (QSearch-style A*/beam over layered templates) |
 //! | [`baseline`] | `qudit-baseline` | a BQSKit-style baseline compiler used by the benchmarks |
 //!
 //! # Quickstart
@@ -54,6 +55,7 @@ pub use qudit_network as network;
 pub use qudit_optimize as optimize;
 pub use qudit_qgl as qgl;
 pub use qudit_qvm as qvm;
+pub use qudit_synth as synth;
 pub use qudit_tensor as tensor;
 pub use qudit_tnvm as tnvm;
 
@@ -69,6 +71,10 @@ pub mod prelude {
     };
     pub use qudit_qgl::{ComplexExpr, Expr, QglError, UnitaryExpression};
     pub use qudit_qvm::{CompileOptions, CompiledExpression, DiffMode, ExpressionCache};
+    pub use qudit_synth::{
+        synthesize, synthesize_with_cache, CouplingGraph, SynthesisConfig, SynthesisError,
+        SynthesisResult,
+    };
     pub use qudit_tensor::{Complex, Matrix, Tensor, C64};
     pub use qudit_tnvm::{EvalResult, Tnvm};
 }
@@ -85,5 +91,13 @@ mod tests {
         let config = InstantiateConfig { starts: 2, ..Default::default() };
         let result = instantiate_circuit(&circuit, &target, &config, &cache);
         assert!(result.infidelity < 1e-4);
+    }
+
+    #[test]
+    fn facade_synthesis_smoke_test() {
+        let target = gates::cnot().to_matrix::<f64>(&[]).unwrap();
+        let result = synthesize(&target, &SynthesisConfig::qubits(2)).unwrap();
+        assert!(result.success);
+        assert_eq!(result.blocks, vec![(0, 1)]);
     }
 }

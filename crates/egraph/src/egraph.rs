@@ -217,8 +217,7 @@ impl EGraph {
             // Also canonicalize the node list of the class itself.
             let dirty = self.find(dirty);
             if let Some(c) = self.classes.get(&dirty) {
-                let canon_nodes: Vec<Node> =
-                    c.nodes.iter().map(|n| self.canonicalize(n)).collect();
+                let canon_nodes: Vec<Node> = c.nodes.iter().map(|n| self.canonicalize(n)).collect();
                 let mut deduped: Vec<Node> = Vec::with_capacity(canon_nodes.len());
                 for n in canon_nodes {
                     if !deduped.contains(&n) {
@@ -301,9 +300,9 @@ impl EGraph {
     /// construction guarantees this).
     pub fn instantiate(&mut self, pattern: &Pattern, subst: &Subst) -> Id {
         match pattern {
-            Pattern::Var(name) => *subst
-                .get(name)
-                .unwrap_or_else(|| panic!("unbound pattern variable ?{name}")),
+            Pattern::Var(name) => {
+                *subst.get(name).unwrap_or_else(|| panic!("unbound pattern variable ?{name}"))
+            }
             Pattern::Node(op, children) => {
                 let child_ids: Vec<Id> =
                     children.iter().map(|c| self.instantiate(c, subst)).collect();

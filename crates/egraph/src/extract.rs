@@ -40,7 +40,8 @@ pub struct GreedyExtractor<'a> {
 impl<'a> GreedyExtractor<'a> {
     /// Creates an extractor and performs the initial cost stabilization.
     pub fn new(graph: &'a EGraph, cost_model: OpCost) -> Self {
-        let mut ex = GreedyExtractor { graph, cost_model, best: HashMap::new(), extracted: HashMap::new() };
+        let mut ex =
+            GreedyExtractor { graph, cost_model, best: HashMap::new(), extracted: HashMap::new() };
         ex.stabilize();
         ex
     }

@@ -46,10 +46,7 @@ impl Rewrite {
     ///
     /// Panics if either direction would reference an unbound variable.
     pub fn bidirectional(name: &str, lhs: &str, rhs: &str) -> Vec<Self> {
-        vec![
-            Rewrite::new(&format!("{name}"), lhs, rhs),
-            Rewrite::new(&format!("{name}-rev"), rhs, lhs),
-        ]
+        vec![Rewrite::new(name, lhs, rhs), Rewrite::new(&format!("{name}-rev"), rhs, lhs)]
     }
 }
 

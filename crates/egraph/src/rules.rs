@@ -61,43 +61,15 @@ pub fn default_rules() -> Vec<Rewrite> {
     uni("one-minus-sin2", "(- 1 (* (sin ?a) (sin ?a)))", "(* (cos ?a) (cos ?a))");
     uni("one-minus-cos2", "(- 1 (* (cos ?a) (cos ?a)))", "(* (sin ?a) (sin ?a))");
     // Angle sum and difference.
-    uni(
-        "sin-sum",
-        "(sin (+ ?a ?b))",
-        "(+ (* (sin ?a) (cos ?b)) (* (cos ?a) (sin ?b)))",
-    );
-    uni(
-        "sin-sum-rev",
-        "(+ (* (sin ?a) (cos ?b)) (* (cos ?a) (sin ?b)))",
-        "(sin (+ ?a ?b))",
-    );
-    uni(
-        "cos-sum",
-        "(cos (+ ?a ?b))",
-        "(- (* (cos ?a) (cos ?b)) (* (sin ?a) (sin ?b)))",
-    );
-    uni(
-        "cos-sum-rev",
-        "(- (* (cos ?a) (cos ?b)) (* (sin ?a) (sin ?b)))",
-        "(cos (+ ?a ?b))",
-    );
-    uni(
-        "sin-diff",
-        "(sin (- ?a ?b))",
-        "(- (* (sin ?a) (cos ?b)) (* (cos ?a) (sin ?b)))",
-    );
-    uni(
-        "cos-diff",
-        "(cos (- ?a ?b))",
-        "(+ (* (cos ?a) (cos ?b)) (* (sin ?a) (sin ?b)))",
-    );
+    uni("sin-sum", "(sin (+ ?a ?b))", "(+ (* (sin ?a) (cos ?b)) (* (cos ?a) (sin ?b)))");
+    uni("sin-sum-rev", "(+ (* (sin ?a) (cos ?b)) (* (cos ?a) (sin ?b)))", "(sin (+ ?a ?b))");
+    uni("cos-sum", "(cos (+ ?a ?b))", "(- (* (cos ?a) (cos ?b)) (* (sin ?a) (sin ?b)))");
+    uni("cos-sum-rev", "(- (* (cos ?a) (cos ?b)) (* (sin ?a) (sin ?b)))", "(cos (+ ?a ?b))");
+    uni("sin-diff", "(sin (- ?a ?b))", "(- (* (sin ?a) (cos ?b)) (* (cos ?a) (sin ?b)))");
+    uni("cos-diff", "(cos (- ?a ?b))", "(+ (* (cos ?a) (cos ?b)) (* (sin ?a) (sin ?b)))");
     // Double angle.
     uni("sin-double", "(sin (* 2 ?a))", "(* 2 (* (sin ?a) (cos ?a)))");
-    uni(
-        "cos-double",
-        "(cos (* 2 ?a))",
-        "(- (* (cos ?a) (cos ?a)) (* (sin ?a) (sin ?a)))",
-    );
+    uni("cos-double", "(cos (* 2 ?a))", "(- (* (cos ?a) (cos ?a)) (* (sin ?a) (sin ?a)))");
 
     // --- Exponential and logarithm laws ----------------------------------------------
     uni("exp-zero", "(exp 0)", "1");
@@ -197,10 +169,8 @@ mod tests {
     fn proves_double_angle() {
         let t = Expr::var("t");
         let lhs = Expr::sin(Expr::mul(Expr::constant(2.0), t.clone()));
-        let rhs = Expr::mul(
-            Expr::constant(2.0),
-            Expr::mul(Expr::sin(t.clone()), Expr::cos(t.clone())),
-        );
+        let rhs =
+            Expr::mul(Expr::constant(2.0), Expr::mul(Expr::sin(t.clone()), Expr::cos(t.clone())));
         assert!(prove_equal(&lhs, &rhs));
     }
 

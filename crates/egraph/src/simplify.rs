@@ -183,9 +183,7 @@ mod tests {
         let r = simplify_batch_with(std::slice::from_ref(&e), &cfg);
         assert!(r.report.is_none());
         let names = vec!["x".to_string()];
-        assert!(
-            (r.exprs[0].eval_with(&names, &[0.3]) - e.eval_with(&names, &[0.3])).abs() < 1e-15
-        );
+        assert!((r.exprs[0].eval_with(&names, &[0.3]) - e.eval_with(&names, &[0.3])).abs() < 1e-15);
     }
 
     #[test]

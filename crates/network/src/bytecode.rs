@@ -283,13 +283,9 @@ impl<'a> Codegen<'a> {
                     .collect()
             })
             .collect();
-        let expr = UnitaryExpression::from_elements(
-            format!("I{dim}"),
-            radices,
-            Vec::new(),
-            elements,
-        )
-        .expect("identity expression is always valid");
+        let expr =
+            UnitaryExpression::from_elements(format!("I{dim}"), radices, Vec::new(), elements)
+                .expect("identity expression is always valid");
         self.intern_expr(&expr)
     }
 
@@ -300,10 +296,7 @@ impl<'a> Codegen<'a> {
         let params = node.circuit_params();
         let constant = params.is_empty();
         let out = self.new_buffer(dim, dim, params);
-        self.push_op(
-            TnvmOp::Write { expr_index, bindings: node.bindings.clone(), out },
-            constant,
-        );
+        self.push_op(TnvmOp::Write { expr_index, bindings: node.bindings.clone(), out }, constant);
         Emitted { buf: out, qudits: node.qudits.clone(), constant }
     }
 
@@ -328,10 +321,8 @@ impl<'a> Codegen<'a> {
             let mut qudits = earlier.qudits.clone();
             qudits.extend_from_slice(&later.qudits);
             let dim = self.network.dim_of(&qudits);
-            let params = union_params(
-                &self.buffers[earlier.buf].params,
-                &self.buffers[later.buf].params,
-            );
+            let params =
+                union_params(&self.buffers[earlier.buf].params, &self.buffers[later.buf].params);
             let constant = earlier.constant && later.constant;
             let out = self.new_buffer(dim, dim, params);
             self.push_op(TnvmOp::Kron { a: earlier.buf, b: later.buf, out }, constant);
@@ -460,11 +451,8 @@ fn fuse_leaf_transposes(program: &mut TnvmProgram) {
 
     let mut fused = 0usize;
     for section_is_const in [true, false] {
-        let section_len = if section_is_const {
-            program.constant_ops.len()
-        } else {
-            program.dynamic_ops.len()
-        };
+        let section_len =
+            if section_is_const { program.constant_ops.len() } else { program.dynamic_ops.len() };
         let mut removals: Vec<usize> = Vec::new();
         for idx in 0..section_len {
             let op = if section_is_const {
@@ -491,9 +479,7 @@ fn fuse_leaf_transposes(program: &mut TnvmProgram) {
                     &program.dynamic_ops[writer_idx]
                 };
                 match writer_op {
-                    TnvmOp::Write { expr_index, bindings, .. } => {
-                        (*expr_index, bindings.clone())
-                    }
+                    TnvmOp::Write { expr_index, bindings, .. } => (*expr_index, bindings.clone()),
                     _ => continue,
                 }
             };
@@ -595,11 +581,8 @@ mod tests {
         // are dynamic.
         assert!(!p.constant_ops.is_empty());
         assert!(!p.dynamic_ops.is_empty());
-        let dynamic_writes = p
-            .dynamic_ops
-            .iter()
-            .filter(|o| matches!(o, TnvmOp::Write { .. }))
-            .count();
+        let dynamic_writes =
+            p.dynamic_ops.iter().filter(|o| matches!(o, TnvmOp::Write { .. })).count();
         assert_eq!(dynamic_writes, 5); // five U3 applications
         assert_eq!(p.validate(), Ok(()));
     }
@@ -629,7 +612,6 @@ mod tests {
         let c = builders::pqc_qubit_ladder(3, 1).unwrap();
         let p = program_for(&c);
         assert!(p.arena_elements() > 0);
-        assert!(p.len() > 0);
         assert!(!p.is_empty());
         assert_eq!(p.dim(), 8);
     }
@@ -646,10 +628,10 @@ mod tests {
         let p = program_for(&c);
         assert!(p.fused_transposes >= 1, "expected at least one fused transpose");
         assert!(
-            !p.constant_ops.iter().chain(p.dynamic_ops.iter()).any(|o| matches!(
-                o,
-                TnvmOp::Transpose { .. }
-            )),
+            !p.constant_ops
+                .iter()
+                .chain(p.dynamic_ops.iter())
+                .any(|o| matches!(o, TnvmOp::Transpose { .. })),
             "leaf transpose should have been fused away"
         );
         assert_eq!(p.validate(), Ok(()));
@@ -662,10 +644,8 @@ mod tests {
         // Corrupt: make the first dynamic op read an unwritten buffer.
         let bogus = p.buffers.len();
         p.buffers.push(BufferInfo { rows: 2, cols: 2, params: vec![] });
-        if let Some(op) = p.dynamic_ops.first_mut() {
-            if let TnvmOp::Write { out, .. } = op {
-                *out = bogus;
-            }
+        if let Some(TnvmOp::Write { out, .. }) = p.dynamic_ops.first_mut() {
+            *out = bogus;
         }
         assert!(p.validate().is_err() || p.output != bogus);
     }

@@ -23,6 +23,11 @@ pub mod bytecode;
 pub mod network;
 pub mod path;
 
-pub use bytecode::{compile_network, compile_network_with_tree, BufId, BufferInfo, TnvmOp, TnvmProgram};
+pub use bytecode::{
+    compile_network, compile_network_with_tree, BufId, BufferInfo, TnvmOp, TnvmProgram,
+};
 pub use network::{GateNode, ParamBinding, TensorNetwork};
-pub use path::{find_plan, find_plan_with_threshold, ContractionPlan, ContractionTree, PlanKind, OPTIMAL_THRESHOLD};
+pub use path::{
+    find_plan, find_plan_with_threshold, ContractionPlan, ContractionTree, PlanKind,
+    OPTIMAL_THRESHOLD,
+};

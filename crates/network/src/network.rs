@@ -130,6 +130,71 @@ impl TensorNetwork {
         qudits.iter().map(|&q| self.radices[q]).product()
     }
 
+    /// Appends one parameterized gate node in place, allocating fresh trailing circuit
+    /// parameters for it — the *recompile-on-expansion* path used by bottom-up
+    /// synthesis: a search node clones its parent's network, pushes the new block's
+    /// nodes, and recompiles only the extended network (expression compilation itself
+    /// is amortized by the shared `ExpressionCache`, so the new bytecode reuses every
+    /// previously compiled gate).
+    ///
+    /// Returns the index of the first circuit parameter allocated for the gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qudits` references wires out of range or whose radices do not match
+    /// the expression (the circuit layer performs the user-facing validation; this is
+    /// an internal-consistency check).
+    pub fn push_parameterized(&mut self, expr: &UnitaryExpression, qudits: Vec<usize>) -> usize {
+        let offset = self.num_params;
+        let bindings = (0..expr.num_params()).map(|k| ParamBinding::Circuit(offset + k)).collect();
+        self.num_params += expr.num_params();
+        self.push_node(expr, qudits, bindings);
+        offset
+    }
+
+    /// Appends one constant (fully bound) gate node in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` has the wrong length or `qudits` is inconsistent with the
+    /// expression (see [`TensorNetwork::push_parameterized`]).
+    pub fn push_constant(&mut self, expr: &UnitaryExpression, qudits: Vec<usize>, values: &[f64]) {
+        assert_eq!(
+            values.len(),
+            expr.num_params(),
+            "constant node for '{}' expects {} value(s)",
+            expr.name(),
+            expr.num_params()
+        );
+        let bindings = values.iter().map(|&v| ParamBinding::Constant(v)).collect();
+        self.push_node(expr, qudits, bindings);
+    }
+
+    fn push_node(
+        &mut self,
+        expr: &UnitaryExpression,
+        qudits: Vec<usize>,
+        bindings: Vec<ParamBinding>,
+    ) {
+        assert_eq!(qudits.len(), expr.num_qudits(), "gate arity must match its location");
+        for (&q, &radix) in qudits.iter().zip(expr.radices().iter()) {
+            assert!(q < self.radices.len(), "qudit index {q} out of range");
+            assert_eq!(self.radices[q], radix, "gate radix must match the wire at qudit {q}");
+        }
+        let key = expr.canonical_key();
+        // The expression table stays tiny (a handful of unique gates), so a linear
+        // dedup scan beats carrying a hash map through every clone.
+        let expr_index = match self.exprs.iter().position(|e| e.canonical_key() == key) {
+            Some(found) => found,
+            None => {
+                self.exprs.push(expr.clone());
+                self.exprs.len() - 1
+            }
+        };
+        let time = self.nodes.len();
+        self.nodes.push(GateNode { expr_index, qudits, time, bindings });
+    }
+
     /// Total Hilbert-space dimension of the full circuit.
     pub fn dim(&self) -> usize {
         self.radices.iter().product()
@@ -186,6 +251,45 @@ mod tests {
         assert_eq!(net.nodes()[3].qudits, vec![0, 1]);
         assert_eq!(net.dim_of(&[0, 1]), 4);
         assert_eq!(net.nodes()[3].time, 3);
+    }
+
+    #[test]
+    fn incremental_extension_matches_from_circuit() {
+        // Extending a lowered network in place must produce exactly the lowering of the
+        // extended circuit (the recompile-on-expansion invariant).
+        let mut circ = QuditCircuit::qubits(2);
+        let u3 = circ.cache_operation(gates::u3()).unwrap();
+        circ.append_ref(u3, vec![0]).unwrap();
+        circ.append_ref(u3, vec![1]).unwrap();
+        let mut net = TensorNetwork::from_circuit(&circ);
+
+        let cx = gates::cnot();
+        let offset = net.push_parameterized(&gates::u3(), vec![0]);
+        assert_eq!(offset, 6);
+        net.push_constant(&cx, vec![0, 1], &[]);
+
+        let cx_ref = circ.cache_operation(cx).unwrap();
+        circ.append_ref(u3, vec![0]).unwrap();
+        circ.append_ref_constant(cx_ref, vec![0, 1], vec![]).unwrap();
+        let expect = TensorNetwork::from_circuit(&circ);
+
+        assert_eq!(net.num_params(), expect.num_params());
+        assert_eq!(net.nodes().len(), expect.nodes().len());
+        assert_eq!(net.expressions().len(), expect.expressions().len());
+        for (a, b) in net.nodes().iter().zip(expect.nodes()) {
+            assert_eq!(a.expr_index, b.expr_index);
+            assert_eq!(a.qudits, b.qudits);
+            assert_eq!(a.time, b.time);
+            assert_eq!(a.bindings, b.bindings);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "radix must match")]
+    fn incremental_extension_validates_radix() {
+        let c = builders::pqc_qutrit_ladder(2, 1).unwrap();
+        let mut net = TensorNetwork::from_circuit(&c);
+        net.push_parameterized(&gates::u3(), vec![0]);
     }
 
     #[test]

@@ -119,10 +119,8 @@ pub fn find_plan_with_threshold(network: &TensorNetwork, threshold: usize) -> Co
 
 /// Qudit set of a contiguous run of gate nodes `[i, j]` (inclusive).
 fn interval_qudits(network: &TensorNetwork, i: usize, j: usize) -> Vec<usize> {
-    let mut qudits: Vec<usize> = network.nodes()[i..=j]
-        .iter()
-        .flat_map(|n| n.qudits.iter().copied())
-        .collect();
+    let mut qudits: Vec<usize> =
+        network.nodes()[i..=j].iter().flat_map(|n| n.qudits.iter().copied()).collect();
     qudits.sort_unstable();
     qudits.dedup();
     qudits
@@ -160,7 +158,8 @@ fn optimal_interval_dp(network: &TensorNetwork) -> (ContractionTree, f64) {
             for k in i..j {
                 let left = interval_qudits(network, i, k);
                 let right = interval_qudits(network, k + 1, j);
-                let cost = best_cost[i][k] + best_cost[k + 1][j] + merge_cost(network, &left, &right);
+                let cost =
+                    best_cost[i][k] + best_cost[k + 1][j] + merge_cost(network, &left, &right);
                 if cost < cheapest {
                     cheapest = cost;
                     split = k;
@@ -225,7 +224,8 @@ fn greedy_adjacent(network: &TensorNetwork) -> (ContractionTree, f64) {
             Item { tree: ContractionTree::Leaf(0), qudits: Vec::new() },
         );
         total_cost += merge_cost(network, &left.qudits, &right.qudits);
-        let mut union: Vec<usize> = left.qudits.iter().chain(right.qudits.iter()).copied().collect();
+        let mut union: Vec<usize> =
+            left.qudits.iter().chain(right.qudits.iter()).copied().collect();
         union.sort_unstable();
         union.dedup();
         items[best_idx] = Item {

@@ -81,10 +81,7 @@ mod tests {
     #[test]
     fn infidelity_of_orthogonal_unitaries_is_one() {
         let i2 = Matrix::<f64>::identity(2);
-        let x = Matrix::from_rows(&[
-            vec![C64::zero(), C64::one()],
-            vec![C64::one(), C64::zero()],
-        ]);
+        let x = Matrix::from_rows(&[vec![C64::zero(), C64::one()], vec![C64::one(), C64::zero()]]);
         assert!((hs_infidelity(&i2, &x) - 1.0).abs() < 1e-14);
     }
 
@@ -94,10 +91,7 @@ mod tests {
         let mut r = vec![0.0; residual_len(2)];
         residuals_into(&u, &u, &mut r);
         assert!(sum_of_squares(&r) < 1e-30);
-        let x = Matrix::from_rows(&[
-            vec![C64::zero(), C64::one()],
-            vec![C64::one(), C64::zero()],
-        ]);
+        let x = Matrix::from_rows(&[vec![C64::zero(), C64::one()], vec![C64::one(), C64::zero()]]);
         residuals_into(&u, &x, &mut r);
         assert!((sum_of_squares(&r) - 4.0).abs() < 1e-12);
     }

@@ -4,14 +4,24 @@
 //! This is the workload of Figs. 6 and 7 of the paper: single-start instantiation and
 //! the more realistic multi-start scenario (8 starts, matching BQSKit's `-O3` default),
 //! with early termination as soon as one start reaches the success threshold.
+//!
+//! Multi-start runs execute their starts **in parallel** (scoped threads, one TNVM per
+//! worker, all sharing one [`ExpressionCache`]): each start's starting point is derived
+//! from a deterministic `(seed, start index)` pair, so *which point a given start
+//! explores* never depends on the thread schedule. (With early termination, *how many*
+//! starts complete — and, when several succeed, which optimum is returned — can still
+//! vary run to run.) Synthesis frontiers hammer this path — see `qudit-synth`.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use qudit_circuit::QuditCircuit;
-use qudit_network::{compile_network, TensorNetwork};
-use qudit_qvm::{DiffMode, ExpressionCache};
-use qudit_tensor::{C64, Matrix};
+use qudit_network::{compile_network, TensorNetwork, TnvmProgram};
+use qudit_qvm::{CompileOptions, DiffMode, ExpressionCache};
+use qudit_tensor::{Matrix, C64};
 use qudit_tnvm::Tnvm;
 
 use crate::cost::hs_infidelity;
@@ -30,8 +40,17 @@ pub struct InstantiateConfig {
     pub success_threshold: f64,
     /// LM settings shared by every start.
     pub lm: LmConfig,
-    /// RNG seed for the random starting parameters.
+    /// RNG seed for the random starting parameters. Each start derives its own
+    /// generator from `(seed, start index)`, so results are schedule-independent.
     pub seed: u64,
+    /// Worker-thread cap for multi-start runs: `0` uses the machine's available
+    /// parallelism, `1` forces the serial path.
+    pub threads: usize,
+    /// Optional warm start: the first start begins from these values (tail-padded with
+    /// near-zero randoms when the circuit has more parameters). Bottom-up synthesis
+    /// passes the parent node's optimum here, since an extended circuit keeps its
+    /// parent's parameter positions.
+    pub warm_start: Option<Vec<f64>>,
 }
 
 impl Default for InstantiateConfig {
@@ -41,6 +60,8 @@ impl Default for InstantiateConfig {
             success_threshold: SUCCESS_THRESHOLD,
             lm: LmConfig::default(),
             seed: 0,
+            threads: 0,
+            warm_start: None,
         }
     }
 }
@@ -49,6 +70,42 @@ impl InstantiateConfig {
     /// The paper's multi-start configuration (8 restarts).
     pub fn multi_start(seed: u64) -> Self {
         InstantiateConfig { starts: 8, seed, ..Default::default() }
+    }
+
+    /// The number of worker threads a multi-start run will actually use.
+    pub fn effective_threads(&self) -> usize {
+        resolve_threads(self.threads).min(self.starts.max(1))
+    }
+}
+
+/// Resolves a requested worker-thread count: `0` means the machine's available
+/// parallelism (with a fallback of 1). Shared policy for every parallel driver in the
+/// workspace (multi-start instantiation, the synthesis frontier).
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// The deterministic starting point for start `start_idx`: the warm start (when given)
+/// for start 0, otherwise near-zero for start 0 and uniform over `(-π, π]` for the
+/// rest. Every start seeds its own generator from `(config.seed, start_idx)`, so the
+/// points do not depend on which thread evaluates which start.
+fn start_point(n: usize, config: &InstantiateConfig, start_idx: usize) -> Vec<f64> {
+    let mut rng =
+        StdRng::seed_from_u64(config.seed ^ (start_idx as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    if start_idx == 0 {
+        if let Some(warm) = &config.warm_start {
+            return (0..n)
+                .map(|k| warm.get(k).copied().unwrap_or_else(|| rng.gen_range(-0.1..0.1)))
+                .collect();
+        }
+        // First start near zero (a common heuristic); subsequent starts are uniform.
+        (0..n).map(|_| rng.gen_range(-0.1..0.1)).collect()
+    } else {
+        (0..n).map(|_| rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI)).collect()
     }
 }
 
@@ -67,7 +124,12 @@ pub struct InstantiationResult {
     pub total_iterations: usize,
 }
 
-/// Runs (multi-start) instantiation of `evaluator` against `target`.
+/// Runs (multi-start) instantiation of `evaluator` against `target`, serially.
+///
+/// This is the trait-object entry point shared with the baseline engine. The
+/// TNVM-backed [`instantiate_circuit`] runs its starts in parallel instead (through
+/// [`instantiate_parallel`]); both explore exactly the same deterministic per-start
+/// starting points.
 pub fn instantiate(
     evaluator: &mut dyn GradientEvaluator,
     target: &Matrix<f64>,
@@ -75,19 +137,13 @@ pub fn instantiate(
 ) -> InstantiationResult {
     assert!(config.starts >= 1, "at least one start is required");
     let n = evaluator.num_params();
-    let mut rng = StdRng::seed_from_u64(config.seed);
     let mut best: Option<(Vec<f64>, f64)> = None;
     let mut total_iterations = 0usize;
     let mut starts_used = 0usize;
 
     for start_idx in 0..config.starts {
         starts_used += 1;
-        let x0: Vec<f64> = if start_idx == 0 && n > 0 {
-            // First start near zero (a common heuristic); subsequent starts are uniform.
-            (0..n).map(|_| rng.gen_range(-0.1..0.1)).collect()
-        } else {
-            (0..n).map(|_| rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI)).collect()
-        };
+        let x0 = start_point(n, config, start_idx);
         let LmResult { params, iterations, .. } = minimize(evaluator, target, &x0, &config.lm);
         total_iterations += iterations;
         let (unitary, _) = evaluator.evaluate(&params);
@@ -111,6 +167,81 @@ pub fn instantiate(
     }
 }
 
+/// One finished start: `(start index, params, infidelity, LM iterations)`.
+type CompletedStart = (usize, Vec<f64>, f64, usize);
+
+/// Runs multi-start instantiation with the starts distributed over scoped worker
+/// threads. `make_evaluator` is called once per worker (inside the worker), so the
+/// evaluator type needs neither `Send` nor `Sync`; per-start starting points are
+/// derived deterministically from `(config.seed, start index)`. Once any start reaches
+/// the success threshold, no further starts are issued (in-flight ones finish and are
+/// still considered for the best result).
+pub fn instantiate_parallel<E, F>(
+    make_evaluator: F,
+    target: &Matrix<f64>,
+    config: &InstantiateConfig,
+) -> InstantiationResult
+where
+    E: GradientEvaluator,
+    F: Fn() -> E + Sync,
+{
+    assert!(config.starts >= 1, "at least one start is required");
+    let threads = config.effective_threads();
+    if threads <= 1 || config.starts == 1 {
+        let mut evaluator = make_evaluator();
+        return instantiate(&mut evaluator, target, config);
+    }
+
+    let next_start = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let completed: Mutex<Vec<CompletedStart>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut evaluator = make_evaluator();
+                let n = evaluator.num_params();
+                loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let start_idx = next_start.fetch_add(1, Ordering::Relaxed);
+                    if start_idx >= config.starts {
+                        break;
+                    }
+                    let x0 = start_point(n, config, start_idx);
+                    let LmResult { params, iterations, .. } =
+                        minimize(&mut evaluator, target, &x0, &config.lm);
+                    let (unitary, _) = evaluator.evaluate(&params);
+                    let infidelity = hs_infidelity(target, &unitary);
+                    if infidelity < config.success_threshold {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                    completed
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push((start_idx, params, infidelity, iterations));
+                }
+            });
+        }
+    });
+
+    let mut runs = completed.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+    // Deterministic tie-breaking: earlier start indices win among equal infidelities.
+    runs.sort_by_key(|r| r.0);
+    let starts_used = runs.len();
+    let total_iterations = runs.iter().map(|r| r.3).sum();
+    let (_, params, infidelity, _) =
+        runs.into_iter().min_by(|a, b| a.2.total_cmp(&b.2)).expect("at least one start ran");
+    InstantiationResult {
+        params,
+        success: infidelity < config.success_threshold,
+        infidelity,
+        starts_used,
+        total_iterations,
+    }
+}
+
 /// A [`GradientEvaluator`] backed by the TNVM — the "OpenQudit side" of the evaluation.
 #[derive(Debug)]
 pub struct TnvmEvaluator {
@@ -125,8 +256,24 @@ impl TnvmEvaluator {
     pub fn new(circuit: &QuditCircuit, cache: &ExpressionCache) -> Self {
         let network = TensorNetwork::from_circuit(circuit);
         let program = compile_network(&network);
-        let vm = Tnvm::new(&program, DiffMode::Gradient, cache);
-        TnvmEvaluator { num_params: circuit.num_params(), dim: circuit.dim(), vm }
+        TnvmEvaluator::from_program(&program, cache)
+    }
+
+    /// Initializes a gradient-mode TNVM directly from already-compiled bytecode. The
+    /// parallel multi-start driver uses this to share one AOT compilation across all
+    /// worker threads.
+    pub fn from_program(program: &TnvmProgram, cache: &ExpressionCache) -> Self {
+        let vm = Tnvm::new(program, DiffMode::Gradient, cache);
+        TnvmEvaluator { num_params: program.num_params, dim: program.dim(), vm }
+    }
+
+    /// Re-targets the evaluator at new bytecode in place, reusing the TNVM's arena
+    /// allocations — the recompile-on-expansion path synthesis workers use when moving
+    /// from one candidate circuit to the next.
+    pub fn load_program(&mut self, program: &TnvmProgram, cache: &ExpressionCache) {
+        self.vm.load(program, cache);
+        self.num_params = program.num_params;
+        self.dim = program.dim();
     }
 
     /// Bytes of numerical storage held by the underlying TNVM.
@@ -152,15 +299,29 @@ impl GradientEvaluator for TnvmEvaluator {
 
 /// Instantiates a circuit against a target unitary using the TNVM pipeline (AOT compile,
 /// TNVM init, multi-start LM). The expression cache is shared state, so repeated calls
-/// with the same gate set skip recompilation.
+/// with the same gate set skip recompilation. Multi-start runs distribute their starts
+/// over worker threads (see [`InstantiateConfig::effective_threads`]); the circuit is
+/// AOT-compiled once and every worker instantiates its own TNVM from the shared
+/// bytecode.
 pub fn instantiate_circuit(
     circuit: &QuditCircuit,
     target: &Matrix<f64>,
     config: &InstantiateConfig,
     cache: &ExpressionCache,
 ) -> InstantiationResult {
-    let mut evaluator = TnvmEvaluator::new(circuit, cache);
-    instantiate(&mut evaluator, target, config)
+    if config.effective_threads() <= 1 {
+        let mut evaluator = TnvmEvaluator::new(circuit, cache);
+        return instantiate(&mut evaluator, target, config);
+    }
+    let network = TensorNetwork::from_circuit(circuit);
+    let program = compile_network(&network);
+    // Warm the cache serially first: `get_or_compile` compiles outside its lock, so a
+    // cold cache hit by N workers at once would compile the same expression N times.
+    let options = CompileOptions::with_gradient();
+    for expr in &program.exprs {
+        let _ = cache.get_or_compile(expr, &options);
+    }
+    instantiate_parallel(|| TnvmEvaluator::from_program(&program, cache), target, config)
 }
 
 /// Samples a Haar-random unitary of the given dimension (Gaussian matrix followed by
@@ -173,20 +334,16 @@ pub fn haar_random_unitary(dim: usize, seed: u64) -> Matrix<f64> {
         let u2: f64 = rng.gen_range(0.0..1.0);
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
     };
-    let mut columns: Vec<Vec<C64>> = (0..dim)
-        .map(|_| (0..dim).map(|_| C64::new(gauss(), gauss())).collect())
-        .collect();
+    let mut columns: Vec<Vec<C64>> =
+        (0..dim).map(|_| (0..dim).map(|_| C64::new(gauss(), gauss())).collect()).collect();
     // Modified Gram–Schmidt.
     for k in 0..dim {
         for j in 0..k {
-            let proj: C64 = columns[j]
-                .iter()
-                .zip(columns[k].iter())
-                .map(|(a, b)| a.conj() * *b)
-                .sum();
+            let proj: C64 =
+                columns[j].iter().zip(columns[k].iter()).map(|(a, b)| a.conj() * *b).sum();
             let col_j = columns[j].clone();
             for (vk, vj) in columns[k].iter_mut().zip(col_j.iter()) {
-                *vk = *vk - *vj * proj;
+                *vk -= *vj * proj;
             }
         }
         let norm: f64 = columns[k].iter().map(|c| c.norm_sqr()).sum::<f64>().sqrt();
@@ -272,8 +429,7 @@ mod tests {
         circuit.append_ref(rz, vec![0]).unwrap();
         let target = haar_random_unitary(4, 123);
         let cache = ExpressionCache::new();
-        let result =
-            instantiate_circuit(&circuit, &target, &InstantiateConfig::default(), &cache);
+        let result = instantiate_circuit(&circuit, &target, &InstantiateConfig::default(), &cache);
         assert!(!result.success);
         assert!(result.infidelity > 1e-3);
     }
@@ -282,8 +438,73 @@ mod tests {
     fn config_defaults() {
         let c = InstantiateConfig::default();
         assert_eq!(c.starts, 1);
+        assert_eq!(c.threads, 0);
+        assert!(c.warm_start.is_none());
         let m = InstantiateConfig::multi_start(0);
         assert_eq!(m.starts, 8);
         assert_eq!(m.success_threshold, SUCCESS_THRESHOLD);
+        assert!(m.effective_threads() >= 1);
+        assert!(m.effective_threads() <= 8);
+        let serial = InstantiateConfig { threads: 1, ..Default::default() };
+        assert_eq!(serial.effective_threads(), 1);
+    }
+
+    #[test]
+    fn parallel_and_serial_explore_identical_start_points() {
+        let config = InstantiateConfig { starts: 5, seed: 17, ..Default::default() };
+        for idx in 0..5 {
+            let a = start_point(7, &config, idx);
+            let b = start_point(7, &config, idx);
+            assert_eq!(a, b, "start {idx} must be schedule-independent");
+            assert_eq!(a.len(), 7);
+        }
+        // Start 0 is near zero, later starts are uniform in (-π, π].
+        assert!(start_point(7, &config, 0).iter().all(|v| v.abs() < 0.1));
+        assert!(start_point(7, &config, 1).iter().any(|v| v.abs() > 0.1));
+    }
+
+    #[test]
+    fn parallel_multi_start_matches_serial_quality() {
+        let circuit = builders::pqc_qubit_ladder(3, 3).unwrap();
+        let target = reachable_target(&circuit, 31);
+        let cache = ExpressionCache::new();
+        let parallel_cfg = InstantiateConfig { starts: 4, seed: 5, ..Default::default() };
+        let result = instantiate_circuit(&circuit, &target, &parallel_cfg, &cache);
+        assert!(result.infidelity < 1e-6, "parallel infidelity {}", result.infidelity);
+        assert!(result.starts_used >= 1 && result.starts_used <= 4);
+        assert!(result.total_iterations > 0);
+    }
+
+    #[test]
+    fn warm_start_reuses_parent_parameters() {
+        // Optimize the 1-layer template, extend it by one block, and warm-start the
+        // extended instantiation from the parent's optimum. The extension appends its
+        // gates' parameters at the tail, so the parent optimum is a meaningful prefix
+        // of the child's parameter vector — a strong starting region for LM (though
+        // not an exact embedding: the appended block contains a constant entangler).
+        let parent = builders::pqc_template(&[2, 2], &[(0, 1)]).unwrap();
+        let target = reachable_target(&parent, 3);
+        let cache = ExpressionCache::new();
+        let parent_result = instantiate_circuit(
+            &parent,
+            &target,
+            &InstantiateConfig { starts: 4, seed: 1, ..Default::default() },
+            &cache,
+        );
+        assert!(parent_result.infidelity < 1e-8);
+
+        let child = builders::pqc_template(&[2, 2], &[(0, 1), (0, 1)]).unwrap();
+        let warm_cfg = InstantiateConfig {
+            starts: 4,
+            warm_start: Some(parent_result.params.clone()),
+            seed: 2,
+            ..Default::default()
+        };
+        let child_result = instantiate_circuit(&child, &target, &warm_cfg, &cache);
+        assert!(
+            child_result.infidelity < 1e-8,
+            "warm-started child infidelity {}",
+            child_result.infidelity
+        );
     }
 }

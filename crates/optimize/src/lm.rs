@@ -123,8 +123,7 @@ pub fn minimize(
                 continue;
             };
             let step_norm: f64 = step.iter().map(|s| s * s).sum::<f64>().sqrt();
-            let candidate: Vec<f64> =
-                params.iter().zip(step.iter()).map(|(p, s)| p + s).collect();
+            let candidate: Vec<f64> = params.iter().zip(step.iter()).map(|(p, s)| p + s).collect();
             let (cand_unitary, cand_grads) = evaluator.evaluate(&candidate);
             let mut cand_residuals = vec![0.0; m];
             residuals_into(target, &cand_unitary, &mut cand_residuals);
@@ -214,7 +213,7 @@ pub fn solve_linear_system(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qudit_tensor::{C64, Matrix};
+    use qudit_tensor::{Matrix, C64};
 
     #[test]
     fn linear_solver_inverts_small_systems() {

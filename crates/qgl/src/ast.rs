@@ -79,11 +79,7 @@ impl AstExpr {
             AstExpr::Neg(inner) => 1 + inner.node_count(),
             AstExpr::Binary { lhs, rhs, .. } => 1 + lhs.node_count() + rhs.node_count(),
             AstExpr::Matrix(rows) => {
-                1 + rows
-                    .iter()
-                    .flat_map(|r| r.iter())
-                    .map(AstExpr::node_count)
-                    .sum::<usize>()
+                1 + rows.iter().flat_map(|r| r.iter()).map(AstExpr::node_count).sum::<usize>()
             }
         }
     }

@@ -39,10 +39,7 @@ pub fn diff(expr: &Expr, var: &str) -> Expr {
                 return Expr::div(da, b.as_ref().clone());
             }
             Expr::div(
-                Expr::sub(
-                    Expr::mul(da, b.as_ref().clone()),
-                    Expr::mul(a.as_ref().clone(), db),
-                ),
+                Expr::sub(Expr::mul(da, b.as_ref().clone()), Expr::mul(a.as_ref().clone(), db)),
                 Expr::mul(b.as_ref().clone(), b.as_ref().clone()),
             )
         }
@@ -65,10 +62,7 @@ pub fn diff(expr: &Expr, var: &str) -> Expr {
         Expr::Cos(a) => Expr::neg(Expr::mul(Expr::sin(a.as_ref().clone()), diff(a, var))),
         Expr::Sqrt(a) => {
             // d/dx √a = a' / (2√a)
-            Expr::div(
-                diff(a, var),
-                Expr::mul(Expr::constant(2.0), Expr::sqrt(a.as_ref().clone())),
-            )
+            Expr::div(diff(a, var), Expr::mul(Expr::constant(2.0), Expr::sqrt(a.as_ref().clone())))
         }
         Expr::Exp(a) => Expr::mul(Expr::exp(a.as_ref().clone()), diff(a, var)),
         Expr::Ln(a) => Expr::div(diff(a, var), a.as_ref().clone()),
@@ -83,17 +77,8 @@ pub fn diff_complex(expr: &ComplexExpr, var: &str) -> ComplexExpr {
 
 /// Central finite-difference approximation used by tests to validate the symbolic
 /// derivative (`f'(x) ≈ [f(x+h) - f(x-h)] / 2h`).
-pub fn finite_difference(
-    expr: &Expr,
-    names: &[String],
-    values: &[f64],
-    var: &str,
-    h: f64,
-) -> f64 {
-    let idx = names
-        .iter()
-        .position(|n| n == var)
-        .expect("finite_difference: unknown variable");
+pub fn finite_difference(expr: &Expr, names: &[String], values: &[f64], var: &str, h: f64) -> f64 {
+    let idx = names.iter().position(|n| n == var).expect("finite_difference: unknown variable");
     let mut plus = values.to_vec();
     let mut minus = values.to_vec();
     plus[idx] += h;
@@ -113,10 +98,7 @@ mod tests {
         let ns = names(vars);
         let sym = diff(expr, wrt).eval_with(&ns, at);
         let num = finite_difference(expr, &ns, at, wrt, 1e-6);
-        assert!(
-            (sym - num).abs() < 1e-5,
-            "d/d{wrt} of {expr}: symbolic {sym} vs numeric {num}"
-        );
+        assert!((sym - num).abs() < 1e-5, "d/d{wrt} of {expr}: symbolic {sym} vs numeric {num}");
     }
 
     #[test]
@@ -144,7 +126,8 @@ mod tests {
         check_derivative(&e, &["x", "y"], &[0.3, 1.1], "x");
         check_derivative(&e, &["x", "y"], &[0.3, 1.1], "y");
 
-        let q = Expr::div(Expr::sin(x.clone()), Expr::add(Expr::constant(2.0), Expr::cos(x.clone())));
+        let q =
+            Expr::div(Expr::sin(x.clone()), Expr::add(Expr::constant(2.0), Expr::cos(x.clone())));
         check_derivative(&q, &["x"], &[0.7], "x");
     }
 

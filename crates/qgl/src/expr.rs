@@ -92,6 +92,7 @@ impl Expr {
     }
 
     /// Addition with constant folding and identity elimination.
+    #[allow(clippy::should_implement_trait)] // constructor-style API, not an operator
     pub fn add(a: Expr, b: Expr) -> Expr {
         match (a.as_const(), b.as_const()) {
             (Some(x), Some(y)) => return Expr::Const(x + y),
@@ -103,6 +104,7 @@ impl Expr {
     }
 
     /// Subtraction with constant folding and identity elimination.
+    #[allow(clippy::should_implement_trait)] // constructor-style API, not an operator
     pub fn sub(a: Expr, b: Expr) -> Expr {
         match (a.as_const(), b.as_const()) {
             (Some(x), Some(y)) => return Expr::Const(x - y),
@@ -114,6 +116,7 @@ impl Expr {
     }
 
     /// Multiplication with constant folding and identity/annihilator elimination.
+    #[allow(clippy::should_implement_trait)] // constructor-style API, not an operator
     pub fn mul(a: Expr, b: Expr) -> Expr {
         match (a.as_const(), b.as_const()) {
             (Some(x), Some(y)) => return Expr::Const(x * y),
@@ -128,6 +131,7 @@ impl Expr {
     }
 
     /// Division with constant folding and identity elimination.
+    #[allow(clippy::should_implement_trait)] // constructor-style API, not an operator
     pub fn div(a: Expr, b: Expr) -> Expr {
         match (a.as_const(), b.as_const()) {
             (Some(x), Some(y)) if y != 0.0 => return Expr::Const(x / y),
@@ -139,6 +143,7 @@ impl Expr {
     }
 
     /// Negation with double-negation and constant folding.
+    #[allow(clippy::should_implement_trait)] // constructor-style API, not an operator
     pub fn neg(a: Expr) -> Expr {
         if let Some(c) = a.as_const() {
             return Expr::Const(-c);
@@ -253,9 +258,16 @@ impl Expr {
             Expr::Var(name) => {
                 out.insert(name.clone());
             }
-            Expr::Neg(a) | Expr::Sin(a) | Expr::Cos(a) | Expr::Sqrt(a) | Expr::Exp(a)
+            Expr::Neg(a)
+            | Expr::Sin(a)
+            | Expr::Cos(a)
+            | Expr::Sqrt(a)
+            | Expr::Exp(a)
             | Expr::Ln(a) => a.collect_variables(out),
-            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b)
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
             | Expr::Pow(a, b) => {
                 a.collect_variables(out);
                 b.collect_variables(out);
@@ -268,9 +280,16 @@ impl Expr {
         match self {
             Expr::Const(_) | Expr::Pi => false,
             Expr::Var(n) => n == name,
-            Expr::Neg(a) | Expr::Sin(a) | Expr::Cos(a) | Expr::Sqrt(a) | Expr::Exp(a)
+            Expr::Neg(a)
+            | Expr::Sin(a)
+            | Expr::Cos(a)
+            | Expr::Sqrt(a)
+            | Expr::Exp(a)
             | Expr::Ln(a) => a.depends_on(name),
-            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b)
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
             | Expr::Pow(a, b) => a.depends_on(name) || b.depends_on(name),
         }
     }
@@ -319,9 +338,16 @@ impl Expr {
     pub fn node_count(&self) -> usize {
         match self {
             Expr::Const(_) | Expr::Pi | Expr::Var(_) => 1,
-            Expr::Neg(a) | Expr::Sin(a) | Expr::Cos(a) | Expr::Sqrt(a) | Expr::Exp(a)
+            Expr::Neg(a)
+            | Expr::Sin(a)
+            | Expr::Cos(a)
+            | Expr::Sqrt(a)
+            | Expr::Exp(a)
             | Expr::Ln(a) => 1 + a.node_count(),
-            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b)
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
             | Expr::Pow(a, b) => 1 + a.node_count() + b.node_count(),
         }
     }
@@ -333,7 +359,10 @@ impl Expr {
             Expr::Const(_) | Expr::Pi | Expr::Var(_) => 0,
             Expr::Sin(a) | Expr::Cos(a) => 1 + a.trig_count(),
             Expr::Neg(a) | Expr::Sqrt(a) | Expr::Exp(a) | Expr::Ln(a) => a.trig_count(),
-            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b)
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
             | Expr::Pow(a, b) => a.trig_count() + b.trig_count(),
         }
     }
@@ -371,9 +400,16 @@ impl Hash for Expr {
             Expr::Const(c) => c.to_bits().hash(state),
             Expr::Pi => {}
             Expr::Var(name) => name.hash(state),
-            Expr::Neg(a) | Expr::Sin(a) | Expr::Cos(a) | Expr::Sqrt(a) | Expr::Exp(a)
+            Expr::Neg(a)
+            | Expr::Sin(a)
+            | Expr::Cos(a)
+            | Expr::Sqrt(a)
+            | Expr::Exp(a)
             | Expr::Ln(a) => a.hash(state),
-            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b)
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
             | Expr::Pow(a, b) => {
                 a.hash(state);
                 b.hash(state);
@@ -528,10 +564,7 @@ impl ComplexExpr {
     pub fn exp(&self) -> ComplexExpr {
         if self.re.is_zero() {
             // Pure phase: e^{ib} = cos b + i sin b (Euler), avoiding a spurious e^0.
-            return ComplexExpr {
-                re: Expr::cos(self.im.clone()),
-                im: Expr::sin(self.im.clone()),
-            };
+            return ComplexExpr { re: Expr::cos(self.im.clone()), im: Expr::sin(self.im.clone()) };
         }
         let mag = Expr::exp(self.re.clone());
         ComplexExpr {
@@ -688,7 +721,7 @@ mod tests {
         assert_eq!(e.re, Expr::cos(Expr::var("t")));
         assert_eq!(e.im, Expr::sin(Expr::var("t")));
         // And no `exp` node should appear for the pure-phase case.
-        assert_eq!(e.re.to_string().contains("exp"), false);
+        assert!(!e.re.to_string().contains("exp"));
     }
 
     #[test]

@@ -202,10 +202,9 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>> {
                 }
                 let end = if i < chars.len() { chars[i].0 } else { source.len() };
                 let text = &source[offset..end];
-                let value: f64 = text.parse().map_err(|_| QglError::InvalidNumber {
-                    text: text.to_string(),
-                    offset,
-                })?;
+                let value: f64 = text
+                    .parse()
+                    .map_err(|_| QglError::InvalidNumber { text: text.to_string(), offset })?;
                 tokens.push(Token { kind: TokenKind::Number(value), offset });
                 let _ = start;
             }
@@ -288,20 +287,14 @@ mod tests {
 
     #[test]
     fn rejects_unknown_characters() {
-        assert!(matches!(
-            tokenize("U3 $ x"),
-            Err(QglError::UnexpectedCharacter { ch: '$', .. })
-        ));
+        assert!(matches!(tokenize("U3 $ x"), Err(QglError::UnexpectedCharacter { ch: '$', .. })));
         assert!(matches!(tokenize("a # b"), Err(QglError::UnexpectedCharacter { .. })));
     }
 
     #[test]
     fn number_followed_by_identifier() {
         let k = kinds("2*pi");
-        assert_eq!(
-            k,
-            vec![TokenKind::Number(2.0), TokenKind::Star, TokenKind::Ident("pi".into())]
-        );
+        assert_eq!(k, vec![TokenKind::Number(2.0), TokenKind::Star, TokenKind::Ident("pi".into())]);
     }
 
     #[test]

@@ -43,9 +43,7 @@ pub fn lower(ast: &AstExpr, params: &[String]) -> Result<Value> {
         AstExpr::Neg(inner) => match lower(inner, params)? {
             Value::Scalar(s) => Ok(Value::Scalar(s.neg())),
             Value::Matrix(m) => Ok(Value::Matrix(
-                m.into_iter()
-                    .map(|row| row.into_iter().map(|e| e.neg()).collect())
-                    .collect(),
+                m.into_iter().map(|row| row.into_iter().map(|e| e.neg()).collect()).collect(),
             )),
         },
         AstExpr::Call { name, args } => lower_call(name, args, params),
@@ -101,10 +99,7 @@ fn require_real(name: &str, arg: &ComplexExpr) -> Result<Expr> {
 }
 
 fn lower_call(name: &str, args: &[AstExpr], params: &[String]) -> Result<Value> {
-    let lowered: Vec<Value> = args
-        .iter()
-        .map(|a| lower(a, params))
-        .collect::<Result<Vec<_>>>()?;
+    let lowered: Vec<Value> = args.iter().map(|a| lower(a, params)).collect::<Result<Vec<_>>>()?;
     let scalars: Vec<ComplexExpr> = lowered
         .iter()
         .map(|v| match v {
@@ -138,10 +133,7 @@ fn lower_call(name: &str, args: &[AstExpr], params: &[String]) -> Result<Value> 
             // Canonicalized to sin/cos for uniform processing downstream.
             arity(1)?;
             let x = require_real(name, &scalars[0])?;
-            Ok(Value::Scalar(ComplexExpr::from_real(Expr::div(
-                Expr::sin(x.clone()),
-                Expr::cos(x),
-            ))))
+            Ok(Value::Scalar(ComplexExpr::from_real(Expr::div(Expr::sin(x.clone()), Expr::cos(x)))))
         }
         "sqrt" => {
             arity(1)?;
@@ -182,30 +174,22 @@ fn lower_binary(op: BinaryOp, lhs: Value, rhs: Value) -> Result<Value> {
         (BinaryOp::Div, Scalar(a), Scalar(b)) => Ok(Scalar(a.div(&b))),
         (BinaryOp::Pow, Scalar(a), Scalar(b)) => lower_pow(a, b).map(Scalar),
 
-        (BinaryOp::Add, Matrix(a), Matrix(b)) => elementwise(a, b, "matrix addition", |x, y| x.add(y)),
+        (BinaryOp::Add, Matrix(a), Matrix(b)) => {
+            elementwise(a, b, "matrix addition", |x, y| x.add(y))
+        }
         (BinaryOp::Sub, Matrix(a), Matrix(b)) => {
             elementwise(a, b, "matrix subtraction", |x, y| x.sub(y))
         }
         (BinaryOp::Mul, Matrix(a), Matrix(b)) => matmul(a, b),
-        (BinaryOp::Mul, Scalar(s), Matrix(m)) | (BinaryOp::Mul, Matrix(m), Scalar(s)) => {
-            Ok(Matrix(
-                m.into_iter()
-                    .map(|row| row.into_iter().map(|e| e.mul(&s)).collect())
-                    .collect(),
-            ))
-        }
+        (BinaryOp::Mul, Scalar(s), Matrix(m)) | (BinaryOp::Mul, Matrix(m), Scalar(s)) => Ok(
+            Matrix(m.into_iter().map(|row| row.into_iter().map(|e| e.mul(&s)).collect()).collect()),
+        ),
         (BinaryOp::Div, Matrix(m), Scalar(s)) => Ok(Matrix(
-            m.into_iter()
-                .map(|row| row.into_iter().map(|e| e.div(&s)).collect())
-                .collect(),
+            m.into_iter().map(|row| row.into_iter().map(|e| e.div(&s)).collect()).collect(),
         )),
         (BinaryOp::Pow, Matrix(m), Scalar(s)) => matrix_power(m, s),
         (op, l, r) => Err(QglError::DimensionMismatch {
-            op: format!(
-                "{op:?} between {} and {}",
-                kind_name(&l),
-                kind_name(&r)
-            ),
+            op: format!("{op:?} between {} and {}", kind_name(&l), kind_name(&r)),
         }),
     }
 }
@@ -309,9 +293,7 @@ fn matrix_power(m: Vec<Vec<ComplexExpr>>, s: ComplexExpr) -> Result<Value> {
     }
     let mut acc: Vec<Vec<ComplexExpr>> = (0..n)
         .map(|i| {
-            (0..n)
-                .map(|j| if i == j { ComplexExpr::one() } else { ComplexExpr::zero() })
-                .collect()
+            (0..n).map(|j| if i == j { ComplexExpr::one() } else { ComplexExpr::zero() }).collect()
         })
         .collect();
     for _ in 0..(e as usize) {
@@ -355,10 +337,7 @@ mod tests {
 
     #[test]
     fn undeclared_parameter_is_rejected() {
-        assert!(matches!(
-            lower_str("cos(theta)", &[]),
-            Err(QglError::ParameterMismatch { .. })
-        ));
+        assert!(matches!(lower_str("cos(theta)", &[]), Err(QglError::ParameterMismatch { .. })));
         assert!(lower_str("cos(theta)", &["theta"]).is_ok());
     }
 
@@ -396,23 +375,14 @@ mod tests {
 
     #[test]
     fn complex_argument_to_sin_is_rejected() {
-        assert!(matches!(
-            lower_str("sin(i*x)", &["x"]),
-            Err(QglError::ComplexArgument { .. })
-        ));
+        assert!(matches!(lower_str("sin(i*x)", &["x"]), Err(QglError::ComplexArgument { .. })));
         assert!(matches!(lower_str("ln(i)", &[]), Err(QglError::ComplexArgument { .. })));
     }
 
     #[test]
     fn unknown_function_and_arity_errors() {
-        assert!(matches!(
-            lower_str("sinh(x)", &["x"]),
-            Err(QglError::UnknownFunction { .. })
-        ));
-        assert!(matches!(
-            lower_str("sin(x, x)", &["x"]),
-            Err(QglError::WrongArity { .. })
-        ));
+        assert!(matches!(lower_str("sinh(x)", &["x"]), Err(QglError::UnknownFunction { .. })));
+        assert!(matches!(lower_str("sin(x, x)", &["x"]), Err(QglError::WrongArity { .. })));
     }
 
     #[test]

@@ -15,9 +15,8 @@ use crate::unitary_expr::UnitaryExpression;
 /// Returns the conjugate transpose (inverse, for unitaries) of `expr`.
 pub fn dagger(expr: &UnitaryExpression) -> UnitaryExpression {
     let dim = expr.dim();
-    let elements: Vec<Vec<ComplexExpr>> = (0..dim)
-        .map(|r| (0..dim).map(|c| expr.element(c, r).conj()).collect())
-        .collect();
+    let elements: Vec<Vec<ComplexExpr>> =
+        (0..dim).map(|r| (0..dim).map(|c| expr.element(c, r).conj()).collect()).collect();
     UnitaryExpression::from_parts_unchecked(
         format!("{}†", expr.name()),
         expr.radices().to_vec(),
@@ -28,11 +27,8 @@ pub fn dagger(expr: &UnitaryExpression) -> UnitaryExpression {
 
 /// Returns the element-wise complex conjugate of `expr`.
 pub fn conjugate(expr: &UnitaryExpression) -> UnitaryExpression {
-    let elements: Vec<Vec<ComplexExpr>> = expr
-        .elements()
-        .iter()
-        .map(|row| row.iter().map(|el| el.conj()).collect())
-        .collect();
+    let elements: Vec<Vec<ComplexExpr>> =
+        expr.elements().iter().map(|row| row.iter().map(|el| el.conj()).collect()).collect();
     UnitaryExpression::from_parts_unchecked(
         format!("conj({})", expr.name()),
         expr.radices().to_vec(),
@@ -48,9 +44,8 @@ pub fn conjugate(expr: &UnitaryExpression) -> UnitaryExpression {
 /// matrix directly (Sec. IV-A of the paper).
 pub fn transpose(expr: &UnitaryExpression) -> UnitaryExpression {
     let dim = expr.dim();
-    let elements: Vec<Vec<ComplexExpr>> = (0..dim)
-        .map(|r| (0..dim).map(|c| expr.element(c, r).clone()).collect())
-        .collect();
+    let elements: Vec<Vec<ComplexExpr>> =
+        (0..dim).map(|r| (0..dim).map(|c| expr.element(c, r).clone()).collect()).collect();
     UnitaryExpression::from_parts_unchecked(
         format!("{}ᵀ", expr.name()),
         expr.radices().to_vec(),
@@ -81,11 +76,7 @@ fn merge_params(a: &[String], b: &[String]) -> Vec<String> {
 pub fn matmul(lhs: &UnitaryExpression, rhs: &UnitaryExpression) -> Result<UnitaryExpression> {
     if lhs.radices() != rhs.radices() {
         return Err(QglError::DimensionMismatch {
-            op: format!(
-                "matmul of {:?} with {:?} radices",
-                lhs.radices(),
-                rhs.radices()
-            ),
+            op: format!("matmul of {:?} with {:?} radices", lhs.radices(), rhs.radices()),
         });
     }
     let a = lhs.elements().to_vec();
@@ -266,6 +257,7 @@ pub fn permute_qudits(expr: &UnitaryExpression, perm: &[usize]) -> Result<Unitar
     };
 
     let mut elements = vec![vec![ComplexExpr::zero(); dim]; dim];
+    #[allow(clippy::needless_range_loop)] // r/c index both the digit decoding and the matrix
     for r in 0..dim {
         let new_digits_r = decode(r, &new_radices);
         // new wire i carries old wire perm[i]
@@ -345,10 +337,7 @@ mod tests {
         let ab = matmul(&a, &b).unwrap();
         assert_eq!(ab.params(), &["theta".to_string(), "phi".to_string()]);
         let sym = ab.to_matrix::<f64>(&[0.4, 1.1]).unwrap();
-        let num = a
-            .to_matrix::<f64>(&[0.4])
-            .unwrap()
-            .matmul(&b.to_matrix::<f64>(&[1.1]).unwrap());
+        let num = a.to_matrix::<f64>(&[0.4]).unwrap().matmul(&b.to_matrix::<f64>(&[1.1]).unwrap());
         assert!(sym.max_elementwise_distance(&num) < 1e-13);
     }
 
@@ -377,10 +366,7 @@ mod tests {
         let ab = kron(&a, &b);
         assert_eq!(ab.radices(), &[2, 2]);
         let sym = ab.to_matrix::<f64>(&[0.9, -0.2]).unwrap();
-        let num = a
-            .to_matrix::<f64>(&[0.9])
-            .unwrap()
-            .kron(&b.to_matrix::<f64>(&[-0.2]).unwrap());
+        let num = a.to_matrix::<f64>(&[0.9]).unwrap().kron(&b.to_matrix::<f64>(&[-0.2]).unwrap());
         assert!(sym.max_elementwise_distance(&num) < 1e-13);
     }
 
@@ -397,9 +383,12 @@ mod tests {
     fn substitution_reparameterizes() {
         let g = rx();
         // θ ↦ 2·α
-        let s = substitute(&g, "theta", &Expr::mul(Expr::constant(2.0), Expr::var("alpha")), &[
-            "alpha".to_string(),
-        ])
+        let s = substitute(
+            &g,
+            "theta",
+            &Expr::mul(Expr::constant(2.0), Expr::var("alpha")),
+            &["alpha".to_string()],
+        )
         .unwrap();
         assert_eq!(s.params(), &["alpha".to_string()]);
         let a = s.to_matrix::<f64>(&[0.4]).unwrap();

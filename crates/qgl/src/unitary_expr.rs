@@ -160,11 +160,7 @@ impl UnitaryExpression {
 
     /// Total symbolic node count across all elements (used to gauge simplification).
     pub fn node_count(&self) -> usize {
-        self.elements
-            .iter()
-            .flat_map(|r| r.iter())
-            .map(|e| e.node_count())
-            .sum()
+        self.elements.iter().flat_map(|r| r.iter()).map(|e| e.node_count()).sum()
     }
 
     /// Evaluates the unitary at the given parameter values by walking the symbolic trees.
@@ -416,10 +412,8 @@ mod tests {
 
     #[test]
     fn qubit_radices_inferred_from_dimension() {
-        let cnot = UnitaryExpression::new(
-            "CNOT() { [[1,0,0,0],[0,1,0,0],[0,0,0,1],[0,0,1,0]] }",
-        )
-        .unwrap();
+        let cnot =
+            UnitaryExpression::new("CNOT() { [[1,0,0,0],[0,1,0,0],[0,0,0,1],[0,0,1,0]] }").unwrap();
         assert_eq!(cnot.radices(), &[2, 2]);
         assert!(cnot.is_constant());
         assert!(cnot.check_unitary(&[], 1e-15));
@@ -435,10 +429,7 @@ mod tests {
 
     #[test]
     fn scalar_body_rejected() {
-        assert!(matches!(
-            UnitaryExpression::new("S(x) { cos(x) }"),
-            Err(QglError::NotAMatrix)
-        ));
+        assert!(matches!(UnitaryExpression::new("S(x) { cos(x) }"), Err(QglError::NotAMatrix)));
     }
 
     #[test]

@@ -97,10 +97,8 @@ mod tests {
     use super::*;
 
     fn rx() -> UnitaryExpression {
-        UnitaryExpression::new(
-            "RX(t) { [[cos(t/2), ~i*sin(t/2)], [~i*sin(t/2), cos(t/2)]] }",
-        )
-        .unwrap()
+        UnitaryExpression::new("RX(t) { [[cos(t/2), ~i*sin(t/2)], [~i*sin(t/2), cos(t/2)]] }")
+            .unwrap()
     }
 
     #[test]

@@ -144,9 +144,7 @@ impl CompiledExpression {
 
     /// The scratch-register requirement across all compiled programs.
     pub fn scratch_len(&self) -> usize {
-        self.unitary
-            .num_regs
-            .max(self.gradient.as_ref().map(|p| p.num_regs).unwrap_or(0))
+        self.unitary.num_regs.max(self.gradient.as_ref().map(|p| p.num_regs).unwrap_or(0))
     }
 
     /// Evaluates the unitary into a freshly allocated matrix (convenience/test path; the
@@ -162,10 +160,8 @@ impl CompiledExpression {
     ///
     /// Panics if the expression was compiled without gradients.
     pub fn evaluate_with_gradient<T: Float>(&self, params: &[T]) -> (Matrix<T>, Vec<Matrix<T>>) {
-        let program = self
-            .gradient
-            .as_ref()
-            .expect("expression was compiled without gradient support");
+        let program =
+            self.gradient.as_ref().expect("expression was compiled without gradient support");
         let out = program.run_alloc(params);
         let n = self.dim * self.dim;
         let unitary = Matrix::from_vec(self.dim, self.dim, out[..n].to_vec())
@@ -183,17 +179,10 @@ impl CompiledExpression {
 /// Emits a register program computing `exprs` (interpreted as interleaved re/im pairs)
 /// with global CSE.
 fn emit_program(exprs: &[Expr], params: &[String]) -> ExprProgram {
-    let mut emitter = Emitter {
-        params,
-        instrs: Vec::new(),
-        memo: HashMap::new(),
-        next_reg: 0,
-    };
+    let mut emitter = Emitter { params, instrs: Vec::new(), memo: HashMap::new(), next_reg: 0 };
     let regs: Vec<Reg> = exprs.iter().map(|e| emitter.emit(e)).collect();
-    let outputs = regs
-        .chunks_exact(2)
-        .map(|pair| OutputSlot { re: pair[0], im: pair[1] })
-        .collect();
+    let outputs =
+        regs.chunks_exact(2).map(|pair| OutputSlot { re: pair[0], im: pair[1] }).collect();
     ExprProgram {
         instrs: emitter.instrs,
         num_regs: emitter.next_reg as usize,

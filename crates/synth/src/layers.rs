@@ -1,0 +1,196 @@
+//! Template / layer generation: expanding a candidate circuit by one two-qudit
+//! building block at a time over a coupling graph.
+//!
+//! A candidate is identified by its **block sequence** — the list of coupling-edge
+//! indices it entangles, in order. The generator turns block sequences into circuits
+//! (via the incremental `qudit-circuit` builder hooks) and into tensor networks (via
+//! the incremental `qudit-network` extension API), and enumerates the legal one-block
+//! expansions of a node.
+
+use std::collections::HashMap;
+
+use qudit_circuit::{builders, QuditCircuit};
+use qudit_network::TensorNetwork;
+use qudit_qgl::UnitaryExpression;
+
+use crate::topology::CouplingGraph;
+use crate::SynthesisError;
+
+/// Generates QSearch-style layered templates over a coupling graph.
+#[derive(Debug, Clone)]
+pub struct LayerGenerator {
+    radices: Vec<usize>,
+    coupling: CouplingGraph,
+    /// Per-radix `(entangler, local)` building-block gates, resolved once.
+    gate_sets: HashMap<usize, (UnitaryExpression, UnitaryExpression)>,
+}
+
+impl LayerGenerator {
+    /// Builds a generator, resolving the per-radix gate sets up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::UnsupportedRadix`] when a radix has no registered
+    /// gate set, and [`SynthesisError::InvalidCoupling`] when an edge couples qudits
+    /// of different radices (no mixed-radix entangler is registered) or the graph size
+    /// disagrees with `radices`.
+    pub fn new(radices: &[usize], coupling: &CouplingGraph) -> Result<Self, SynthesisError> {
+        if radices.len() != coupling.num_qudits() {
+            return Err(SynthesisError::InvalidCoupling(format!(
+                "coupling graph spans {} qudit(s) but {} radices were given",
+                coupling.num_qudits(),
+                radices.len()
+            )));
+        }
+        let mut gate_sets = HashMap::new();
+        for &radix in radices {
+            if let std::collections::hash_map::Entry::Vacant(entry) = gate_sets.entry(radix) {
+                let entangler = builders::synthesis_entangler(radix)
+                    .ok_or(SynthesisError::UnsupportedRadix(radix))?;
+                let local = builders::synthesis_local(radix)
+                    .ok_or(SynthesisError::UnsupportedRadix(radix))?;
+                entry.insert((entangler, local));
+            }
+        }
+        for &(a, b) in coupling.edges() {
+            if radices[a] != radices[b] {
+                return Err(SynthesisError::InvalidCoupling(format!(
+                    "edge ({a}, {b}) couples radix {} to radix {}; no mixed-radix \
+                     entangler is registered",
+                    radices[a], radices[b]
+                )));
+            }
+        }
+        Ok(LayerGenerator { radices: radices.to_vec(), coupling: coupling.clone(), gate_sets })
+    }
+
+    /// The qudit radices.
+    pub fn radices(&self) -> &[usize] {
+        &self.radices
+    }
+
+    /// The coupling graph expansions draw edges from.
+    pub fn coupling(&self) -> &CouplingGraph {
+        &self.coupling
+    }
+
+    /// The edge pairs for a block sequence.
+    pub fn edges_of(&self, blocks: &[usize]) -> Vec<(usize, usize)> {
+        blocks.iter().map(|&e| self.coupling.edges()[e]).collect()
+    }
+
+    /// Builds the circuit for a block sequence: the local-only seed followed by one
+    /// building block per entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SynthesisError::Circuit`] (cannot occur for validated generators
+    /// and in-range block indices).
+    pub fn circuit_for(&self, blocks: &[usize]) -> Result<QuditCircuit, SynthesisError> {
+        Ok(builders::pqc_template(&self.radices, &self.edges_of(blocks))?)
+    }
+
+    /// Lowers the local-only seed template to a tensor network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SynthesisError::Circuit`] (cannot occur for validated generators).
+    pub fn seed_network(&self) -> Result<TensorNetwork, SynthesisError> {
+        Ok(TensorNetwork::from_circuit(&builders::pqc_initial(&self.radices)?))
+    }
+
+    /// Extends a node's tensor network by one building block **in place of a full
+    /// re-lowering**: clones the parent network and pushes the entangler and the two
+    /// local gates — the recompile-on-expansion path. The appended gates allocate
+    /// trailing circuit parameters, so the parent's optimized parameter vector remains
+    /// a valid warm-start prefix for the child.
+    pub fn extend_network(&self, parent: &TensorNetwork, edge_index: usize) -> TensorNetwork {
+        let (a, b) = self.coupling.edges()[edge_index];
+        let (entangler, local) = &self.gate_sets[&self.radices[a]];
+        let mut network = parent.clone();
+        if entangler.num_params() > 0 {
+            network.push_parameterized(entangler, vec![a, b]);
+        } else {
+            network.push_constant(entangler, vec![a, b], &[]);
+        }
+        network.push_parameterized(local, vec![a]);
+        network.push_parameterized(local, vec![b]);
+        network
+    }
+
+    /// The one-block expansions of a node: one child block sequence per coupling edge.
+    pub fn expansions(&self, blocks: &[usize]) -> Vec<Vec<usize>> {
+        (0..self.coupling.edges().len())
+            .map(|edge| {
+                let mut child = Vec::with_capacity(blocks.len() + 1);
+                child.extend_from_slice(blocks);
+                child.push(edge);
+                child
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansions_follow_the_coupling_graph() {
+        // On a 3-qubit line only (0,1) and (1,2) blocks may ever appear — (0,2) is
+        // not coupled and must never be proposed.
+        let coupling = CouplingGraph::linear(3);
+        let generator = LayerGenerator::new(&[2, 2, 2], &coupling).unwrap();
+        let children = generator.expansions(&[]);
+        assert_eq!(children, vec![vec![0], vec![1]]);
+        for child in &children {
+            for (a, b) in generator.edges_of(child) {
+                assert!(coupling.contains(a, b), "expansion used uncoupled pair ({a},{b})");
+                assert!((a, b) != (0, 2));
+            }
+        }
+        let deeper = generator.expansions(&[1]);
+        assert_eq!(deeper, vec![vec![1, 0], vec![1, 1]]);
+    }
+
+    #[test]
+    fn circuit_for_matches_template_shape() {
+        let generator = LayerGenerator::new(&[2, 2], &CouplingGraph::linear(2)).unwrap();
+        let seed = generator.circuit_for(&[]).unwrap();
+        assert_eq!(seed.num_ops(), 2);
+        assert_eq!(seed.num_params(), 6);
+        let one = generator.circuit_for(&[0]).unwrap();
+        assert_eq!(one.num_ops(), 5);
+        assert_eq!(one.num_params(), 12);
+    }
+
+    #[test]
+    fn extend_network_matches_full_lowering() {
+        let generator = LayerGenerator::new(&[3, 3], &CouplingGraph::linear(2)).unwrap();
+        let seed = generator.seed_network().unwrap();
+        let extended = generator.extend_network(&seed, 0);
+        let relowered = TensorNetwork::from_circuit(&generator.circuit_for(&[0]).unwrap());
+        assert_eq!(extended.num_params(), relowered.num_params());
+        assert_eq!(extended.nodes().len(), relowered.nodes().len());
+        for (a, b) in extended.nodes().iter().zip(relowered.nodes()) {
+            assert_eq!(a.qudits, b.qudits);
+            assert_eq!(a.bindings, b.bindings);
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported_and_mixed_radices() {
+        assert!(matches!(
+            LayerGenerator::new(&[5, 5], &CouplingGraph::linear(2)),
+            Err(SynthesisError::UnsupportedRadix(5))
+        ));
+        assert!(matches!(
+            LayerGenerator::new(&[2, 3], &CouplingGraph::linear(2)),
+            Err(SynthesisError::InvalidCoupling(_))
+        ));
+        assert!(matches!(
+            LayerGenerator::new(&[2, 2, 2], &CouplingGraph::linear(2)),
+            Err(SynthesisError::InvalidCoupling(_))
+        ));
+    }
+}

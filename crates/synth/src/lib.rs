@@ -1,0 +1,86 @@
+//! # qudit-synth
+//!
+//! An instantiation-driven, bottom-up synthesis engine in the QSearch style — the
+//! workload the rest of the OpenQudit reproduction exists to accelerate: numerical
+//! instantiation is fast enough (TNVM evaluation + shared `ExpressionCache`) to sit in
+//! the inner loop of a search over circuit templates.
+//!
+//! The engine has three parts:
+//!
+//! * [`topology`] — [`CouplingGraph`]: which qudit pairs may be entangled,
+//! * [`layers`] — [`LayerGenerator`]: expands a candidate by one two-qudit building
+//!   block (entangler + general locals; CNOT/U3 for qubits, CSUM/the general qutrit
+//!   gate for qutrits) along a coupling edge, incrementally extending both the circuit
+//!   and its tensor network,
+//! * [`search`] / [`frontier`] — an A*/beam search whose cost combines instantiated
+//!   Hilbert–Schmidt infidelity with gate count, evaluating all candidate expansions
+//!   of a node concurrently (one TNVM per worker, re-targeted in place per candidate,
+//!   all sharing one expression cache), and exiting as soon as a candidate drops below
+//!   the success threshold.
+//!
+//! # Example
+//!
+//! Synthesize a CNOT from scratch on a two-qubit line:
+//!
+//! ```
+//! use qudit_circuit::gates;
+//! use qudit_synth::{synthesize, SynthesisConfig};
+//!
+//! let target = gates::cnot().to_matrix::<f64>(&[])?;
+//! let result = synthesize(&target, &SynthesisConfig::qubits(2))?;
+//! assert!(result.success);
+//! assert!(result.infidelity < 1e-8);
+//! assert_eq!(result.blocks, vec![(0, 1)]); // one entangling block suffices
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod frontier;
+pub mod layers;
+pub mod search;
+pub mod topology;
+
+pub use frontier::{evaluate_frontier, Candidate, EvaluatedCandidate};
+pub use layers::LayerGenerator;
+pub use search::{synthesize, synthesize_with_cache, SynthesisConfig, SynthesisResult};
+pub use topology::CouplingGraph;
+
+/// Errors produced while configuring or running a synthesis search.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthesisError {
+    /// No synthesis gate set is registered for this radix.
+    UnsupportedRadix(usize),
+    /// The coupling graph is inconsistent with the radices, disconnected, or empty.
+    InvalidCoupling(String),
+    /// The target matrix has the wrong shape or is not unitary.
+    InvalidTarget(String),
+    /// A circuit-construction step failed.
+    Circuit(qudit_circuit::CircuitError),
+}
+
+impl std::fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthesisError::UnsupportedRadix(radix) => {
+                write!(f, "no synthesis gate set registered for radix {radix}")
+            }
+            SynthesisError::InvalidCoupling(detail) => write!(f, "invalid coupling: {detail}"),
+            SynthesisError::InvalidTarget(detail) => write!(f, "invalid target: {detail}"),
+            SynthesisError::Circuit(e) => write!(f, "circuit construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SynthesisError::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<qudit_circuit::CircuitError> for SynthesisError {
+    fn from(e: qudit_circuit::CircuitError) -> Self {
+        SynthesisError::Circuit(e)
+    }
+}

@@ -1,0 +1,389 @@
+//! The bottom-up A*/beam synthesis search.
+//!
+//! Starting from a local-gates-only seed template, the search repeatedly pops the most
+//! promising node (lowest `f = √infidelity + block_weight · depth`, the QSearch-style
+//! heuristic trading solution quality against gate count), expands it by one building
+//! block per coupling edge, instantiates all children in parallel, and stops as soon
+//! as a child's instantiated Hilbert–Schmidt infidelity drops below the success
+//! threshold. The open list is pruned to `beam_width` nodes, turning plain A* into a
+//! beam search for large topologies.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+
+use qudit_circuit::QuditCircuit;
+use qudit_optimize::{InstantiateConfig, SUCCESS_THRESHOLD};
+use qudit_qvm::{CompileOptions, ExpressionCache};
+use qudit_tensor::Matrix;
+
+use crate::frontier::{evaluate_frontier, Candidate, EvaluatedCandidate};
+use crate::layers::LayerGenerator;
+use crate::topology::CouplingGraph;
+use crate::SynthesisError;
+
+/// Configuration of a synthesis run.
+#[derive(Debug, Clone)]
+pub struct SynthesisConfig {
+    /// The qudit radices of the target system (e.g. `[2, 2]` for two qubits).
+    pub radices: Vec<usize>,
+    /// Which pairs may be entangled.
+    pub coupling: CouplingGraph,
+    /// Maximum number of entangling blocks in a candidate (the search depth bound).
+    pub max_blocks: usize,
+    /// Open-list cap: after each expansion only the `beam_width` best nodes survive.
+    pub beam_width: usize,
+    /// Total candidate-instantiation budget across the whole search.
+    pub max_nodes: usize,
+    /// Infidelity below which a candidate is accepted (early exit).
+    pub success_threshold: f64,
+    /// Weight of the gate-count term in the A* heuristic
+    /// `f = √infidelity + block_weight · blocks`.
+    pub block_weight: f64,
+    /// Per-candidate instantiation settings. The frontier evaluator owns the thread
+    /// budget: candidates are evaluated concurrently, and a candidate's own starts run
+    /// in parallel only when the frontier is narrower than the worker pool.
+    pub instantiate: InstantiateConfig,
+    /// Worker threads for the frontier evaluator (`0` = available parallelism).
+    pub threads: usize,
+    /// Base seed for all per-candidate deterministic seeds.
+    pub seed: u64,
+}
+
+impl SynthesisConfig {
+    fn for_radices(radices: Vec<usize>) -> Self {
+        let n = radices.len();
+        SynthesisConfig {
+            radices,
+            coupling: CouplingGraph::linear(n),
+            max_blocks: 8,
+            beam_width: 8,
+            max_nodes: 256,
+            success_threshold: SUCCESS_THRESHOLD,
+            block_weight: 1e-2,
+            instantiate: InstantiateConfig { starts: 4, ..Default::default() },
+            threads: 0,
+            seed: 0,
+        }
+    }
+
+    /// A default configuration for `n` qubits on a line.
+    pub fn qubits(n: usize) -> Self {
+        SynthesisConfig::for_radices(vec![2; n])
+    }
+
+    /// A default configuration for `n` qutrits on a line.
+    pub fn qutrits(n: usize) -> Self {
+        SynthesisConfig::for_radices(vec![3; n])
+    }
+
+    /// The worker-thread count the frontier evaluator will use.
+    pub fn effective_threads(&self) -> usize {
+        qudit_optimize::resolve_threads(self.threads)
+    }
+}
+
+/// The outcome of a synthesis run.
+#[derive(Debug, Clone)]
+pub struct SynthesisResult {
+    /// The synthesized template with the chosen building blocks.
+    pub circuit: QuditCircuit,
+    /// The instantiated parameter values for `circuit`.
+    pub params: Vec<f64>,
+    /// The Hilbert–Schmidt infidelity of `circuit(params)` against the target.
+    pub infidelity: f64,
+    /// Number of candidate circuits instantiated during the search.
+    pub nodes_expanded: usize,
+    /// The coupling-edge pairs of the chosen blocks, in circuit order.
+    pub blocks: Vec<(usize, usize)>,
+    /// Whether `infidelity` is below the configured success threshold.
+    pub success: bool,
+}
+
+/// One open-list entry. Ordered so that `BinaryHeap` pops the lowest `f` first, with
+/// deterministic tie-breaking on depth and then block sequence.
+struct OpenNode {
+    f: f64,
+    blocks: Vec<usize>,
+    params: Vec<f64>,
+    network: qudit_network::TensorNetwork,
+}
+
+impl PartialEq for OpenNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == CmpOrdering::Equal
+    }
+}
+impl Eq for OpenNode {}
+impl PartialOrd for OpenNode {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OpenNode {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest f on top.
+        other
+            .f
+            .total_cmp(&self.f)
+            .then_with(|| other.blocks.len().cmp(&self.blocks.len()))
+            .then_with(|| other.blocks.cmp(&self.blocks))
+    }
+}
+
+/// Synthesizes a circuit implementing `target` over the configured template space.
+///
+/// The search is bottom-up and instantiation-driven: every candidate's quality is the
+/// numerically instantiated Hilbert–Schmidt infidelity, produced by the TNVM pipeline
+/// with one shared [`ExpressionCache`] for the entire search.
+///
+/// # Errors
+///
+/// Returns a [`SynthesisError`] when the configuration is inconsistent (unsupported
+/// radices, disconnected or mismatched coupling graph) or the target's dimension does
+/// not match the configured radices (or is not unitary).
+pub fn synthesize(
+    target: &Matrix<f64>,
+    config: &SynthesisConfig,
+) -> Result<SynthesisResult, SynthesisError> {
+    let cache = ExpressionCache::new();
+    synthesize_with_cache(target, config, &cache)
+}
+
+/// [`synthesize`] with an externally managed expression cache, so many synthesis calls
+/// (e.g. the partitions of a large circuit) share one set of compiled gates.
+///
+/// # Errors
+///
+/// See [`synthesize`].
+pub fn synthesize_with_cache(
+    target: &Matrix<f64>,
+    config: &SynthesisConfig,
+    cache: &ExpressionCache,
+) -> Result<SynthesisResult, SynthesisError> {
+    let generator = LayerGenerator::new(&config.radices, &config.coupling)?;
+    let dim: usize = config.radices.iter().product();
+    if target.rows() != dim || target.cols() != dim {
+        return Err(SynthesisError::InvalidTarget(format!(
+            "target is {}×{} but the radices {:?} require {dim}×{dim}",
+            target.rows(),
+            target.cols(),
+            config.radices
+        )));
+    }
+    if !target.is_unitary(1e-8) {
+        return Err(SynthesisError::InvalidTarget("target matrix is not unitary".to_string()));
+    }
+    if config.radices.len() > 1 && !config.coupling.is_connected() {
+        return Err(SynthesisError::InvalidCoupling(
+            "coupling graph is disconnected; a generic target is unreachable".to_string(),
+        ));
+    }
+
+    // Pre-compile the (tiny) gate set once, so frontier workers never race a cold
+    // cache into compiling the same expression twice.
+    let seed_network = generator.seed_network()?;
+    let options = CompileOptions::with_gradient();
+    for radix in config.radices.iter().collect::<std::collections::BTreeSet<_>>() {
+        let entangler = qudit_circuit::builders::synthesis_entangler(*radix)
+            .ok_or(SynthesisError::UnsupportedRadix(*radix))?;
+        let local = qudit_circuit::builders::synthesis_local(*radix)
+            .ok_or(SynthesisError::UnsupportedRadix(*radix))?;
+        cache.get_or_compile(&entangler, &options);
+        cache.get_or_compile(&local, &options);
+    }
+
+    let threads = config.effective_threads();
+    let mut frontier_cfg = config.instantiate.clone();
+    frontier_cfg.success_threshold = config.success_threshold;
+    frontier_cfg.seed ^= config.seed;
+
+    let mut nodes_expanded = 0usize;
+
+    // Evaluate the root (local gates only) first: single-qudit-equivalent targets
+    // synthesize without any entangler.
+    let root_candidate =
+        Candidate { blocks: Vec::new(), network: seed_network.clone(), warm_start: None };
+    let root = evaluate_frontier(target, &[root_candidate], &frontier_cfg, 1, cache, false)
+        .pop()
+        .expect("root evaluation always returns");
+    nodes_expanded += 1;
+
+    let finish = |best: &EvaluatedCandidate, nodes_expanded: usize| {
+        let circuit = generator.circuit_for(&best.blocks)?;
+        Ok(SynthesisResult {
+            blocks: generator.edges_of(&best.blocks),
+            params: best.params.clone(),
+            infidelity: best.infidelity,
+            success: best.infidelity < config.success_threshold,
+            circuit,
+            nodes_expanded,
+        })
+    };
+
+    if root.infidelity < config.success_threshold {
+        return finish(&root, nodes_expanded);
+    }
+
+    let mut best = root.clone();
+    let mut open: BinaryHeap<OpenNode> = BinaryHeap::new();
+    open.push(OpenNode {
+        f: heuristic(root.infidelity, 0, config.block_weight),
+        blocks: root.blocks,
+        params: root.params,
+        network: seed_network,
+    });
+
+    while let Some(node) = open.pop() {
+        if nodes_expanded >= config.max_nodes {
+            break;
+        }
+        if node.blocks.len() >= config.max_blocks {
+            continue;
+        }
+        // Generate and evaluate every one-block expansion of this node in parallel.
+        let candidates: Vec<Candidate> = generator
+            .expansions(&node.blocks)
+            .into_iter()
+            .map(|blocks| {
+                let edge = *blocks.last().expect("expansions append one block");
+                Candidate {
+                    network: generator.extend_network(&node.network, edge),
+                    warm_start: Some(node.params.clone()),
+                    blocks,
+                }
+            })
+            .take(config.max_nodes.saturating_sub(nodes_expanded))
+            .collect();
+        if candidates.is_empty() {
+            break;
+        }
+        let evaluated = evaluate_frontier(target, &candidates, &frontier_cfg, threads, cache, true);
+        nodes_expanded += evaluated.len();
+
+        for child in &evaluated {
+            if child.infidelity < best.infidelity {
+                best = child.clone();
+            }
+        }
+        if best.infidelity < config.success_threshold {
+            return finish(&best, nodes_expanded);
+        }
+
+        // Move each surviving child's network out of its candidate (an early stop may
+        // have skipped some candidates, so match by block sequence).
+        let mut networks: Vec<(Vec<usize>, qudit_network::TensorNetwork)> =
+            candidates.into_iter().map(|c| (c.blocks, c.network)).collect();
+        for child in evaluated {
+            let at = networks
+                .iter()
+                .position(|(blocks, _)| *blocks == child.blocks)
+                .expect("every evaluated child came from a candidate");
+            let (_, network) = networks.swap_remove(at);
+            open.push(OpenNode {
+                f: heuristic(child.infidelity, child.blocks.len(), config.block_weight),
+                network,
+                blocks: child.blocks,
+                params: child.params,
+            });
+        }
+
+        // Beam pruning: keep only the best `beam_width` open nodes.
+        if config.beam_width > 0 && open.len() > config.beam_width {
+            let mut kept: Vec<OpenNode> = Vec::with_capacity(config.beam_width);
+            for _ in 0..config.beam_width {
+                kept.push(open.pop().expect("heap holds more than beam_width nodes"));
+            }
+            open = kept.into_iter().collect();
+        }
+    }
+
+    finish(&best, nodes_expanded)
+}
+
+/// The QSearch-style A* priority: root-scaled distance plus a gate-count penalty.
+fn heuristic(infidelity: f64, blocks: usize, block_weight: f64) -> f64 {
+    infidelity.max(0.0).sqrt() + block_weight * blocks as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qudit_circuit::gates;
+    use qudit_optimize::{haar_random_unitary, reachable_target};
+
+    fn quick(mut config: SynthesisConfig) -> SynthesisConfig {
+        config.instantiate.starts = 4;
+        config.max_nodes = 64;
+        config
+    }
+
+    #[test]
+    fn synthesizes_cnot_with_one_block() {
+        let target = gates::cnot().to_matrix::<f64>(&[]).unwrap();
+        let result = synthesize(&target, &quick(SynthesisConfig::qubits(2))).unwrap();
+        assert!(result.success, "infidelity {}", result.infidelity);
+        assert!(result.infidelity < SUCCESS_THRESHOLD);
+        assert_eq!(result.blocks, vec![(0, 1)]);
+        assert_eq!(result.params.len(), result.circuit.num_params());
+        assert!(result.nodes_expanded >= 2);
+    }
+
+    #[test]
+    fn synthesizes_single_qubit_target_without_entanglers() {
+        // H ⊗ H is a product of locals: the root node must already succeed.
+        let mut circuit = QuditCircuit::qubits(2);
+        let h = circuit.cache_operation(gates::hadamard()).unwrap();
+        circuit.append_ref_constant(h, vec![0], vec![]).unwrap();
+        circuit.append_ref_constant(h, vec![1], vec![]).unwrap();
+        let target = circuit.unitary::<f64>(&[]).unwrap();
+        let result = synthesize(&target, &quick(SynthesisConfig::qubits(2))).unwrap();
+        assert!(result.success);
+        assert!(result.blocks.is_empty(), "expected no entanglers, got {:?}", result.blocks);
+        assert_eq!(result.nodes_expanded, 1);
+    }
+
+    #[test]
+    fn respects_node_budget_and_reports_failure() {
+        // A Haar-random 3-qubit unitary is far out of reach of a 2-block budget.
+        let target = haar_random_unitary(8, 99);
+        let mut config = SynthesisConfig::qubits(3);
+        config.max_blocks = 1;
+        config.max_nodes = 8;
+        config.instantiate.starts = 1;
+        let result = synthesize(&target, &config).unwrap();
+        assert!(!result.success);
+        assert!(result.infidelity > 1e-3);
+        assert!(result.nodes_expanded <= 8);
+    }
+
+    #[test]
+    fn rejects_bad_targets_and_configs() {
+        let config = SynthesisConfig::qubits(2);
+        // Wrong dimension.
+        assert!(matches!(
+            synthesize(&haar_random_unitary(8, 1), &config),
+            Err(SynthesisError::InvalidTarget(_))
+        ));
+        // Non-unitary.
+        let bad = Matrix::<f64>::zeros(4, 4);
+        assert!(matches!(synthesize(&bad, &config), Err(SynthesisError::InvalidTarget(_))));
+        // Disconnected coupling.
+        let mut disconnected = SynthesisConfig::qubits(4);
+        disconnected.coupling = CouplingGraph::new(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(matches!(
+            synthesize(&haar_random_unitary(16, 2), &disconnected),
+            Err(SynthesisError::InvalidCoupling(_))
+        ));
+    }
+
+    #[test]
+    fn recovers_reachable_two_qutrit_target() {
+        let template = qudit_circuit::builders::pqc_template(&[3, 3], &[(0, 1)]).unwrap();
+        let target = reachable_target(&template, 12);
+        let mut config = quick(SynthesisConfig::qutrits(2));
+        config.max_blocks = 2;
+        let result = synthesize(&target, &config).unwrap();
+        assert!(result.success, "infidelity {}", result.infidelity);
+        assert_eq!(result.circuit.radices(), &[3, 3]);
+    }
+}

@@ -94,14 +94,12 @@ mod tests {
     #[test]
     fn kron_identity_with_x() {
         let id = Matrix::<f64>::identity(2);
-        let x = Matrix::from_rows(&[
-            vec![C64::zero(), C64::one()],
-            vec![C64::one(), C64::zero()],
-        ]);
+        let x = Matrix::from_rows(&[vec![C64::zero(), C64::one()], vec![C64::one(), C64::zero()]]);
         let k = id.kron(&x);
         // Expected block-diagonal [[X, 0], [0, X]].
         for (r, c, v) in k.iter() {
-            let expect = if (r / 2 == c / 2) && (r % 2 != c % 2) { C64::one() } else { C64::zero() };
+            let expect =
+                if (r / 2 == c / 2) && (r % 2 != c % 2) { C64::one() } else { C64::zero() };
             assert_eq!(v, expect, "element ({r},{c})");
         }
     }

@@ -42,7 +42,11 @@ impl<T: Float> Matrix<T> {
     }
 
     /// Creates a matrix by evaluating `f(row, col)` for each element.
-    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Complex<T>) -> Self {
+    pub fn from_fn(
+        rows: usize,
+        cols: usize,
+        mut f: impl FnMut(usize, usize) -> Complex<T>,
+    ) -> Self {
         let mut data = Vec::with_capacity(rows * cols);
         for r in 0..rows {
             for c in 0..cols {
@@ -161,14 +165,7 @@ impl<T: Float> Matrix<T> {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        gemm::matmul_into(
-            &self.data,
-            self.rows,
-            self.cols,
-            &rhs.data,
-            rhs.cols,
-            &mut out.data,
-        );
+        gemm::matmul_into(&self.data, self.rows, self.cols, &rhs.data, rhs.cols, &mut out.data);
         Ok(out)
     }
 
@@ -200,12 +197,7 @@ impl<T: Float> Matrix<T> {
                 rhs: vec![rhs.rows, rhs.cols],
             });
         }
-        let data = self
-            .data
-            .iter()
-            .zip(rhs.data.iter())
-            .map(|(a, b)| *a * *b)
-            .collect();
+        let data = self.data.iter().zip(rhs.data.iter()).map(|(a, b)| *a * *b).collect();
         Ok(Matrix { rows: self.rows, cols: self.cols, data })
     }
 
@@ -291,19 +283,12 @@ impl<T: Float> Matrix<T> {
     pub fn hs_inner(&self, rhs: &Matrix<T>) -> Complex<T> {
         assert_eq!(self.rows, rhs.rows, "hs_inner shape mismatch");
         assert_eq!(self.cols, rhs.cols, "hs_inner shape mismatch");
-        self.data
-            .iter()
-            .zip(rhs.data.iter())
-            .map(|(a, b)| a.conj() * *b)
-            .sum()
+        self.data.iter().zip(rhs.data.iter()).map(|(a, b)| a.conj() * *b).sum()
     }
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> T {
-        self.data
-            .iter()
-            .fold(T::zero(), |acc, c| acc + c.norm_sqr())
-            .sqrt()
+        self.data.iter().fold(T::zero(), |acc, c| acc + c.norm_sqr()).sqrt()
     }
 
     /// Largest element-wise distance to another matrix of the same shape.
@@ -314,10 +299,7 @@ impl<T: Float> Matrix<T> {
     pub fn max_elementwise_distance(&self, rhs: &Matrix<T>) -> T {
         assert_eq!(self.rows, rhs.rows, "shape mismatch");
         assert_eq!(self.cols, rhs.cols, "shape mismatch");
-        self.data
-            .iter()
-            .zip(rhs.data.iter())
-            .fold(T::zero(), |acc, (a, b)| acc.max(a.dist(*b)))
+        self.data.iter().zip(rhs.data.iter()).fold(T::zero(), |acc, (a, b)| acc.max(a.dist(*b)))
     }
 
     /// `true` if the matrix is the identity to within `tol` element-wise.
@@ -357,10 +339,7 @@ impl<T: Float> Matrix<T> {
     /// Iterator over `(row, col, value)` triples in row-major order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, Complex<T>)> + '_ {
         let cols = self.cols;
-        self.data
-            .iter()
-            .enumerate()
-            .map(move |(i, c)| (i / cols, i % cols, *c))
+        self.data.iter().enumerate().map(move |(i, c)| (i / cols, i % cols, *c))
     }
 }
 
@@ -386,24 +365,15 @@ mod tests {
     use crate::C64;
 
     fn pauli_x() -> Matrix<f64> {
-        Matrix::from_rows(&[
-            vec![C64::zero(), C64::one()],
-            vec![C64::one(), C64::zero()],
-        ])
+        Matrix::from_rows(&[vec![C64::zero(), C64::one()], vec![C64::one(), C64::zero()]])
     }
 
     fn pauli_y() -> Matrix<f64> {
-        Matrix::from_rows(&[
-            vec![C64::zero(), -C64::i()],
-            vec![C64::i(), C64::zero()],
-        ])
+        Matrix::from_rows(&[vec![C64::zero(), -C64::i()], vec![C64::i(), C64::zero()]])
     }
 
     fn pauli_z() -> Matrix<f64> {
-        Matrix::from_rows(&[
-            vec![C64::one(), C64::zero()],
-            vec![C64::zero(), -C64::one()],
-        ])
+        Matrix::from_rows(&[vec![C64::one(), C64::zero()], vec![C64::zero(), -C64::one()]])
     }
 
     #[test]

@@ -71,8 +71,8 @@ pub fn permute_into<T: Float>(
     // Odometer walk over the output index space.
     let mut idx = vec![0usize; rank];
     let mut src_off = 0usize;
-    for dst_off in 0..total {
-        dst[dst_off] = src[src_off];
+    for dst_val in dst.iter_mut().take(total) {
+        *dst_val = src[src_off];
         // Increment the odometer (last axis fastest, matching row-major dst_off order).
         for axis in (0..rank).rev() {
             idx[axis] += 1;

@@ -135,10 +135,7 @@ impl<T: Float> Tensor<T> {
     /// axes.
     pub fn permute(&self, perm: &[usize]) -> Result<Self> {
         if !permute::is_permutation(perm, self.rank()) {
-            return Err(TensorError::InvalidPermutation {
-                perm: perm.to_vec(),
-                rank: self.rank(),
-            });
+            return Err(TensorError::InvalidPermutation { perm: perm.to_vec(), rank: self.rank() });
         }
         let data = permute::permute(&self.data, &self.shape, perm);
         let shape = perm.iter().map(|&p| self.shape[p]).collect();
@@ -193,10 +190,8 @@ impl<T: Float> Tensor<T> {
             other_contracted[b] = true;
         }
 
-        let self_free: Vec<usize> =
-            (0..self.rank()).filter(|&i| !self_contracted[i]).collect();
-        let other_free: Vec<usize> =
-            (0..other.rank()).filter(|&i| !other_contracted[i]).collect();
+        let self_free: Vec<usize> = (0..self.rank()).filter(|&i| !self_contracted[i]).collect();
+        let other_free: Vec<usize> = (0..other.rank()).filter(|&i| !other_contracted[i]).collect();
 
         // T1: permute self so free axes come first, contracted last (in pair order).
         let mut self_perm = self_free.clone();
@@ -247,11 +242,8 @@ impl<T: Float> Tensor<T> {
             });
         }
         let keep: Vec<usize> = (0..self.rank()).filter(|&i| i != ax0 && i != ax1).collect();
-        let out_shape: Vec<usize> = if keep.is_empty() {
-            vec![1]
-        } else {
-            keep.iter().map(|&i| self.shape[i]).collect()
-        };
+        let out_shape: Vec<usize> =
+            if keep.is_empty() { vec![1] } else { keep.iter().map(|&i| self.shape[i]).collect() };
         let mut out = Tensor::zeros(out_shape);
         let strides = permute::strides_for(&self.shape);
         let d = self.shape[ax0];
@@ -334,8 +326,9 @@ mod tests {
 
     #[test]
     fn contraction_full_inner_product() {
-        let a = Tensor::from_vec(vec![2, 2], vec![C64::one(), C64::zero(), C64::zero(), C64::one()])
-            .unwrap();
+        let a =
+            Tensor::from_vec(vec![2, 2], vec![C64::one(), C64::zero(), C64::zero(), C64::one()])
+                .unwrap();
         let b = a.clone();
         let c = a.contract(&b, &[(0, 0), (1, 1)]).unwrap();
         assert_eq!(c.shape(), &[1]);

@@ -60,62 +60,94 @@ impl<T: Float> Tnvm<T> {
     /// Builds a TNVM for `program`, compiling all expressions through `cache` and
     /// executing the constant section.
     pub fn new(program: &TnvmProgram, diff_mode: DiffMode, cache: &ExpressionCache) -> Self {
-        let options = match diff_mode {
+        let mut vm = Tnvm {
+            program: program.clone(),
+            diff_mode,
+            compiled: Vec::new(),
+            values: Vec::new(),
+            value_offsets: Vec::new(),
+            grads: Vec::new(),
+            grad_slots: Vec::new(),
+            scratch: Vec::new(),
+            write_staging: Vec::new(),
+            param_staging: Vec::new(),
+            transpose_staging: Vec::new(),
+        };
+        vm.reinit(cache);
+        vm
+    }
+
+    /// Re-targets the VM at a new program in place — the *recompile-on-expansion* path.
+    ///
+    /// A bottom-up synthesis search recompiles thousands of slightly extended circuits;
+    /// building a fresh [`Tnvm`] for each would reallocate every arena from scratch.
+    /// `load` keeps the differentiation mode, pulls compiled expressions from `cache`
+    /// (hits for every gate already seen this process), reuses the existing arena and
+    /// staging allocations when their capacity suffices, and re-executes the constant
+    /// section of the new program.
+    pub fn load(&mut self, program: &TnvmProgram, cache: &ExpressionCache) {
+        self.program.clone_from(program);
+        self.reinit(cache);
+    }
+
+    /// (Re)builds every derived structure — compiled expressions, arenas, staging
+    /// buffers — from `self.program`, reusing existing allocations, and executes the
+    /// constant section.
+    fn reinit(&mut self, cache: &ExpressionCache) {
+        let options = match self.diff_mode {
             DiffMode::None => CompileOptions::default(),
             DiffMode::Gradient => CompileOptions::with_gradient(),
         };
-        let compiled: Vec<Arc<CompiledExpression>> =
-            program.exprs.iter().map(|e| cache.get_or_compile(e, &options)).collect();
+        let program = &self.program;
+        self.compiled.clear();
+        self.compiled.extend(program.exprs.iter().map(|e| cache.get_or_compile(e, &options)));
 
         // Value arena.
-        let mut value_offsets = Vec::with_capacity(program.buffers.len());
+        self.value_offsets.clear();
         let mut total = 0usize;
         for buf in &program.buffers {
-            value_offsets.push(total);
+            self.value_offsets.push(total);
             total += buf.len();
         }
-        let values = vec![Complex::zero(); total];
+        self.values.clear();
+        self.values.resize(total, Complex::zero());
 
         // Gradient arena: one block per (buffer, dependent parameter).
-        let mut grad_slots: Vec<Vec<(usize, usize)>> = Vec::with_capacity(program.buffers.len());
+        self.grad_slots.clear();
         let mut grad_total = 0usize;
         for buf in &program.buffers {
             let mut slots = Vec::with_capacity(buf.params.len());
-            if diff_mode == DiffMode::Gradient {
+            if self.diff_mode == DiffMode::Gradient {
                 for &p in &buf.params {
                     slots.push((p, grad_total));
                     grad_total += buf.len();
                 }
             }
-            grad_slots.push(slots);
+            self.grad_slots.push(slots);
         }
-        let grads = vec![Complex::zero(); grad_total];
+        self.grads.clear();
+        self.grads.resize(grad_total, Complex::zero());
 
-        let scratch_len = compiled.iter().map(|c| c.scratch_len()).max().unwrap_or(0);
-        let max_gate_out = compiled
+        let scratch_len = self.compiled.iter().map(|c| c.scratch_len()).max().unwrap_or(0);
+        let max_gate_out = self
+            .compiled
             .iter()
             .map(|c| (1 + c.num_params()) * c.dim() * c.dim())
             .max()
             .unwrap_or(0);
-        let max_gate_params = compiled.iter().map(|c| c.num_params()).max().unwrap_or(0);
+        let max_gate_params = self.compiled.iter().map(|c| c.num_params()).max().unwrap_or(0);
         let max_buf_len = program.buffers.iter().map(|b| b.len()).max().unwrap_or(0);
+        self.scratch.clear();
+        self.scratch.resize(scratch_len, T::zero());
+        self.write_staging.clear();
+        self.write_staging.resize(max_gate_out, Complex::zero());
+        self.param_staging.clear();
+        self.param_staging.resize(max_gate_params, T::zero());
+        self.transpose_staging.clear();
+        self.transpose_staging.resize(max_buf_len, Complex::zero());
 
-        let mut vm = Tnvm {
-            program: program.clone(),
-            diff_mode,
-            compiled,
-            values,
-            value_offsets,
-            grads,
-            grad_slots,
-            scratch: vec![T::zero(); scratch_len],
-            write_staging: vec![Complex::zero(); max_gate_out],
-            param_staging: vec![T::zero(); max_gate_params],
-            transpose_staging: vec![Complex::zero(); max_buf_len],
-        };
         // The constant section never reads circuit parameters.
-        vm.run_section(true, &[]);
-        vm
+        self.run_section(true, &[]);
     }
 
     /// The differentiation mode the VM was instantiated with.
@@ -249,13 +281,11 @@ impl<T: Float> Tnvm<T> {
             };
         }
         let gate_params = &self.param_staging[..bindings.len()];
-        let needs_grad =
-            self.diff_mode == DiffMode::Gradient && !self.grad_slots[out].is_empty();
+        let needs_grad = self.diff_mode == DiffMode::Gradient && !self.grad_slots[out].is_empty();
         let (start, end) = self.value_range(out);
         if needs_grad {
-            let program = compiled
-                .gradient_program()
-                .expect("gradient mode compiles gradient programs");
+            let program =
+                compiled.gradient_program().expect("gradient mode compiles gradient programs");
             program.run(gate_params, &mut self.scratch, &mut self.write_staging);
             self.values[start..end].copy_from_slice(&self.write_staging[..n]);
             // Distribute gate-parameter gradients onto circuit-parameter slots.
@@ -277,9 +307,7 @@ impl<T: Float> Tnvm<T> {
                 }
             }
         } else {
-            compiled
-                .unitary_program()
-                .run(gate_params, &mut self.scratch, &mut self.write_staging);
+            compiled.unitary_program().run(gate_params, &mut self.scratch, &mut self.write_staging);
             self.values[start..end].copy_from_slice(&self.write_staging[..n]);
         }
     }
@@ -295,8 +323,12 @@ impl<T: Float> Tnvm<T> {
         {
             // Split borrows: copy input slices is avoided by unsafe-free split via
             // indices — use temporary pointers through split_at_mut on a single arena.
-            let (a_vals, b_vals, out_vals) =
-                three_slices(&mut self.values, (a_start, a_end), (b_start, b_end), (o_start, o_end));
+            let (a_vals, b_vals, out_vals) = three_slices(
+                &mut self.values,
+                (a_start, a_end),
+                (b_start, b_end),
+                (o_start, o_end),
+            );
             kind.apply(a_vals, ar, ac, b_vals, br, bc, out_vals, false);
         }
 
@@ -460,7 +492,8 @@ fn grad_value_out<'g, 'v, T>(
     let (gin, gout) = unsafe {
         // SAFETY: `grad_in` and `grad_out` are disjoint ranges within `grads`.
         let base = grads.as_mut_ptr();
-        let gin = std::slice::from_raw_parts(base.add(grad_in.0) as *const T, grad_in.1 - grad_in.0);
+        let gin =
+            std::slice::from_raw_parts(base.add(grad_in.0) as *const T, grad_in.1 - grad_in.0);
         let gout = std::slice::from_raw_parts_mut(base.add(grad_out.0), grad_out.1 - grad_out.0);
         (gin, gout)
     };
@@ -682,6 +715,34 @@ mod tests {
         let _vm2: Tnvm<f64> = Tnvm::new(&program, DiffMode::Gradient, &cache);
         assert_eq!(cache.stats().misses, misses_after_first, "second init should hit the cache");
         assert!(cache.stats().hits > 0);
+    }
+
+    #[test]
+    fn load_retargets_vm_at_extended_program() {
+        // The recompile-on-expansion path: one VM serves a sequence of growing
+        // circuits, with results identical to freshly constructed VMs.
+        let cache = ExpressionCache::new();
+        let small = builders::pqc_qubit_ladder(2, 1).unwrap();
+        let big = builders::pqc_qubit_ladder(2, 3).unwrap();
+        let small_prog = compile_network(&TensorNetwork::from_circuit(&small));
+        let big_prog = compile_network(&TensorNetwork::from_circuit(&big));
+
+        let mut vm: Tnvm<f64> = Tnvm::new(&small_prog, DiffMode::Gradient, &cache);
+        let p_small = random_params(small.num_params(), 4);
+        let before = vm.evaluate(&p_small);
+
+        vm.load(&big_prog, &cache);
+        assert_eq!(vm.num_params(), big.num_params());
+        let p_big = random_params(big.num_params(), 8);
+        let extended = vm.evaluate(&p_big);
+        let reference = big.unitary::<f64>(&p_big).unwrap();
+        assert!(extended.unitary.max_elementwise_distance(&reference) < 1e-10);
+        assert_eq!(extended.gradient.len(), big.num_params());
+
+        // Loading back down also works, and reproduces the original result exactly.
+        vm.load(&small_prog, &cache);
+        let again = vm.evaluate(&p_small);
+        assert!(again.unitary.max_elementwise_distance(&before.unitary) < 1e-14);
     }
 
     #[test]

@@ -29,10 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let controlled = transform::control(&givens, 2);
     let fused = transform::matmul(&givens, &inverse)?;
     println!("controlled gate acts on radices {:?}", controlled.radices());
-    println!(
-        "G·G† is the identity: {}",
-        fused.to_matrix::<f64>(&[0.4, 1.2])?.is_identity(1e-12)
-    );
+    println!("G·G† is the identity: {}", fused.to_matrix::<f64>(&[0.4, 1.2])?.is_identity(1e-12));
 
     // Compile it (simplification + register program) and compare against the tree walk.
     let compiled = CompiledExpression::compile(&givens, &CompileOptions::with_gradient());

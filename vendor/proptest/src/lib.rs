@@ -1,0 +1,183 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the API subset the workspace's property tests use: the [`proptest!`]
+//! macro (with `#![proptest_config(...)]`), strategies over primitive ranges,
+//! [`Just`], tuples, `prop_map`, `prop_recursive`, `prop_oneof!`, and the
+//! `prop_assert*`/`prop_assume!` macros. Generation is deterministic (seeded from the
+//! test name) and there is no shrinking — a failing case reports its message directly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+pub mod strategy;
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case violated an assumption and should not count.
+    Reject(String),
+    /// The property failed.
+    Fail(String),
+}
+
+/// Result type produced by a property body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic generator handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Seeds the generator from an arbitrary label (typically the test name).
+    pub fn deterministic(label: &str) -> Self {
+        let mut seed = 0xcbf29ce484222325u64; // FNV-1a
+        for b in label.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x100000001b3);
+        }
+        TestRng { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Samples uniformly from a primitive range.
+    pub fn gen_range<T, R: rand::SampleRange<T>>(&mut self, range: R) -> T {
+        self.inner.gen_range(range)
+    }
+}
+
+/// The common imports: strategies, config, and the assertion macros.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, ProptestConfig,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+/// Declares deterministic property tests over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::TestRng::deterministic(stringify!($name));
+                let mut passed = 0u32;
+                let mut attempts = 0u32;
+                // Allow rejects (prop_assume!) without starving the case budget.
+                let max_attempts = config.cases.saturating_mul(20).max(config.cases);
+                while passed < config.cases && attempts < max_attempts {
+                    attempts += 1;
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome = (|| -> $crate::TestCaseResult {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => passed += 1,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(message)) => {
+                            panic!("property '{}' failed: {}", stringify!($name), message);
+                        }
+                    }
+                }
+                assert!(
+                    passed > 0,
+                    "property '{}' rejected every generated case",
+                    stringify!($name)
+                );
+            }
+        )*
+    };
+}
+
+/// Skips the current case when `condition` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($condition:expr) => {
+        if !($condition) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($condition)).to_string(),
+            ));
+        }
+    };
+}
+
+/// Fails the current case when `condition` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($condition:expr) => {
+        if !($condition) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                concat!("assertion failed: ", stringify!($condition)).to_string(),
+            ));
+        }
+    };
+    ($condition:expr, $($fmt:tt)+) => {
+        if !($condition) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left != right {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left, right
+            )));
+        }
+    }};
+}
+
+/// Uniformly chooses between several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}

@@ -1,0 +1,239 @@
+//! Value-generation strategies: primitive ranges, [`Just`], tuples, `prop_map`,
+//! `prop_recursive`, and uniform choice ([`one_of`], backing `prop_oneof!`).
+
+use std::ops::Range;
+use std::rc::Rc;
+
+use crate::TestRng;
+
+/// Something that can generate values of an associated type.
+pub trait Strategy: Clone {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f: Rc::new(f) }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy { generate: Rc::new(move |rng| self.generate(rng)) }
+    }
+
+    /// Builds recursive values: `expand` receives a strategy for the recursive
+    /// positions and returns the branching strategy. Recursion is unrolled `depth`
+    /// times, so generation always terminates at leaves of the base strategy.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        expand: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let mut current = self.clone().boxed();
+        for _ in 0..depth {
+            let branch = expand(current).boxed();
+            let leaf = self.clone().boxed();
+            current = BoxedStrategy {
+                generate: Rc::new(move |rng: &mut TestRng| {
+                    // Bias towards branching; the unrolled depth still bounds size.
+                    if rng.next_u64().is_multiple_of(4) {
+                        leaf.generate(rng)
+                    } else {
+                        branch.generate(rng)
+                    }
+                }),
+            };
+        }
+        current
+    }
+}
+
+/// A type-erased strategy (cheaply cloneable).
+pub struct BoxedStrategy<T> {
+    generate: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy { generate: Rc::clone(&self.generate) }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.generate)(rng)
+    }
+}
+
+/// A strategy that always produces a clone of the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: Rc<F>,
+}
+
+impl<S: Clone, F> Clone for Map<S, F> {
+    fn clone(&self) -> Self {
+        Map { inner: self.inner.clone(), f: Rc::clone(&self.f) }
+    }
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between boxed strategies — the engine behind `prop_oneof!`.
+pub fn one_of<T>(arms: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+    assert!(!arms.is_empty(), "prop_oneof! requires at least one strategy");
+    OneOf { arms: Rc::new(arms) }
+}
+
+/// The strategy produced by [`one_of`].
+pub struct OneOf<T> {
+    arms: Rc<Vec<BoxedStrategy<T>>>,
+}
+
+impl<T> Clone for OneOf<T> {
+    fn clone(&self) -> Self {
+        OneOf { arms: Rc::clone(&self.arms) }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let pick = (rng.next_u64() % self.arms.len() as u64) as usize;
+        self.arms[pick].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_just_generate_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges");
+        for _ in 0..100 {
+            let x = (1.0..2.0f64).generate(&mut rng);
+            assert!((1.0..2.0).contains(&x));
+            assert_eq!(Just(7u32).generate(&mut rng), 7);
+        }
+    }
+
+    #[test]
+    fn map_and_oneof_compose() {
+        let mut rng = TestRng::deterministic("compose");
+        let strat = prop_oneof![Just(1u32), Just(2), (10u32..20).prop_map(|v| v * 2)];
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!(v == 1 || v == 2 || (20..40).contains(&v));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] u32),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn size(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(a, b) => 1 + size(a) + size(b),
+            }
+        }
+        let strat = (0u32..10).prop_map(Tree::Leaf).prop_recursive(4, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = TestRng::deterministic("trees");
+        for _ in 0..200 {
+            // Depth-4 unrolling bounds the tree at 2^5 leaves.
+            assert!(size(&strat.generate(&mut rng)) < 64);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_generates_and_asserts(x in 0u64..100, y in -1.0..1.0f64) {
+            prop_assume!(x > 0);
+            prop_assert!(x < 100, "x was {}", x);
+            prop_assert_eq!(x, x);
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+    }
+}
