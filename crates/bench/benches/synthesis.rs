@@ -1,10 +1,11 @@
 //! Criterion smoke bench for the bottom-up synthesis engine: end-to-end search time
 //! for the constant-CNOT workload and a reachable two-qubit target, with the
-//! expression cache shared across iterations (the steady-state a compiler sees).
+//! expression cache shared across iterations (the steady-state a compiler sees), plus
+//! the post-synthesis refinement pass on a deliberately over-deep instantiated result.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use openqudit::prelude::*;
-use qudit_bench::{synthesis_config, synthesis_workloads};
+use qudit_bench::{padded_synthesis_result, synthesis_config, synthesis_workloads};
 
 fn bench_synthesis(c: &mut Criterion) {
     let mut group = c.benchmark_group("synthesis");
@@ -25,12 +26,27 @@ fn bench_synthesis(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_refine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refine");
+    group.sample_size(10);
+    // One over-deep two-qubit result, refined repeatedly against a warm cache: the
+    // steady-state cost of the gate-deletion pass itself (every re-instantiation
+    // reuses the shared compiled expressions).
+    let cache = ExpressionCache::new();
+    let (result, target) = padded_synthesis_result(&[2, 2], &[(0, 1)], 2, 2024, &cache);
+    let config = RefineConfig::default();
+    group.bench_function("2-qubit padded depth-3", |b| {
+        b.iter(|| refine(&result, &target, &config, &cache).expect("refine succeeds"))
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(2))
         .sample_size(10);
-    targets = bench_synthesis
+    targets = bench_synthesis, bench_refine
 }
 criterion_main!(benches);

@@ -1,10 +1,14 @@
 //! Reports the bottom-up synthesis workloads: nodes expanded, wall-clock time, and
-//! final infidelity per workload, emitted as JSON (one object per line would also be
-//! fine for downstream tooling; a single array keeps it self-describing).
+//! final infidelity per workload — with the search and the post-synthesis refinement
+//! pass timed separately, so the report carries pre- and post-refine entangling-block
+//! depths — emitted as JSON.
 //!
 //! Run with `cargo run --release -p qudit-bench --bin report_synthesis`.
 //! Set `OPENQUDIT_SYNTH_TRIALS=<n>` to repeat each workload (default 1; the report
 //! records the mean wall-clock over trials and the worst infidelity).
+//! Set `OPENQUDIT_SYNTH_OMIT_TIMING=1` to drop the wall-clock fields: every remaining
+//! field is deterministic for a fixed seed, so two runs must produce byte-identical
+//! output — the CI determinism check diffs exactly this.
 
 use openqudit::prelude::*;
 use qudit_bench::{synthesis_config, synthesis_workloads, time_it};
@@ -20,51 +24,87 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(1)
         .max(1);
+    let omit_timing = std::env::var("OPENQUDIT_SYNTH_OMIT_TIMING")
+        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        .unwrap_or(false);
 
     let mut entries: Vec<String> = Vec::new();
     for workload in synthesis_workloads() {
         let config = synthesis_config(&workload);
+        let refine_config = RefineConfig {
+            success_threshold: config.success_threshold,
+            instantiate: config.instantiate.clone(),
+            seed: config.seed,
+            ..RefineConfig::default()
+        };
         // One shared cache per workload: trials after the first measure a warm cache,
         // matching how a compiler would amortize gate compilation across partitions.
         let cache = ExpressionCache::new();
-        let mut total_time = std::time::Duration::ZERO;
+        let mut search_time = std::time::Duration::ZERO;
+        let mut refine_time = std::time::Duration::ZERO;
         // Infidelity, nodes_expanded, and blocks are all taken from the *worst* trial
-        // (by infidelity), so the row always describes one run that actually happened.
+        // (by post-refine infidelity), so the row always describes one run that
+        // actually happened.
         let mut worst_infidelity = f64::NEG_INFINITY;
         let mut nodes_expanded = 0usize;
-        let mut blocks = 0usize;
+        let mut blocks_pre = 0usize;
+        let mut blocks_post = 0usize;
         let mut success = true;
         for _ in 0..trials {
-            let (result, elapsed) =
+            let (searched, search_elapsed) =
                 time_it(|| synthesize_with_cache(&workload.target, &config, &cache));
-            let result = match result {
+            let searched = match searched {
                 Ok(result) => result,
                 Err(e) => {
                     eprintln!("workload '{}' failed: {e}", workload.name);
                     std::process::exit(1);
                 }
             };
-            total_time += elapsed;
-            if result.infidelity > worst_infidelity {
-                worst_infidelity = result.infidelity;
-                nodes_expanded = result.nodes_expanded;
-                blocks = result.blocks.len();
+            let (refined, refine_elapsed) = if searched.success {
+                let (refined, elapsed) =
+                    time_it(|| refine(&searched, &workload.target, &refine_config, &cache));
+                match refined {
+                    Ok(refined) => (refined, elapsed),
+                    Err(e) => {
+                        eprintln!("workload '{}' refine failed: {e}", workload.name);
+                        std::process::exit(1);
+                    }
+                }
+            } else {
+                (searched.clone(), std::time::Duration::ZERO)
+            };
+            search_time += search_elapsed;
+            refine_time += refine_elapsed;
+            if refined.infidelity > worst_infidelity {
+                worst_infidelity = refined.infidelity;
+                nodes_expanded = refined.nodes_expanded;
+                blocks_pre = refined.blocks.len() + refined.blocks_deleted;
+                blocks_post = refined.blocks.len();
             }
-            success &= result.success;
+            success &= refined.success;
         }
-        let mean_seconds = total_time.as_secs_f64() / trials as f64;
+        let timing = if omit_timing {
+            String::new()
+        } else {
+            format!(
+                "\"mean_search_seconds\": {:.6}, \"mean_refine_seconds\": {:.6}, ",
+                search_time.as_secs_f64() / trials as f64,
+                refine_time.as_secs_f64() / trials as f64,
+            )
+        };
         entries.push(format!(
             concat!(
                 "  {{\"workload\": \"{}\", \"radices\": {:?}, \"trials\": {}, ",
-                "\"nodes_expanded\": {}, \"blocks\": {}, \"mean_seconds\": {:.6}, ",
-                "\"infidelity\": {:.3e}, \"success\": {}}}"
+                "\"nodes_expanded\": {}, \"blocks_pre_refine\": {}, \"blocks\": {}, ",
+                "{}\"infidelity\": {:.3e}, \"success\": {}}}"
             ),
             json_escape(workload.name),
             workload.radices,
             trials,
             nodes_expanded,
-            blocks,
-            mean_seconds,
+            blocks_pre,
+            blocks_post,
+            timing,
             worst_infidelity,
             success,
         ));

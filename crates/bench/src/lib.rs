@@ -211,14 +211,65 @@ pub fn synthesis_workloads() -> Vec<SynthWorkload> {
     ]
 }
 
-/// The synthesis configuration a workload runs under.
+/// The synthesis configuration a workload runs under. Refinement is disabled here so
+/// the report and bench harnesses can time the search and the refinement pass
+/// separately (the report calls [`openqudit::prelude::refine`] explicitly).
 pub fn synthesis_config(workload: &SynthWorkload) -> SynthesisConfig {
     let mut config = match workload.radices[0] {
         3 => SynthesisConfig::qutrits(workload.radices.len()),
         _ => SynthesisConfig::qubits(workload.radices.len()),
     };
     config.max_blocks = workload.max_blocks;
+    config.refine = false;
     config
+}
+
+/// Builds a deliberately over-deep, already-instantiated synthesis result for the
+/// refinement workloads: the target is reachable at `lean_blocks.len()` entangling
+/// blocks, but the result carries `padding` extra blocks for `refine` to delete.
+///
+/// # Panics
+///
+/// Panics if the padded template fails to instantiate below the success threshold
+/// (it is overcomplete for the target, so multi-start instantiation converges).
+pub fn padded_synthesis_result(
+    radices: &[usize],
+    lean_blocks: &[(usize, usize)],
+    padding: usize,
+    seed: u64,
+    cache: &ExpressionCache,
+) -> (SynthesisResult, Matrix<f64>) {
+    use openqudit::circuit::builders;
+    let lean = builders::pqc_template(radices, lean_blocks).expect("valid template");
+    let target = reachable_target(&lean, seed);
+    let mut blocks = lean_blocks.to_vec();
+    for k in 0..padding {
+        blocks.push(lean_blocks[k % lean_blocks.len()]);
+    }
+    let circuit = builders::pqc_template(radices, &blocks).expect("valid padded template");
+    let outcome = instantiate_circuit(
+        &circuit,
+        &target,
+        &InstantiateConfig { starts: 8, seed: seed ^ 0x9e37, ..Default::default() },
+        cache,
+    );
+    assert!(
+        outcome.success,
+        "padded template failed to instantiate: infidelity {}",
+        outcome.infidelity
+    );
+    let result = SynthesisResult {
+        blocks,
+        params: outcome.params,
+        infidelity: outcome.infidelity,
+        success: true,
+        nodes_expanded: 0,
+        blocks_deleted: 0,
+        refined_infidelity: None,
+        params_folded: 0,
+        circuit,
+    };
+    (result, target)
 }
 
 /// Formats a duration in engineering units for report tables.

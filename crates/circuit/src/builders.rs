@@ -233,6 +233,40 @@ pub fn pqc_template(radices: &[usize], blocks: &[(usize, usize)]) -> Result<Qudi
     Ok(circ)
 }
 
+/// Deletes entangling block `block_index` — the entangler and the two trailing local
+/// gates appended by [`append_pqc_block`] — from a [`pqc_template`]-shaped circuit,
+/// in place. This is the rebuild helper behind post-synthesis gate-deletion: the
+/// refinement pass speculatively removes a block and re-instantiates the survivor.
+///
+/// Returns the composed parameter mapping (see [`QuditCircuit::delete_op`]): entry `k`
+/// is the index the circuit's new `k`-th parameter had before the deletion, so a
+/// parent optimum projects directly onto the smaller template as a warm start.
+///
+/// # Errors
+///
+/// Returns [`crate::CircuitError::InvalidLocation`] when `block_index` does not name a
+/// complete block of the template (the circuit is shorter than the block's three ops).
+pub fn delete_pqc_block(circ: &mut QuditCircuit, block_index: usize) -> Result<Vec<usize>> {
+    let first_op = circ.num_qudits() + 3 * block_index;
+    if first_op + 3 > circ.num_ops() {
+        return Err(crate::CircuitError::InvalidLocation {
+            detail: format!(
+                "block {block_index} spans ops {first_op}..{} but the template has {} op(s)",
+                first_op + 3,
+                circ.num_ops()
+            ),
+        });
+    }
+    // Delete the block's three ops front-to-back (each removal shifts the rest down),
+    // composing the per-deletion parameter mappings into one old-circuit mapping.
+    let mut mapping = circ.delete_op(first_op)?;
+    for _ in 0..2 {
+        let step = circ.delete_op(first_op)?;
+        mapping = step.into_iter().map(|idx| mapping[idx]).collect();
+    }
+    Ok(mapping)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -331,6 +365,40 @@ mod tests {
         let t = pqc_template(&[2, 2], &[(0, 1), (0, 1)]).unwrap();
         assert_eq!(t.num_ops(), 2 + 2 * 3);
         assert_eq!(t.num_params(), 6 + 2 * 6);
+    }
+
+    #[test]
+    fn delete_pqc_block_inverts_append() {
+        // Build a depth-3 qubit template, delete the middle block, and check the
+        // result matches the template built without it — ops, parameters, and the
+        // unitary evaluated through the composed parameter mapping.
+        let blocks = [(0, 1), (1, 2), (0, 1)];
+        let mut circ = pqc_template(&[2, 2, 2], &blocks).unwrap();
+        let full_params: Vec<f64> =
+            (0..circ.num_params()).map(|k| 0.1 * (k as f64) - 0.7).collect();
+        let mapping = delete_pqc_block(&mut circ, 1).unwrap();
+
+        let expect = pqc_template(&[2, 2, 2], &[(0, 1), (0, 1)]).unwrap();
+        assert_eq!(circ.num_ops(), expect.num_ops());
+        assert_eq!(circ.num_params(), expect.num_params());
+        assert_eq!(mapping.len(), circ.num_params());
+
+        // Projecting the parent parameters through the mapping evaluates the deleted
+        // circuit exactly as the freshly built template would.
+        let projected: Vec<f64> = mapping.iter().map(|&i| full_params[i]).collect();
+        let a = circ.unitary::<f64>(&projected).unwrap();
+        let b = expect.unitary::<f64>(&projected).unwrap();
+        assert!(a.max_elementwise_distance(&b) < 1e-12);
+
+        // The deleted block's parameters are gone from the mapping: block 1 owned the
+        // middle 6-parameter span of the 27-parameter template.
+        assert!(mapping.iter().all(|&i| !(15..21).contains(&i)));
+
+        // Out-of-range blocks are rejected.
+        let mut small = pqc_template(&[2, 2], &[(0, 1)]).unwrap();
+        assert!(delete_pqc_block(&mut small, 1).is_err());
+        assert!(delete_pqc_block(&mut small, 0).is_ok());
+        assert_eq!(small.num_ops(), 2);
     }
 
     #[test]

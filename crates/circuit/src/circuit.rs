@@ -334,6 +334,41 @@ impl QuditCircuit {
         Ok(r)
     }
 
+    /// Deletes the operation at `index`, re-packing the parameter offsets of every
+    /// surviving parameterized operation.
+    ///
+    /// Returns the parameter mapping of the deletion: `mapping[k]` is the index the
+    /// circuit's (new) `k`-th parameter had *before* the deletion. Refinement passes
+    /// use this to project an optimized parameter vector onto the smaller circuit and
+    /// warm-start its re-instantiation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidLocation`] if `index` is out of range.
+    pub fn delete_op(&mut self, index: usize) -> Result<Vec<usize>> {
+        if index >= self.ops.len() {
+            return Err(CircuitError::InvalidLocation {
+                detail: format!(
+                    "operation index {index} out of range for {} op(s)",
+                    self.ops.len()
+                ),
+            });
+        }
+        self.ops.remove(index);
+        let mut mapping = Vec::with_capacity(self.num_params);
+        let mut next_offset = 0usize;
+        for op in &mut self.ops {
+            if let OpParams::Parameterized { offset } = &mut op.params {
+                let count = self.exprs[op.expr.0].num_params();
+                mapping.extend(*offset..*offset + count);
+                *offset = next_offset;
+                next_offset += count;
+            }
+        }
+        self.num_params = next_offset;
+        Ok(mapping)
+    }
+
     /// Extracts the parameter values for operation `op` from the circuit parameter
     /// vector.
     ///
@@ -572,6 +607,38 @@ mod tests {
         assert_eq!(vals2, vec![-0.3]);
         assert!(c.unitary::<f64>(&params).unwrap().is_unitary(1e-12));
         assert!(c.unitary::<f64>(&[0.1]).is_err());
+    }
+
+    #[test]
+    fn delete_op_repacks_parameter_offsets() {
+        let mut c = QuditCircuit::qubits(2);
+        let rx = c.cache_operation(gates::rx()).unwrap();
+        let u3 = c.cache_operation(gates::u3()).unwrap();
+        c.append_ref(rx, vec![0]).unwrap(); // param 0
+        c.append_ref(u3, vec![1]).unwrap(); // params 1..4
+        c.append_ref_constant(rx, vec![0], vec![0.3]).unwrap();
+        c.append_ref(rx, vec![1]).unwrap(); // param 4
+        assert_eq!(c.num_params(), 5);
+
+        // Deleting the U3 drops its three parameters and shifts the final RX down.
+        let mapping = c.delete_op(1).unwrap();
+        assert_eq!(mapping, vec![0, 4]);
+        assert_eq!(c.num_ops(), 3);
+        assert_eq!(c.num_params(), 2);
+        let values = c.op_values(&c.ops()[2], &[0.7, -0.2]).unwrap();
+        assert_eq!(values, vec![-0.2]);
+
+        // The deleted circuit evaluates: same unitary as building it without the U3.
+        let mut expect = QuditCircuit::qubits(2);
+        let rx2 = expect.cache_operation(gates::rx()).unwrap();
+        expect.append_ref(rx2, vec![0]).unwrap();
+        expect.append_ref_constant(rx2, vec![0], vec![0.3]).unwrap();
+        expect.append_ref(rx2, vec![1]).unwrap();
+        let a = c.unitary::<f64>(&[0.7, -0.2]).unwrap();
+        let b = expect.unitary::<f64>(&[0.7, -0.2]).unwrap();
+        assert!(a.max_elementwise_distance(&b) < 1e-13);
+
+        assert!(c.delete_op(99).is_err());
     }
 
     #[test]

@@ -66,14 +66,15 @@ pub mod prelude {
     pub use qudit_egraph::simplify::{simplify, simplify_batch};
     pub use qudit_network::{compile_network, find_plan, TensorNetwork, TnvmProgram};
     pub use qudit_optimize::{
-        haar_random_unitary, hs_infidelity, instantiate, instantiate_circuit, reachable_target,
-        GradientEvaluator, InstantiateConfig, InstantiationResult, LmConfig, TnvmEvaluator,
+        haar_random_unitary, hs_infidelity, instantiate, instantiate_circuit,
+        instantiate_circuit_mapped, reachable_target, warm_start_from_mapping, GradientEvaluator,
+        InstantiateConfig, InstantiationResult, LmConfig, TnvmEvaluator,
     };
     pub use qudit_qgl::{ComplexExpr, Expr, QglError, UnitaryExpression};
     pub use qudit_qvm::{CompileOptions, CompiledExpression, DiffMode, ExpressionCache};
     pub use qudit_synth::{
-        synthesize, synthesize_with_cache, CouplingGraph, SynthesisConfig, SynthesisError,
-        SynthesisResult,
+        refine, synthesize, synthesize_with_cache, CouplingGraph, RefineConfig, SynthesisConfig,
+        SynthesisError, SynthesisResult,
     };
     pub use qudit_tensor::{Complex, Matrix, Tensor, C64};
     pub use qudit_tnvm::{EvalResult, Tnvm};

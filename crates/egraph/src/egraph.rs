@@ -229,20 +229,33 @@ impl EGraph {
         }
     }
 
-    /// Iterates over the canonical e-class ids.
+    /// Iterates over the canonical e-class ids, in ascending id order.
+    ///
+    /// The sort is load-bearing: the backing map's iteration order varies between
+    /// processes, and both the saturation runner and the extractor visit classes in
+    /// this order. An unsorted walk would make rule-application (and hence tie-breaks
+    /// among equal-cost extractions) process-dependent, which leaks all the way into
+    /// the floating-point op order of JIT-compiled expressions — breaking the
+    /// byte-for-byte reproducibility the synthesis engine guarantees.
     pub fn class_ids(&self) -> Vec<Id> {
-        self.classes.keys().copied().collect()
+        let mut ids: Vec<Id> = self.classes.keys().copied().collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Returns the canonical ids of classes containing at least one node whose operator
-    /// satisfies `pred`. Used by the saturation runner to only attempt rules whose
-    /// root operator actually occurs in a class.
+    /// satisfies `pred`, in ascending id order (see [`EGraph::class_ids`] for why the
+    /// order matters). Used by the saturation runner to only attempt rules whose root
+    /// operator actually occurs in a class.
     pub fn class_ids_with_op(&self, pred: impl Fn(&Op) -> bool) -> Vec<Id> {
-        self.classes
+        let mut ids: Vec<Id> = self
+            .classes
             .iter()
             .filter(|(_, class)| class.nodes.iter().any(|n| pred(&n.op)))
             .map(|(&id, _)| id)
-            .collect()
+            .collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Returns the e-class for a canonical id.

@@ -1,0 +1,174 @@
+//! Constant folding of *instantiated* parameter values back into symbolic form.
+//!
+//! Numerical instantiation frequently drives parameters onto the special angles a gate
+//! set is built around — 0, ±π/2, ±π, ±2π. Snapping such a value to its exact symbolic
+//! constant and substituting it into the gate's element expressions lets the e-graph
+//! simplifier fold the now-constant subtrees (`cos(0) → 1`, `e^(i·π) → −1`, …), which
+//! both cleans up the reported parameters and shrinks any expression re-compiled for
+//! the refined circuit. The post-synthesis refinement pass in `qudit-synth` is the
+//! main consumer.
+
+use qudit_qgl::Expr;
+
+use crate::simplify::{simplify_batch_with, SimplifyConfig, SimplifyResult};
+
+/// A parameter value recognized as a symbolic constant.
+#[derive(Debug, Clone)]
+pub struct SymbolicSnap {
+    /// The exact numeric value of the constant (e.g. `std::f64::consts::PI`).
+    pub value: f64,
+    /// The symbolic expression of the constant (e.g. `Expr::Pi`).
+    pub expr: Expr,
+}
+
+/// Recognizes an instantiated value as one of the symbolic constants synthesis
+/// parameters habitually converge to: `0`, `±π/2`, `±π`, `±2π`. Returns the exact
+/// numeric value and its symbolic expression when `value` is within `tol`, and `None`
+/// otherwise (or when `tol` is non-positive, which disables snapping).
+pub fn snap_to_symbolic(value: f64, tol: f64) -> Option<SymbolicSnap> {
+    use std::f64::consts::PI;
+    if tol <= 0.0 {
+        return None;
+    }
+    let candidates: [(f64, fn() -> Expr); 7] = [
+        (0.0, Expr::zero),
+        (PI / 2.0, || Expr::div(Expr::Pi, Expr::constant(2.0))),
+        (-PI / 2.0, || Expr::neg(Expr::div(Expr::Pi, Expr::constant(2.0)))),
+        (PI, || Expr::Pi),
+        (-PI, || Expr::neg(Expr::Pi)),
+        (2.0 * PI, || Expr::mul(Expr::constant(2.0), Expr::Pi)),
+        (-2.0 * PI, || Expr::neg(Expr::mul(Expr::constant(2.0), Expr::Pi))),
+    ];
+    for (exact, make_expr) in candidates {
+        if (value - exact).abs() <= tol {
+            return Some(SymbolicSnap { value: exact, expr: make_expr() });
+        }
+    }
+    None
+}
+
+/// The outcome of folding a parameter vector: the (possibly snapped) values, the
+/// symbolic expression of every snapped entry, and how many entries snapped.
+#[derive(Debug, Clone)]
+pub struct ParamFold {
+    /// The parameter vector with snapped entries replaced by their exact constants.
+    pub params: Vec<f64>,
+    /// Per-parameter symbolic constant, `None` where the value did not snap.
+    pub symbolic: Vec<Option<Expr>>,
+    /// Number of snapped entries.
+    pub folded: usize,
+}
+
+/// Snaps every entry of an instantiated parameter vector that lies within `tol` of a
+/// symbolic constant (see [`snap_to_symbolic`]). The caller is responsible for
+/// re-validating the circuit at the snapped values — snapping moves each entry by at
+/// most `tol`, so near an optimum the infidelity shift is O(`tol`²).
+pub fn fold_params(params: &[f64], tol: f64) -> ParamFold {
+    let mut out = ParamFold {
+        params: Vec::with_capacity(params.len()),
+        symbolic: Vec::with_capacity(params.len()),
+        folded: 0,
+    };
+    for &value in params {
+        match snap_to_symbolic(value, tol) {
+            Some(snap) => {
+                out.params.push(snap.value);
+                out.symbolic.push(Some(snap.expr));
+                out.folded += 1;
+            }
+            None => {
+                out.params.push(value);
+                out.symbolic.push(None);
+            }
+        }
+    }
+    out
+}
+
+/// Substitutes snapped parameter values into a gate's element expressions and runs the
+/// e-graph simplifier over the batch, folding the now-constant subtrees.
+///
+/// `names` and `values` describe the gate's parameters in order; every value within
+/// `tol` of a symbolic constant is substituted symbolically (the rest stay free
+/// variables, so partially-constant gates still fold what they can). Shares one
+/// e-graph across the whole batch, so common subexpressions fold once.
+pub fn fold_elements(exprs: &[Expr], names: &[String], values: &[f64], tol: f64) -> SimplifyResult {
+    assert_eq!(names.len(), values.len(), "one value per parameter name");
+    let substituted: Vec<Expr> = exprs
+        .iter()
+        .map(|e| {
+            let mut folded = e.clone();
+            for (name, &value) in names.iter().zip(values.iter()) {
+                if let Some(snap) = snap_to_symbolic(value, tol) {
+                    folded = folded.substitute(name, &snap.expr);
+                }
+            }
+            folded
+        })
+        .collect();
+    simplify_batch_with(&substituted, &SimplifyConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn snapping_recognizes_special_angles_within_tolerance() {
+        for (value, exact) in [
+            (1e-9, 0.0),
+            (PI + 3e-8, PI),
+            (-PI - 1e-8, -PI),
+            (PI / 2.0 - 2e-8, PI / 2.0),
+            (2.0 * PI + 1e-8, 2.0 * PI),
+        ] {
+            let snap = snap_to_symbolic(value, 1e-6).expect("within tolerance");
+            assert_eq!(snap.value, exact, "snapping {value}");
+            assert!(
+                (snap.expr.as_const().unwrap_or_else(|| eval_closed(&snap.expr)) - exact).abs()
+                    < 1e-12
+            );
+        }
+        assert!(snap_to_symbolic(0.3, 1e-6).is_none());
+        assert!(snap_to_symbolic(PI + 1e-3, 1e-6).is_none());
+        // A non-positive tolerance disables snapping entirely.
+        assert!(snap_to_symbolic(0.0, 0.0).is_none());
+    }
+
+    /// Evaluates a closed (variable-free) expression.
+    fn eval_closed(e: &Expr) -> f64 {
+        e.eval_with(&[], &[])
+    }
+
+    #[test]
+    fn fold_params_snaps_and_counts() {
+        let fold = fold_params(&[1e-9, 0.7, PI - 1e-8, -2.0 * PI + 2e-8], 1e-6);
+        assert_eq!(fold.folded, 3);
+        assert_eq!(fold.params[0], 0.0);
+        assert_eq!(fold.params[1], 0.7);
+        assert_eq!(fold.params[2], PI);
+        assert_eq!(fold.params[3], -2.0 * PI);
+        assert!(fold.symbolic[1].is_none());
+        assert!(fold.symbolic[2].is_some());
+    }
+
+    #[test]
+    fn fold_elements_reduces_constant_gates() {
+        // The U3 diagonal at θ ≈ 0: cos(θ/2) must fold to the constant 1, and the
+        // off-diagonal sin(θ/2) to 0.
+        let theta = Expr::var("theta");
+        let diag = Expr::cos(Expr::div(theta.clone(), Expr::constant(2.0)));
+        let off = Expr::sin(Expr::div(theta, Expr::constant(2.0)));
+        let names = vec!["theta".to_string()];
+        let result = fold_elements(&[diag.clone(), off.clone()], &names, &[1e-9], 1e-6);
+        assert_eq!(result.exprs[0], Expr::one());
+        assert_eq!(result.exprs[1], Expr::zero());
+        assert!(result.nodes_after <= result.nodes_before);
+
+        // A value that does not snap leaves the expression parameterized.
+        let kept = fold_elements(&[diag], &names, &[0.4], 1e-6);
+        let a = kept.exprs[0].eval_with(&names, &[0.4]);
+        assert!((a - (0.2f64).cos()).abs() < 1e-12);
+    }
+}

@@ -12,7 +12,10 @@
 //! * [`rules`] — the identity corpus (arithmetic, trigonometric, exponential),
 //! * [`cost`] — the extraction cost model of Table I,
 //! * [`extract`] — the greedy bottom-up, CSE-aware extraction heuristic,
-//! * [`simplify`] — the batch simplification entry point used by the expression JIT.
+//! * [`simplify`] — the batch simplification entry point used by the expression JIT,
+//! * [`fold`] — constant folding of *instantiated* parameter values (snapping to
+//!   0/±π/2/±π/±2π and folding the substituted gate expressions), used by the
+//!   post-synthesis refinement pass.
 //!
 //! # Example
 //!
@@ -32,6 +35,7 @@
 pub mod cost;
 pub mod egraph;
 pub mod extract;
+pub mod fold;
 pub mod language;
 pub mod rewrite;
 pub mod rules;
@@ -40,6 +44,7 @@ pub mod simplify;
 pub use cost::OpCost;
 pub use egraph::EGraph;
 pub use extract::GreedyExtractor;
+pub use fold::{fold_elements, fold_params, snap_to_symbolic, ParamFold, SymbolicSnap};
 pub use language::{Id, Node, Op, Pattern};
 pub use rewrite::{Rewrite, RunReport, Runner, StopReason};
 pub use simplify::{simplify, simplify_batch, simplify_batch_with, SimplifyConfig, SimplifyResult};

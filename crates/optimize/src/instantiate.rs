@@ -7,12 +7,12 @@
 //!
 //! Multi-start runs execute their starts **in parallel** (scoped threads, one TNVM per
 //! worker, all sharing one [`ExpressionCache`]): each start's starting point is derived
-//! from a deterministic `(seed, start index)` pair, so *which point a given start
-//! explores* never depends on the thread schedule. (With early termination, *how many*
-//! starts complete — and, when several succeed, which optimum is returned — can still
-//! vary run to run.) Synthesis frontiers hammer this path — see `qudit-synth`.
+//! from a deterministic `(seed, start index)` pair, and early termination is resolved
+//! by the lowest successful start *index*, never by which thread finished first — so a
+//! multi-start run returns the same parameters and infidelity as the serial loop, on
+//! any machine. Synthesis frontiers hammer this path — see `qudit-synth`.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use rand::rngs::StdRng;
@@ -173,9 +173,15 @@ type CompletedStart = (usize, Vec<f64>, f64, usize);
 /// Runs multi-start instantiation with the starts distributed over scoped worker
 /// threads. `make_evaluator` is called once per worker (inside the worker), so the
 /// evaluator type needs neither `Send` nor `Sync`; per-start starting points are
-/// derived deterministically from `(config.seed, start index)`. Once any start reaches
-/// the success threshold, no further starts are issued (in-flight ones finish and are
-/// still considered for the best result).
+/// derived deterministically from `(config.seed, start index)`.
+///
+/// Early termination is **schedule-independent**: when one or more starts reach the
+/// success threshold, the result is computed over exactly the starts `0..=s`, where
+/// `s` is the lowest-indexed successful start. Starts above `s` are neither issued
+/// after `s` completes nor counted if thread timing let them finish first, so the
+/// returned parameters, infidelity, and `starts_used` match what the serial
+/// [`instantiate`] loop produces for the same configuration — regardless of the
+/// worker-pool size or thread interleaving.
 pub fn instantiate_parallel<E, F>(
     make_evaluator: F,
     target: &Matrix<f64>,
@@ -193,7 +199,10 @@ where
     }
 
     let next_start = AtomicUsize::new(0);
-    let stop = AtomicBool::new(false);
+    // Lowest start index that reached the success threshold so far. Issuance is
+    // monotonic (fetch_add hands out 0, 1, 2, …) and this value only decreases, so
+    // every start below the final minimum is guaranteed to have been evaluated.
+    let min_success = AtomicUsize::new(usize::MAX);
     let completed: Mutex<Vec<CompletedStart>> = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
@@ -202,11 +211,9 @@ where
                 let mut evaluator = make_evaluator();
                 let n = evaluator.num_params();
                 loop {
-                    if stop.load(Ordering::Relaxed) {
-                        break;
-                    }
                     let start_idx = next_start.fetch_add(1, Ordering::Relaxed);
-                    if start_idx >= config.starts {
+                    if start_idx >= config.starts || start_idx > min_success.load(Ordering::Relaxed)
+                    {
                         break;
                     }
                     let x0 = start_point(n, config, start_idx);
@@ -215,7 +222,7 @@ where
                     let (unitary, _) = evaluator.evaluate(&params);
                     let infidelity = hs_infidelity(target, &unitary);
                     if infidelity < config.success_threshold {
-                        stop.store(true, Ordering::Relaxed);
+                        min_success.fetch_min(start_idx, Ordering::Relaxed);
                     }
                     completed
                         .lock()
@@ -227,6 +234,11 @@ where
     });
 
     let mut runs = completed.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+    // Keep exactly the deterministic prefix: starts past the winning index may or may
+    // not have completed depending on thread timing, so they must not influence the
+    // result.
+    let cutoff = min_success.load(Ordering::Relaxed);
+    runs.retain(|r| r.0 <= cutoff);
     // Deterministic tie-breaking: earlier start indices win among equal infidelities.
     runs.sort_by_key(|r| r.0);
     let starts_used = runs.len();
@@ -322,6 +334,48 @@ pub fn instantiate_circuit(
         let _ = cache.get_or_compile(expr, &options);
     }
     instantiate_parallel(|| TnvmEvaluator::from_program(&program, cache), target, config)
+}
+
+/// Projects a parent parameter vector onto a smaller (or re-indexed) circuit through a
+/// subset mapping: `mapping[k]` is the parent index supplying the child's `k`-th
+/// parameter. The mapping is exactly what [`qudit_circuit::QuditCircuit::delete_op`]
+/// returns, so a gate-deletion pass can warm-start the shrunken circuit from the
+/// surviving optimum.
+///
+/// # Panics
+///
+/// Panics if any mapping entry is out of range for `parent`.
+pub fn warm_start_from_mapping(parent: &[f64], mapping: &[usize]) -> Vec<f64> {
+    mapping
+        .iter()
+        .map(|&i| {
+            assert!(
+                i < parent.len(),
+                "mapping entry {i} out of range for {} parent parameter(s)",
+                parent.len()
+            );
+            parent[i]
+        })
+        .collect()
+}
+
+/// [`instantiate_circuit`] warm-started from a *parent* circuit's optimum through a
+/// parameter subset mapping — the re-instantiation entry point of the post-synthesis
+/// refinement pass. The first start begins at the projected parent parameters
+/// (`mapping[k]` = parent index of child parameter `k`); the remaining starts explore
+/// the usual deterministic random points, so a deletion that perturbs the optimum out
+/// of the warm basin can still be recovered.
+pub fn instantiate_circuit_mapped(
+    circuit: &QuditCircuit,
+    target: &Matrix<f64>,
+    parent_params: &[f64],
+    mapping: &[usize],
+    config: &InstantiateConfig,
+    cache: &ExpressionCache,
+) -> InstantiationResult {
+    let warm = warm_start_from_mapping(parent_params, mapping);
+    let config = InstantiateConfig { warm_start: Some(warm), ..config.clone() };
+    instantiate_circuit(circuit, target, &config, cache)
 }
 
 /// Samples a Haar-random unitary of the given dimension (Gaussian matrix followed by
@@ -473,6 +527,66 @@ mod tests {
         assert!(result.infidelity < 1e-6, "parallel infidelity {}", result.infidelity);
         assert!(result.starts_used >= 1 && result.starts_used <= 4);
         assert!(result.total_iterations > 0);
+    }
+
+    #[test]
+    fn parallel_early_stop_matches_serial_exactly() {
+        // The schedule-independence guarantee: parallel multi-start with early
+        // termination must return bit-identical parameters and infidelity to the
+        // serial loop, because both compute over the starts 0..=first-success.
+        let circuit = builders::pqc_qubit_ladder(2, 1).unwrap();
+        let target = reachable_target(&circuit, 21);
+        let cache = ExpressionCache::new();
+        let parallel_cfg = InstantiateConfig { starts: 6, seed: 13, ..Default::default() };
+        let serial_cfg = InstantiateConfig { threads: 1, ..parallel_cfg.clone() };
+        let parallel = instantiate_circuit(&circuit, &target, &parallel_cfg, &cache);
+        let serial = instantiate_circuit(&circuit, &target, &serial_cfg, &cache);
+        assert_eq!(parallel.params, serial.params);
+        assert_eq!(parallel.infidelity.to_bits(), serial.infidelity.to_bits());
+        assert_eq!(parallel.starts_used, serial.starts_used);
+        assert_eq!(parallel.total_iterations, serial.total_iterations);
+    }
+
+    #[test]
+    fn mapped_warm_start_projects_parent_parameters() {
+        assert_eq!(warm_start_from_mapping(&[0.1, 0.2, 0.3, 0.4], &[0, 3]), vec![0.1, 0.4]);
+
+        // Deleting a block from an optimized template and re-instantiating through
+        // the deletion's parameter mapping recovers the target immediately: the
+        // surviving parameters already solve it.
+        let parent = builders::pqc_template(&[2, 2], &[(0, 1)]).unwrap();
+        let target = reachable_target(&parent, 3);
+        let cache = ExpressionCache::new();
+        let parent_result = instantiate_circuit(
+            &parent,
+            &target,
+            &InstantiateConfig { starts: 4, seed: 1, ..Default::default() },
+            &cache,
+        );
+        assert!(parent_result.infidelity < 1e-8);
+
+        // Pad the template with one extra block, warm-starting the padded circuit so
+        // its extra block lands near identity, then delete it and re-instantiate.
+        let mut padded = builders::pqc_template(&[2, 2], &[(0, 1), (0, 1)]).unwrap();
+        let padded_result = instantiate_circuit_mapped(
+            &padded,
+            &target,
+            &parent_result.params,
+            &(0..parent.num_params()).collect::<Vec<_>>(),
+            &InstantiateConfig { starts: 4, seed: 2, ..Default::default() },
+            &cache,
+        );
+        assert!(padded_result.infidelity < 1e-8);
+        let mapping = qudit_circuit::builders::delete_pqc_block(&mut padded, 1).unwrap();
+        let restored = instantiate_circuit_mapped(
+            &padded,
+            &target,
+            &padded_result.params,
+            &mapping,
+            &InstantiateConfig { starts: 4, seed: 3, ..Default::default() },
+            &cache,
+        );
+        assert!(restored.infidelity < 1e-8, "restored infidelity {}", restored.infidelity);
     }
 
     #[test]

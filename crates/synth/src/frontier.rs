@@ -6,7 +6,7 @@
 //! workers share a single `ExpressionCache`, so each unique gate expression still
 //! compiles exactly once per process no matter how many candidates the search visits.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use qudit_network::{compile_network, TensorNetwork};
@@ -40,26 +40,38 @@ pub struct EvaluatedCandidate {
 
 /// Derives a per-candidate instantiation seed from the block sequence, so evaluation
 /// results do not depend on the order candidates are pulled off the work queue.
-fn candidate_seed(base: u64, blocks: &[usize]) -> u64 {
+///
+/// Each round mixes both the block index (offset by one, so edge `0` still perturbs
+/// the state) and its position in the sequence (so permutations of the same multiset
+/// of blocks hash apart) before the multiply/rotate diffusion step. The function is
+/// public so determinism audits can assert collision-freedom over template spaces —
+/// see the collision tests here and the proptest in the integration suite.
+pub fn candidate_seed(base: u64, blocks: &[usize]) -> u64 {
     let mut seed = base ^ 0x51ed270b7a1c4e6d;
-    for &b in blocks {
-        seed ^= b as u64;
+    for (position, &block) in blocks.iter().enumerate() {
+        seed ^= (block as u64).wrapping_add(1).wrapping_mul(0x9E3779B97F4A7C15);
+        seed ^= (position as u64).wrapping_add(1).rotate_left(32);
         seed = seed.wrapping_mul(0x100000001b3).rotate_left(17);
     }
     seed
 }
 
 /// Instantiates all `candidates` against `target` using up to `threads` scoped worker
-/// threads (1 falls back to an in-thread loop). When `stop_on_success` is set, a
-/// candidate reaching `instantiate_cfg.success_threshold` stops further candidates
-/// from being issued — in-flight ones still complete and are reported.
+/// threads (1 falls back to an in-thread loop).
 ///
-/// Results are returned in candidate order (candidates skipped by an early stop are
-/// omitted). The thread budget is split across candidates first: a wide frontier runs
-/// one serial multi-start per worker (reusing each worker's TNVM arena allocations
-/// across candidates), while a frontier narrower than the pool gives each candidate
-/// `threads / candidates` workers for its multi-start instead, so a single-edge
-/// coupling graph still uses the machine.
+/// When `stop_on_success` is set, the early stop is **schedule-independent**: the
+/// returned set is exactly the candidates `0..=s`, where `s` is the lowest index whose
+/// (deterministic, per-candidate-seeded) instantiation reaches
+/// `instantiate_cfg.success_threshold`. Candidate issuance is monotonic, so every
+/// index below `s` is always evaluated; higher-indexed candidates that thread timing
+/// happened to finish are discarded, so identical runs return identical results and
+/// the search layer's winner selection sees the same successes every time.
+///
+/// Results are returned in candidate order. The thread budget is split across
+/// candidates first: a wide frontier runs one serial multi-start per worker (reusing
+/// each worker's TNVM arena allocations across candidates), while a frontier narrower
+/// than the pool gives each candidate `threads / candidates` workers for its
+/// multi-start instead, so a single-edge coupling graph still uses the machine.
 pub fn evaluate_frontier(
     target: &Matrix<f64>,
     candidates: &[Candidate],
@@ -71,15 +83,18 @@ pub fn evaluate_frontier(
     let per_candidate_threads = (threads.max(1) / candidates.len().max(1)).max(1);
     let threads = threads.max(1).min(candidates.len().max(1));
     let next = AtomicUsize::new(0);
-    let stop = AtomicBool::new(false);
+    // Lowest candidate index that reached the success threshold. Because indices are
+    // issued in order and this only decreases, every candidate below the final value
+    // is guaranteed to be evaluated — the key to the deterministic early stop.
+    let min_success = AtomicUsize::new(usize::MAX);
     let results: Mutex<Vec<(usize, EvaluatedCandidate)>> =
         Mutex::new(Vec::with_capacity(candidates.len()));
 
     let worker = |evaluator_slot: &mut Option<TnvmEvaluator>| loop {
-        if stop.load(Ordering::Relaxed) {
+        let index = next.fetch_add(1, Ordering::Relaxed);
+        if index > min_success.load(Ordering::Relaxed) {
             break;
         }
-        let index = next.fetch_add(1, Ordering::Relaxed);
         let Some(candidate) = candidates.get(index) else { break };
         let program = compile_network(&candidate.network);
         let config = InstantiateConfig {
@@ -102,7 +117,7 @@ pub fn evaluate_frontier(
             instantiate(evaluator, target, &config)
         };
         if stop_on_success && outcome.infidelity < config.success_threshold {
-            stop.store(true, Ordering::Relaxed);
+            min_success.fetch_min(index, Ordering::Relaxed);
         }
         results.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push((
             index,
@@ -130,6 +145,10 @@ pub fn evaluate_frontier(
     }
 
     let mut evaluated = results.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+    // Drop completions past the deterministic cutoff: whether they finished depends
+    // on thread timing, so they must not leak into the result set.
+    let cutoff = min_success.load(Ordering::Relaxed);
+    evaluated.retain(|(index, _)| *index <= cutoff);
     evaluated.sort_by_key(|(index, _)| *index);
     evaluated.into_iter().map(|(_, candidate)| candidate).collect()
 }
@@ -179,5 +198,35 @@ mod tests {
         assert_eq!(candidate_seed(7, &[0, 1]), candidate_seed(7, &[0, 1]));
         assert_ne!(candidate_seed(7, &[0, 1]), candidate_seed(7, &[1, 0]));
         assert_ne!(candidate_seed(7, &[0]), candidate_seed(7, &[0, 0]));
+        // Edge 0 in the first round must perturb the state (the regression the
+        // `b + 1` mixing fixes): prepending block 0 always changes the seed.
+        assert_ne!(candidate_seed(7, &[0]), candidate_seed(7, &[]));
+        assert_ne!(candidate_seed(7, &[0, 3]), candidate_seed(7, &[3]));
+    }
+
+    #[test]
+    fn candidate_seeds_are_collision_free_over_short_sequences() {
+        // All block sequences of length ≤ 3 over 8 coupling edges (1 + 8 + 64 + 512
+        // sequences) must hash to distinct seeds, for several base seeds.
+        for base in [0u64, 7, 0xdead_beef, u64::MAX] {
+            let mut seen = std::collections::HashMap::new();
+            let mut sequences: Vec<Vec<usize>> = vec![Vec::new()];
+            for a in 0..8usize {
+                sequences.push(vec![a]);
+                for b in 0..8usize {
+                    sequences.push(vec![a, b]);
+                    for c in 0..8usize {
+                        sequences.push(vec![a, b, c]);
+                    }
+                }
+            }
+            assert_eq!(sequences.len(), 1 + 8 + 64 + 512);
+            for blocks in sequences {
+                let seed = candidate_seed(base, &blocks);
+                if let Some(previous) = seen.insert(seed, blocks.clone()) {
+                    panic!("seed collision under base {base}: {previous:?} vs {blocks:?}");
+                }
+            }
+        }
     }
 }

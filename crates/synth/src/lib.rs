@@ -5,7 +5,7 @@
 //! instantiation is fast enough (TNVM evaluation + shared `ExpressionCache`) to sit in
 //! the inner loop of a search over circuit templates.
 //!
-//! The engine has three parts:
+//! The engine is a pipeline: **search → refine**.
 //!
 //! * [`topology`] — [`CouplingGraph`]: which qudit pairs may be entangled,
 //! * [`layers`] — [`LayerGenerator`]: expands a candidate by one two-qudit building
@@ -16,7 +16,32 @@
 //!   Hilbert–Schmidt infidelity with gate count, evaluating all candidate expansions
 //!   of a node concurrently (one TNVM per worker, re-targeted in place per candidate,
 //!   all sharing one expression cache), and exiting as soon as a candidate drops below
-//!   the success threshold.
+//!   the success threshold,
+//! * [`refine`] — a post-synthesis pass over the successful result: entangling blocks
+//!   whose instantiated sub-unitary carries (near-)zero entangling content are
+//!   speculatively deleted — greedily batched, then one at a time — with the shrunken
+//!   template warm-start re-instantiated through exact parameter mappings, and
+//!   parameters that landed on symbolic constants (0, ±π/2, ±π, ±2π) are snapped and
+//!   e-graph constant-folded. Enabled by default via
+//!   [`SynthesisConfig::refine`](search::SynthesisConfig::refine); a deletion is kept
+//!   only when the re-instantiated infidelity stays under the success threshold.
+//!
+//! # Determinism guarantees
+//!
+//! Two synthesis runs with the same configuration (including `seed`) produce
+//! **byte-identical** results — blocks, parameters, and infidelity — regardless of
+//! the worker-thread count or scheduling:
+//!
+//! * every candidate's instantiation seed derives from its block sequence
+//!   ([`frontier::candidate_seed`], collision-audited over short sequences), never
+//!   from queue order;
+//! * multi-start early termination resolves by the lowest successful *start index*
+//!   (`qudit-optimize`), so a parallel multi-start equals the serial loop bit for bit;
+//! * the frontier's `stop_on_success` truncates to the candidates at or below the
+//!   lowest successful *candidate index*, and the search then picks the winner by the
+//!   total order `(f, blocks.len(), blocks)` — the same order the open list uses;
+//! * the refinement pass orders deletion attempts by a deterministic entangling
+//!   residual and seeds each re-instantiation from the surviving block sequence.
 //!
 //! # Example
 //!
@@ -36,11 +61,13 @@
 
 pub mod frontier;
 pub mod layers;
+pub mod refine;
 pub mod search;
 pub mod topology;
 
-pub use frontier::{evaluate_frontier, Candidate, EvaluatedCandidate};
+pub use frontier::{candidate_seed, evaluate_frontier, Candidate, EvaluatedCandidate};
 pub use layers::LayerGenerator;
+pub use refine::{entangling_residual, refine, RefineConfig};
 pub use search::{synthesize, synthesize_with_cache, SynthesisConfig, SynthesisResult};
 pub use topology::CouplingGraph;
 

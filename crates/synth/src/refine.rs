@@ -1,0 +1,645 @@
+//! Post-synthesis refinement: speculative gate deletion and re-instantiation.
+//!
+//! Bottom-up search stops at the first template that reaches the success threshold,
+//! and that template frequently carries entangling blocks whose instantiated
+//! contribution is (close to) redundant — the QudCom / adaptive-compilation
+//! observation that much of the final gate-count win comes from *eliminating*
+//! multi-level operations after synthesis, not from the search itself. Because
+//! re-instantiation is cheap here (shared [`ExpressionCache`], arena-reusing TNVM,
+//! warm starts projected through exact parameter mappings), an aggressive deletion
+//! pass is affordable:
+//!
+//! 1. **Detect** blocks whose instantiated sub-unitary is within tolerance of a
+//!    non-entangling operation (its entangling content is the identity): the dominant
+//!    operator-Schmidt weight of the block unitary across the pair cut, computed by a
+//!    deterministic power iteration — no external SVD needed.
+//! 2. **Delete speculatively** — the near-identity set as one greedy batch first, then
+//!    blocks one at a time (near-identity first, every block eventually) — rebuilding
+//!    the smaller template via [`qudit_circuit::builders::delete_pqc_block`] (shape-
+//!    checked against [`LayerGenerator::circuit_for`]) and re-instantiating through
+//!    [`qudit_optimize::instantiate_circuit_mapped`] with the surviving parameters as
+//!    a warm start. A deletion is kept only when the re-instantiated infidelity stays
+//!    under the success threshold.
+//! 3. **Fold constants**: parameters that landed on symbolic constants (0, ±π/2, ±π,
+//!    ±2π) are snapped via `qudit-egraph`'s [`fold`](qudit_egraph::fold) entry point,
+//!    the substituted gate expressions are e-graph-simplified to verify the fold, and
+//!    the snapped vector is accepted only if the circuit still meets the threshold.
+//!
+//! The pass is fully deterministic: candidate order, per-attempt seeds (derived from
+//! the surviving block sequence), and the re-instantiation drivers are all
+//! schedule-independent, so refinement preserves the engine's reproducibility
+//! guarantee.
+
+use qudit_circuit::{builders, embed_gate, QuditCircuit};
+use qudit_egraph::fold;
+use qudit_optimize::{
+    instantiate_circuit_mapped, GradientEvaluator, InstantiateConfig, TnvmEvaluator,
+    SUCCESS_THRESHOLD,
+};
+use qudit_qvm::ExpressionCache;
+use qudit_tensor::{Matrix, C64};
+
+use crate::frontier::candidate_seed;
+use crate::layers::LayerGenerator;
+use crate::search::SynthesisResult;
+use crate::topology::CouplingGraph;
+use crate::SynthesisError;
+
+/// Configuration of the refinement pass.
+#[derive(Debug, Clone)]
+pub struct RefineConfig {
+    /// Entangling-residual tolerance below which a block counts as near-identity and
+    /// joins the greedy deletion batch (0 disables the batch, leaving only the scan).
+    pub identity_threshold: f64,
+    /// Whether to speculatively attempt deleting blocks *beyond* the near-identity
+    /// set. Re-instantiation is cheap enough that scanning every block usually pays
+    /// for itself in deleted gates.
+    pub scan_all: bool,
+    /// Infidelity bound a deletion (or constant fold) must preserve.
+    pub success_threshold: f64,
+    /// Snap tolerance for folding parameters onto symbolic constants (0, ±π/2, ±π,
+    /// ±2π). Non-positive disables folding.
+    pub fold_tolerance: f64,
+    /// Per-attempt instantiation settings (the warm start is managed by the pass).
+    pub instantiate: InstantiateConfig,
+    /// Base seed mixed into every attempt's deterministic instantiation seed.
+    pub seed: u64,
+}
+
+impl Default for RefineConfig {
+    fn default() -> Self {
+        RefineConfig {
+            identity_threshold: 1e-3,
+            scan_all: true,
+            success_threshold: SUCCESS_THRESHOLD,
+            fold_tolerance: 1e-6,
+            instantiate: InstantiateConfig { starts: 4, ..Default::default() },
+            seed: 0,
+        }
+    }
+}
+
+/// The dominant normalized operator-Schmidt weight deficit of a two-qudit unitary:
+/// `0` means `u` is (numerically) a tensor product of single-qudit operations — its
+/// entangling content is the identity — while maximally entangling gates approach
+/// `1 − 1/min(da², db²)` (a CNOT scores `0.5`).
+///
+/// Computed as `1 − σ₁²/(da·db)` where `σ₁` is the largest singular value of the
+/// realigned matrix `R[(i,j),(k,l)] = U[(i,k),(j,l)]`, obtained by a deterministic
+/// power iteration on the (tiny) Gram matrix `R·R†`.
+pub fn entangling_residual(u: &Matrix<f64>, da: usize, db: usize) -> f64 {
+    let d = da * db;
+    assert_eq!(u.rows(), d, "unitary must act on the full pair space");
+    assert_eq!(u.cols(), d, "unitary must act on the full pair space");
+    let realigned = Matrix::<f64>::from_fn(da * da, db * db, |rc, cc| {
+        let (ia, ja) = (rc / da, rc % da);
+        let (ib, jb) = (cc / db, cc % db);
+        u.get(ia * db + ib, ja * db + jb)
+    });
+    let gram = realigned.matmul(&realigned.dagger());
+    let m = da * da;
+    // Deterministic power iteration; the start vector has non-zero overlap with every
+    // coordinate direction, and the Gram matrix is PSD with trace d ≥ σ₁² > 0.
+    let mut v: Vec<C64> = (0..m).map(|i| C64::new(1.0 + 0.1 * i as f64, 0.0)).collect();
+    let norm = v.iter().map(|c| c.norm_sqr()).sum::<f64>().sqrt();
+    for entry in v.iter_mut() {
+        *entry = entry.scale(1.0 / norm);
+    }
+    let mut sigma_sq = 0.0;
+    for _ in 0..128 {
+        let w: Vec<C64> = (0..m)
+            .map(|r| {
+                let mut acc = C64::zero();
+                for (c, value) in v.iter().enumerate() {
+                    acc += gram.get(r, c) * *value;
+                }
+                acc
+            })
+            .collect();
+        let norm = w.iter().map(|c| c.norm_sqr()).sum::<f64>().sqrt();
+        if norm <= f64::EPSILON {
+            return 1.0;
+        }
+        sigma_sq = norm;
+        v = w.into_iter().map(|c| c.scale(1.0 / norm)).collect();
+    }
+    (1.0 - (sigma_sq / d as f64).min(1.0)).max(0.0)
+}
+
+/// Internal worker: owns everything one refinement run needs.
+struct Refiner<'a> {
+    target: &'a Matrix<f64>,
+    config: &'a RefineConfig,
+    cache: &'a ExpressionCache,
+    radices: Vec<usize>,
+    generator: LayerGenerator,
+}
+
+/// One refinement state: a template, its block edges, and its instantiated optimum.
+struct State {
+    circuit: QuditCircuit,
+    edges: Vec<(usize, usize)>,
+    params: Vec<f64>,
+    infidelity: f64,
+}
+
+impl Refiner<'_> {
+    /// The instantiated sub-unitary of block `block_index` on its qudit pair — the
+    /// entangler followed by the two trailing locals, embedded in the pair space.
+    fn block_unitary(
+        &self,
+        state: &State,
+        block_index: usize,
+    ) -> Result<Matrix<f64>, SynthesisError> {
+        let n = self.radices.len();
+        let ops = state.circuit.ops();
+        let first = n + 3 * block_index;
+        let (a, b) = (ops[first].location[0], ops[first].location[1]);
+        let pair = [self.radices[a], self.radices[b]];
+        let mut unitary = Matrix::<f64>::identity(pair[0] * pair[1]);
+        for op in &ops[first..first + 3] {
+            let expr = state.circuit.expression(op.expr)?;
+            let values = state.circuit.op_values(op, &state.params)?;
+            let gate = expr.to_matrix::<f64>(&values).map_err(|e| {
+                SynthesisError::InvalidTarget(format!("block gate evaluation failed: {e}"))
+            })?;
+            let location: Vec<usize> = op.location.iter().map(|&q| usize::from(q != a)).collect();
+            let embedded = embed_gate(&gate, expr.radices(), &location, &pair);
+            unitary = embedded.matmul(&unitary);
+        }
+        Ok(unitary)
+    }
+
+    /// Entangling residuals of every block, paired with the block index.
+    fn residuals(&self, state: &State) -> Result<Vec<(usize, f64)>, SynthesisError> {
+        (0..state.edges.len())
+            .map(|i| {
+                let (a, b) = state.edges[i];
+                let unitary = self.block_unitary(state, i)?;
+                Ok((i, entangling_residual(&unitary, self.radices[a], self.radices[b])))
+            })
+            .collect()
+    }
+
+    /// Attempts to delete the given blocks (indices into `state.edges`, any order):
+    /// rebuilds the smaller template, projects the surviving parameters through the
+    /// deletion's exact mapping, and re-instantiates warm-started. Returns the new
+    /// state when the re-instantiated infidelity stays under the success threshold.
+    fn attempt_deletion(&self, state: &State, delete: &[usize]) -> Option<State> {
+        let mut trial = state.circuit.clone();
+        let mut mapping: Option<Vec<usize>> = None;
+        let mut sorted = delete.to_vec();
+        sorted.sort_unstable();
+        for &block in sorted.iter().rev() {
+            let step = builders::delete_pqc_block(&mut trial, block).ok()?;
+            mapping = Some(match mapping {
+                None => step,
+                Some(previous) => step.into_iter().map(|idx| previous[idx]).collect(),
+            });
+        }
+        let mapping = mapping?;
+        let edges: Vec<(usize, usize)> = state
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !sorted.contains(i))
+            .map(|(_, &e)| e)
+            .collect();
+        // The in-place deletion must agree with a from-scratch rebuild of the
+        // surviving template (LayerGenerator::circuit_for → pqc_template).
+        debug_assert_eq!(
+            (trial.num_ops(), trial.num_params()),
+            self.generator
+                .circuit_for(&self.block_indices(&edges))
+                .map(|c| (c.num_ops(), c.num_params()))
+                .expect("surviving edges come from the validated coupling graph"),
+        );
+        let seed_blocks: Vec<usize> =
+            edges.iter().map(|&(a, b)| a * self.radices.len() + b).collect();
+        let config = InstantiateConfig {
+            seed: candidate_seed(self.config.seed, &seed_blocks),
+            success_threshold: self.config.success_threshold,
+            ..self.config.instantiate.clone()
+        };
+        let outcome = instantiate_circuit_mapped(
+            &trial,
+            self.target,
+            &state.params,
+            &mapping,
+            &config,
+            self.cache,
+        );
+        if outcome.infidelity < self.config.success_threshold {
+            Some(State {
+                circuit: trial,
+                edges,
+                params: outcome.params,
+                infidelity: outcome.infidelity,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Maps edge pairs back to indices of the refiner's coupling graph.
+    fn block_indices(&self, edges: &[(usize, usize)]) -> Vec<usize> {
+        let graph_edges = self.generator.coupling().edges();
+        edges
+            .iter()
+            .map(|&(a, b)| {
+                let e = (a.min(b), a.max(b));
+                graph_edges
+                    .iter()
+                    .position(|&g| g == e)
+                    .expect("every surviving edge came from the result's block list")
+            })
+            .collect()
+    }
+}
+
+/// Refines a successful synthesis result by deleting redundant entangling blocks and
+/// folding parameters that landed on symbolic constants. See the module docs for the
+/// pass structure. Unsuccessful results (infidelity at or above the configured
+/// threshold) are returned unchanged — there is no baseline to validate deletions
+/// against.
+///
+/// The returned result describes the refined circuit: `blocks_deleted` counts the
+/// removed entangling blocks (the pre-refine depth is `blocks.len() + blocks_deleted`),
+/// `refined_infidelity` is `Some` of its final infidelity, and `params_folded` counts
+/// parameters snapped to exact symbolic constants.
+///
+/// # Errors
+///
+/// Returns [`SynthesisError::InvalidTarget`] when `result` is not shaped like a
+/// synthesis template (its circuit must be `pqc_initial` + 3 ops per block) or the
+/// target's dimension does not match, and propagates coupling-graph errors for
+/// malformed block lists.
+pub fn refine(
+    result: &SynthesisResult,
+    target: &Matrix<f64>,
+    config: &RefineConfig,
+    cache: &ExpressionCache,
+) -> Result<SynthesisResult, SynthesisError> {
+    let radices = result.circuit.radices().to_vec();
+    let n = radices.len();
+    if result.circuit.num_ops() != n + 3 * result.blocks.len() {
+        return Err(SynthesisError::InvalidTarget(format!(
+            "result circuit has {} op(s), not the {} of a {}-block synthesis template",
+            result.circuit.num_ops(),
+            n + 3 * result.blocks.len(),
+            result.blocks.len()
+        )));
+    }
+    if target.rows() != result.circuit.dim() || target.cols() != result.circuit.dim() {
+        return Err(SynthesisError::InvalidTarget(format!(
+            "target is {}×{} but the result acts on dimension {}",
+            target.rows(),
+            target.cols(),
+            result.circuit.dim()
+        )));
+    }
+    if result.params.len() != result.circuit.num_params() {
+        return Err(SynthesisError::InvalidTarget(format!(
+            "result carries {} parameter value(s) for a circuit with {}",
+            result.params.len(),
+            result.circuit.num_params()
+        )));
+    }
+    // Per-block structure: an entangler on the claimed edge followed by two locals.
+    // An op count alone is not enough — block extraction indexes into these
+    // locations, so a mismatched circuit must fail here, not panic there.
+    for (i, &(a, b)) in result.blocks.iter().enumerate() {
+        let ops = result.circuit.ops();
+        let entangler = &ops[n + 3 * i];
+        let wires: Vec<usize> = entangler.location.clone();
+        let pair_ok = wires.len() == 2
+            && ((wires[0] == a && wires[1] == b) || (wires[0] == b && wires[1] == a));
+        let locals_ok = ops[n + 3 * i + 1].location.len() == 1
+            && ops[n + 3 * i + 2].location.len() == 1
+            && wires.contains(&ops[n + 3 * i + 1].location[0])
+            && wires.contains(&ops[n + 3 * i + 2].location[0]);
+        if !pair_ok || !locals_ok {
+            return Err(SynthesisError::InvalidTarget(format!(
+                "block {i} of the result circuit is not an entangler on ({a}, {b}) \
+                 followed by two locals on its wires"
+            )));
+        }
+    }
+
+    let mut refined = result.clone();
+    refined.refined_infidelity = Some(result.infidelity);
+    if result.infidelity >= config.success_threshold {
+        return Ok(refined);
+    }
+
+    let mut state = State {
+        circuit: result.circuit.clone(),
+        edges: result.blocks.clone(),
+        params: result.params.clone(),
+        infidelity: result.infidelity,
+    };
+    let mut blocks_deleted = 0usize;
+
+    if !state.edges.is_empty() {
+        let coupling = CouplingGraph::new(n, state.edges.iter().copied())?;
+        let refiner = Refiner {
+            target,
+            config,
+            cache,
+            radices: radices.clone(),
+            generator: LayerGenerator::new(&radices, &coupling)?,
+        };
+
+        loop {
+            // Rank blocks by how little entanglement they contribute; the most
+            // identity-like blocks are the best deletion candidates.
+            let mut ranked = refiner.residuals(&state)?;
+            ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+            let near: Vec<usize> = ranked
+                .iter()
+                .filter(|&&(_, residual)| residual <= config.identity_threshold)
+                .map(|&(i, _)| i)
+                .collect();
+            let order: Vec<usize> = if config.scan_all {
+                ranked.iter().map(|&(i, _)| i).collect()
+            } else {
+                near.clone()
+            };
+            if order.is_empty() {
+                break;
+            }
+
+            // Greedily batch the whole near-identity set first: when several blocks
+            // collapsed to (almost) local operations, one re-instantiation usually
+            // absorbs them all.
+            if near.len() >= 2 {
+                if let Some(next) = refiner.attempt_deletion(&state, &near) {
+                    blocks_deleted += near.len();
+                    state = next;
+                    continue;
+                }
+            }
+
+            // Otherwise one block at a time, most identity-like first.
+            let mut deleted = false;
+            for &block in &order {
+                if let Some(next) = refiner.attempt_deletion(&state, &[block]) {
+                    blocks_deleted += 1;
+                    state = next;
+                    deleted = true;
+                    break;
+                }
+            }
+            if !deleted {
+                break;
+            }
+        }
+    }
+
+    // Constant folding: snap parameters that landed on symbolic constants, verify the
+    // substituted gate expressions fold consistently, and keep the snapped vector
+    // only if the circuit still meets the threshold.
+    let mut params_folded = 0usize;
+    if config.fold_tolerance > 0.0 {
+        let folded = fold::fold_params(&state.params, config.fold_tolerance);
+        if folded.folded > 0 {
+            let mut evaluator = TnvmEvaluator::new(&state.circuit, cache);
+            let (unitary, _) = evaluator.evaluate(&folded.params);
+            let snapped_infidelity = qudit_optimize::hs_infidelity(target, &unitary);
+            if snapped_infidelity < config.success_threshold {
+                // E-graph check: every op whose parameters all snapped must fold to
+                // expressions that agree with the snapped numeric gate.
+                let fold_is_consistent = fully_snapped_ops_fold(&state, &folded);
+                if fold_is_consistent {
+                    params_folded = folded.folded;
+                    state.params = folded.params;
+                    state.infidelity = snapped_infidelity;
+                }
+            }
+        }
+    }
+
+    refined.circuit = state.circuit;
+    refined.blocks = state.edges;
+    refined.params = state.params;
+    refined.infidelity = state.infidelity;
+    refined.success = state.infidelity < config.success_threshold;
+    refined.blocks_deleted = blocks_deleted;
+    refined.refined_infidelity = Some(state.infidelity);
+    refined.params_folded = params_folded;
+    Ok(refined)
+}
+
+/// Substitutes each fully-snapped op's symbolic constants into its gate expression,
+/// e-graph-folds the elements, and numerically verifies the folded expressions still
+/// evaluate to the snapped gate matrix.
+fn fully_snapped_ops_fold(state: &State, folded: &qudit_egraph::ParamFold) -> bool {
+    for op in state.circuit.ops() {
+        let qudit_circuit::OpParams::Parameterized { offset } = op.params else { continue };
+        let expr =
+            state.circuit.expression(op.expr).expect("ops always reference cached expressions");
+        let count = expr.num_params();
+        if count == 0 || !(offset..offset + count).all(|k| folded.symbolic[k].is_some()) {
+            continue;
+        }
+        let values = &folded.params[offset..offset + count];
+        let names: Vec<String> = expr.params().to_vec();
+        let mut elements = Vec::new();
+        for row in expr.elements() {
+            for el in row {
+                elements.push(el.re.clone());
+                elements.push(el.im.clone());
+            }
+        }
+        // The values are already snapped to exact constants, so any positive snap
+        // tolerance re-recognizes them; keep it tight.
+        let simplified = fold::fold_elements(&elements, &names, values, 1e-12);
+        // Evaluate folded elements against the direct gate matrix at snapped values.
+        let gate = match expr.to_matrix::<f64>(values) {
+            Ok(gate) => gate,
+            Err(_) => return false,
+        };
+        let dim = expr.dim();
+        for (k, folded_expr) in simplified.exprs.iter().enumerate() {
+            let (row, col, is_im) = (k / 2 / dim, (k / 2) % dim, k % 2 == 1);
+            let reference = if is_im { gate.get(row, col).im } else { gate.get(row, col).re };
+            let value = folded_expr.eval_with(&names, values);
+            if (value - reference).abs() > 1e-9 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qudit_circuit::gates;
+    use qudit_optimize::{instantiate_circuit, reachable_target};
+
+    #[test]
+    fn entangling_residual_separates_local_from_entangling() {
+        // A product of locals has (numerically) zero residual.
+        let rx = gates::rx().to_matrix::<f64>(&[0.8]).unwrap();
+        let rz = gates::rz().to_matrix::<f64>(&[-1.3]).unwrap();
+        let product = rx.kron(&rz);
+        assert!(entangling_residual(&product, 2, 2) < 1e-10);
+
+        // CNOT has operator-Schmidt weights {2, 2}: residual 1 − 2/4 = 0.5.
+        let cnot = gates::cnot().to_matrix::<f64>(&[]).unwrap();
+        let residual = entangling_residual(&cnot, 2, 2);
+        assert!((residual - 0.5).abs() < 1e-9, "residual {residual}");
+
+        // A qutrit CSUM is also maximally non-local across its cut.
+        let csum = gates::csum().to_matrix::<f64>(&[]).unwrap();
+        assert!(entangling_residual(&csum, 3, 3) > 0.3);
+    }
+
+    fn instantiated_result(
+        radices: &[usize],
+        blocks: &[(usize, usize)],
+        target: &Matrix<f64>,
+        cache: &ExpressionCache,
+        seed: u64,
+    ) -> SynthesisResult {
+        let circuit = builders::pqc_template(radices, blocks).unwrap();
+        let outcome = instantiate_circuit(
+            &circuit,
+            target,
+            &InstantiateConfig { starts: 8, seed, ..Default::default() },
+            cache,
+        );
+        SynthesisResult {
+            blocks: blocks.to_vec(),
+            params: outcome.params,
+            infidelity: outcome.infidelity,
+            success: outcome.success,
+            nodes_expanded: 0,
+            blocks_deleted: 0,
+            refined_infidelity: None,
+            params_folded: 0,
+            circuit,
+        }
+    }
+
+    #[test]
+    fn refine_deletes_padded_blocks() {
+        let cache = ExpressionCache::new();
+        let lean = builders::pqc_template(&[2, 2], &[(0, 1)]).unwrap();
+        let target = reachable_target(&lean, 12);
+        let padded = instantiated_result(&[2, 2], &[(0, 1), (0, 1), (0, 1)], &target, &cache, 5);
+        assert!(padded.success, "padded instantiation failed: {}", padded.infidelity);
+
+        let refined = refine(&padded, &target, &RefineConfig::default(), &cache).unwrap();
+        assert!(refined.blocks_deleted >= 1, "no blocks deleted");
+        assert_eq!(refined.blocks.len() + refined.blocks_deleted, 3);
+        assert!(refined.infidelity < 1e-8, "refined infidelity {}", refined.infidelity);
+        assert_eq!(refined.refined_infidelity, Some(refined.infidelity));
+        assert_eq!(refined.params.len(), refined.circuit.num_params());
+        assert!(refined.success);
+    }
+
+    #[test]
+    fn refine_is_a_no_op_on_minimal_results() {
+        let cache = ExpressionCache::new();
+        let target = gates::cnot().to_matrix::<f64>(&[]).unwrap();
+        let minimal = instantiated_result(&[2, 2], &[(0, 1)], &target, &cache, 3);
+        assert!(minimal.success);
+        let refined = refine(&minimal, &target, &RefineConfig::default(), &cache).unwrap();
+        assert_eq!(refined.blocks_deleted, 0);
+        assert_eq!(refined.blocks, minimal.blocks);
+        assert_eq!(refined.circuit.num_ops(), minimal.circuit.num_ops());
+        assert!(refined.infidelity < 1e-8);
+    }
+
+    #[test]
+    fn refine_passes_unsuccessful_results_through() {
+        let cache = ExpressionCache::new();
+        let target = qudit_optimize::haar_random_unitary(4, 77);
+        let mut result = instantiated_result(&[2, 2], &[(0, 1)], &target, &cache, 1);
+        result.infidelity = result.infidelity.max(1e-3);
+        result.success = false;
+        let refined = refine(&result, &target, &RefineConfig::default(), &cache).unwrap();
+        assert_eq!(refined.blocks_deleted, 0);
+        assert_eq!(refined.blocks, result.blocks);
+    }
+
+    #[test]
+    fn refine_rejects_malformed_results() {
+        let cache = ExpressionCache::new();
+        let target = gates::cnot().to_matrix::<f64>(&[]).unwrap();
+        let mut result = instantiated_result(&[2, 2], &[(0, 1)], &target, &cache, 3);
+        result.blocks = vec![(0, 1), (0, 1)]; // claims one more block than the circuit has
+        assert!(matches!(
+            refine(&result, &target, &RefineConfig::default(), &cache),
+            Err(SynthesisError::InvalidTarget(_))
+        ));
+
+        // Wrong parameter-vector length is rejected up front.
+        let mut short = instantiated_result(&[2, 2], &[(0, 1)], &target, &cache, 3);
+        short.params.pop();
+        assert!(matches!(
+            refine(&short, &target, &RefineConfig::default(), &cache),
+            Err(SynthesisError::InvalidTarget(_))
+        ));
+
+        // A circuit with the right op *count* but no entangler at the block position
+        // must error, not panic inside block extraction.
+        let mut flat = QuditCircuit::qubits(2);
+        let u3 = flat.cache_operation(gates::u3()).unwrap();
+        for wire in [0usize, 1, 0, 1, 0] {
+            flat.append_ref(u3, vec![wire]).unwrap();
+        }
+        let params = vec![0.1; flat.num_params()];
+        let bogus = SynthesisResult {
+            blocks: vec![(0, 1)],
+            params,
+            infidelity: 1e-12,
+            success: true,
+            nodes_expanded: 0,
+            blocks_deleted: 0,
+            refined_infidelity: None,
+            params_folded: 0,
+            circuit: flat,
+        };
+        assert!(matches!(
+            refine(&bogus, &target, &RefineConfig::default(), &cache),
+            Err(SynthesisError::InvalidTarget(_))
+        ));
+    }
+
+    #[test]
+    fn refine_folds_symbolic_parameters() {
+        // A hand-built optimum exactly on symbolic constants, perturbed by 1e-8: the
+        // fold must snap the perturbed values back and keep the (tiny) infidelity.
+        let cache = ExpressionCache::new();
+        let circuit = builders::pqc_template(&[2, 2], &[(0, 1)]).unwrap();
+        let exact: Vec<f64> = (0..circuit.num_params())
+            .map(|k| match k % 3 {
+                0 => 0.0,
+                1 => std::f64::consts::PI,
+                _ => std::f64::consts::FRAC_PI_2,
+            })
+            .collect();
+        let target = circuit.unitary::<f64>(&exact).unwrap();
+        let perturbed: Vec<f64> =
+            exact.iter().enumerate().map(|(k, &v)| v + 1e-9 * (k as f64 + 1.0)).collect();
+        let result = SynthesisResult {
+            blocks: vec![(0, 1)],
+            params: perturbed,
+            infidelity: 1e-12,
+            success: true,
+            nodes_expanded: 0,
+            blocks_deleted: 0,
+            refined_infidelity: None,
+            params_folded: 0,
+            circuit,
+        };
+        let config = RefineConfig { scan_all: false, ..Default::default() };
+        let refined = refine(&result, &target, &config, &cache).unwrap();
+        assert_eq!(refined.params_folded, refined.params.len());
+        assert_eq!(refined.params, exact);
+        assert!(refined.infidelity < 1e-10);
+    }
+}

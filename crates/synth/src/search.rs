@@ -18,6 +18,7 @@ use qudit_tensor::Matrix;
 
 use crate::frontier::{evaluate_frontier, Candidate, EvaluatedCandidate};
 use crate::layers::LayerGenerator;
+use crate::refine::{refine, RefineConfig};
 use crate::topology::CouplingGraph;
 use crate::SynthesisError;
 
@@ -47,6 +48,13 @@ pub struct SynthesisConfig {
     pub threads: usize,
     /// Base seed for all per-candidate deterministic seeds.
     pub seed: u64,
+    /// Whether to run the post-synthesis refinement pass (gate deletion and
+    /// re-instantiation, then symbolic constant folding) on a successful result.
+    pub refine: bool,
+    /// Element-wise tolerance for the up-front `target` unitarity validation. Long
+    /// mixed-precision pipelines produce targets whose deviation exceeds the strict
+    /// default; widen this instead of pre-polishing the matrix.
+    pub unitary_tolerance: f64,
 }
 
 impl SynthesisConfig {
@@ -63,6 +71,8 @@ impl SynthesisConfig {
             instantiate: InstantiateConfig { starts: 4, ..Default::default() },
             threads: 0,
             seed: 0,
+            refine: true,
+            unitary_tolerance: 1e-8,
         }
     }
 
@@ -97,6 +107,14 @@ pub struct SynthesisResult {
     pub blocks: Vec<(usize, usize)>,
     /// Whether `infidelity` is below the configured success threshold.
     pub success: bool,
+    /// Entangling blocks removed by the refinement pass (`0` when refinement did not
+    /// run or found nothing to delete). The pre-refine depth is
+    /// `blocks.len() + blocks_deleted`.
+    pub blocks_deleted: usize,
+    /// The infidelity after refinement, `Some` exactly when the refinement pass ran.
+    pub refined_infidelity: Option<f64>,
+    /// Parameters the refinement pass snapped to exact symbolic constants.
+    pub params_folded: usize,
 }
 
 /// One open-list entry. Ordered so that `BinaryHeap` pops the lowest `f` first, with
@@ -170,8 +188,14 @@ pub fn synthesize_with_cache(
             config.radices
         )));
     }
-    if !target.is_unitary(1e-8) {
-        return Err(SynthesisError::InvalidTarget("target matrix is not unitary".to_string()));
+    // `>` alone would accept a NaN deviation, so compare through is-nan explicitly.
+    let deviation = target.unitary_deviation();
+    if deviation > config.unitary_tolerance || deviation.is_nan() {
+        return Err(SynthesisError::InvalidTarget(format!(
+            "target matrix is not unitary: max |U†U − I| element is {deviation:.3e} \
+             (tolerance {:.3e})",
+            config.unitary_tolerance
+        )));
     }
     if config.radices.len() > 1 && !config.coupling.is_connected() {
         return Err(SynthesisError::InvalidCoupling(
@@ -210,14 +234,27 @@ pub fn synthesize_with_cache(
 
     let finish = |best: &EvaluatedCandidate, nodes_expanded: usize| {
         let circuit = generator.circuit_for(&best.blocks)?;
-        Ok(SynthesisResult {
+        let result = SynthesisResult {
             blocks: generator.edges_of(&best.blocks),
             params: best.params.clone(),
             infidelity: best.infidelity,
             success: best.infidelity < config.success_threshold,
             circuit,
             nodes_expanded,
-        })
+            blocks_deleted: 0,
+            refined_infidelity: None,
+            params_folded: 0,
+        };
+        if config.refine && result.success {
+            let refine_config = RefineConfig {
+                success_threshold: config.success_threshold,
+                instantiate: frontier_cfg.clone(),
+                seed: frontier_cfg.seed ^ 0xcafe_f00d_5eed_0001,
+                ..RefineConfig::default()
+            };
+            return refine(&result, target, &refine_config, cache);
+        }
+        Ok(result)
     };
 
     if root.infidelity < config.success_threshold {
@@ -260,13 +297,25 @@ pub fn synthesize_with_cache(
         let evaluated = evaluate_frontier(target, &candidates, &frontier_cfg, threads, cache, true);
         nodes_expanded += evaluated.len();
 
+        // Deterministic winner selection: the frontier's evaluated set is itself
+        // schedule-independent (see `evaluate_frontier`), and when several candidates
+        // succeed the winner is chosen by the same total order `OpenNode` uses —
+        // `(f, blocks.len(), blocks)` — not by which thread finished first.
+        if let Some(winner) = evaluated
+            .iter()
+            .filter(|child| child.infidelity < config.success_threshold)
+            .min_by(|a, b| candidate_order(a, b, config.block_weight))
+        {
+            return finish(winner, nodes_expanded);
+        }
+        // Best-effort tracking for the failure path stays infidelity-first (with the
+        // same deterministic tie-breaks): a failed search should report the closest
+        // approximation it evaluated, not the one the gate-count-penalized heuristic
+        // happens to prefer.
         for child in &evaluated {
-            if child.infidelity < best.infidelity {
+            if infidelity_order(child, &best) == CmpOrdering::Less {
                 best = child.clone();
             }
-        }
-        if best.infidelity < config.success_threshold {
-            return finish(&best, nodes_expanded);
         }
 
         // Move each surviving child's network out of its candidate (an early stop may
@@ -303,6 +352,29 @@ pub fn synthesize_with_cache(
 /// The QSearch-style A* priority: root-scaled distance plus a gate-count penalty.
 fn heuristic(infidelity: f64, blocks: usize, block_weight: f64) -> f64 {
     infidelity.max(0.0).sqrt() + block_weight * blocks as f64
+}
+
+/// The deterministic total order over evaluated candidates — the same
+/// `(f, blocks.len(), blocks)` ranking [`OpenNode`]'s `Ord` uses, so the candidate a
+/// frontier promotes (or, among successes, returns) never depends on thread timing.
+fn candidate_order(
+    a: &EvaluatedCandidate,
+    b: &EvaluatedCandidate,
+    block_weight: f64,
+) -> CmpOrdering {
+    heuristic(a.infidelity, a.blocks.len(), block_weight)
+        .total_cmp(&heuristic(b.infidelity, b.blocks.len(), block_weight))
+        .then_with(|| a.blocks.len().cmp(&b.blocks.len()))
+        .then_with(|| a.blocks.cmp(&b.blocks))
+}
+
+/// Deterministic ranking by raw infidelity (ties broken like [`candidate_order`]) —
+/// used to track the best-effort answer a failed search returns.
+fn infidelity_order(a: &EvaluatedCandidate, b: &EvaluatedCandidate) -> CmpOrdering {
+    a.infidelity
+        .total_cmp(&b.infidelity)
+        .then_with(|| a.blocks.len().cmp(&b.blocks.len()))
+        .then_with(|| a.blocks.cmp(&b.blocks))
 }
 
 #[cfg(test)]
@@ -364,9 +436,19 @@ mod tests {
             synthesize(&haar_random_unitary(8, 1), &config),
             Err(SynthesisError::InvalidTarget(_))
         ));
-        // Non-unitary.
+        // Non-unitary, with the measured deviation in the message.
         let bad = Matrix::<f64>::zeros(4, 4);
-        assert!(matches!(synthesize(&bad, &config), Err(SynthesisError::InvalidTarget(_))));
+        match synthesize(&bad, &config) {
+            Err(SynthesisError::InvalidTarget(message)) => {
+                assert!(message.contains("not unitary"), "{message}");
+                assert!(message.contains("tolerance"), "{message}");
+            }
+            other => panic!("expected InvalidTarget, got {other:?}"),
+        }
+        // A NaN-poisoned target must be rejected, not synthesized to `success`.
+        let mut poisoned = Matrix::<f64>::identity(4);
+        poisoned.set(0, 0, qudit_tensor::C64::new(f64::NAN, 0.0));
+        assert!(matches!(synthesize(&poisoned, &config), Err(SynthesisError::InvalidTarget(_))));
         // Disconnected coupling.
         let mut disconnected = SynthesisConfig::qubits(4);
         disconnected.coupling = CouplingGraph::new(4, [(0, 1), (2, 3)]).unwrap();

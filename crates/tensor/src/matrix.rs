@@ -327,6 +327,31 @@ impl<T: Float> Matrix<T> {
         self.dagger().matmul(self).is_identity(tol)
     }
 
+    /// The largest element-wise deviation of `self† · self` from the identity — the
+    /// quantity [`Matrix::is_unitary`] compares against its tolerance. Non-square
+    /// matrices report infinity. Diagnostics use this to say *how far* from unitary a
+    /// rejected matrix was, not just that it failed.
+    pub fn unitary_deviation(&self) -> T {
+        if !self.is_square() {
+            return T::from_f64(f64::INFINITY);
+        }
+        let gram = self.dagger().matmul(self);
+        let mut worst = T::zero();
+        for r in 0..gram.rows {
+            for c in 0..gram.cols {
+                let expected = if r == c { Complex::one() } else { Complex::zero() };
+                let distance = gram.get(r, c).dist(expected);
+                if distance.to_f64().is_nan() {
+                    // `max` would silently drop a NaN once a later finite element
+                    // compares against it; report it so validation rejects the matrix.
+                    return distance;
+                }
+                worst = worst.max(distance);
+            }
+        }
+        worst
+    }
+
     /// Converts every element to `f64` precision.
     pub fn to_f64(&self) -> Matrix<f64> {
         Matrix {
@@ -374,6 +399,21 @@ mod tests {
 
     fn pauli_z() -> Matrix<f64> {
         Matrix::from_rows(&[vec![C64::one(), C64::zero()], vec![C64::zero(), -C64::one()]])
+    }
+
+    #[test]
+    fn unitary_deviation_measures_distance_from_unitarity() {
+        assert!(pauli_x().unitary_deviation() < 1e-15);
+        let scaled = pauli_x().scale(C64::from_real(1.1));
+        let deviation = scaled.unitary_deviation();
+        assert!((deviation - 0.21).abs() < 1e-12, "deviation {deviation}");
+        assert!(!scaled.is_unitary(0.1));
+        assert!(Matrix::<f64>::zeros(2, 3).unitary_deviation().is_infinite());
+
+        // A NaN element must surface as a NaN deviation, not be masked by `max`.
+        let mut poisoned = Matrix::<f64>::identity(3);
+        poisoned.set(0, 0, C64::new(f64::NAN, 0.0));
+        assert!(poisoned.unitary_deviation().is_nan());
     }
 
     #[test]

@@ -67,10 +67,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let start = Instant::now();
         let result = synthesize(&target, &SynthesisConfig::qubits(2))?;
         println!(
-            "{name:<18}: infidelity {:.2e}, {} block(s) {:?}, {} nodes expanded, {:.1} ms",
+            "{name:<18}: infidelity {:.2e}, {} block(s) {:?} ({} deleted by refine), \
+             {} nodes expanded, {:.1} ms",
             result.infidelity,
             result.blocks.len(),
             result.blocks,
+            result.blocks_deleted,
             result.nodes_expanded,
             start.elapsed().as_secs_f64() * 1e3
         );

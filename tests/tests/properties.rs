@@ -130,6 +130,33 @@ proptest! {
     }
 
     #[test]
+    fn candidate_seeds_never_collide_for_short_block_sequences(base in 0u64..u64::MAX) {
+        // For any base seed, all block sequences of length ≤ 3 over 8 coupling edges
+        // (1 + 8 + 64 + 512 = 585 candidates) must receive distinct instantiation
+        // seeds: a collision would make two different templates explore identical
+        // multi-start points, silently coupling their search outcomes.
+        use openqudit::synth::candidate_seed;
+        let mut sequences: Vec<Vec<usize>> = vec![Vec::new()];
+        for a in 0..8usize {
+            sequences.push(vec![a]);
+            for b in 0..8usize {
+                sequences.push(vec![a, b]);
+                for c in 0..8usize {
+                    sequences.push(vec![a, b, c]);
+                }
+            }
+        }
+        let mut seen = std::collections::HashMap::new();
+        for blocks in sequences {
+            let seed = candidate_seed(base, &blocks);
+            if let Some(previous) = seen.insert(seed, blocks.clone()) {
+                prop_assert!(false, "collision under base {base}: {previous:?} vs {blocks:?}");
+            }
+        }
+        prop_assert_eq!(seen.len(), 585);
+    }
+
+    #[test]
     fn infidelity_is_bounded_and_phase_invariant(dim in prop_oneof![Just(2usize), Just(4)], seed in 0u64..200, phase in -3.0..3.0f64) {
         let a = haar_random_unitary(dim, seed);
         let b = haar_random_unitary(dim, seed + 1);

@@ -72,6 +72,28 @@ fn synthesized_blocks_respect_the_coupling_graph() {
 }
 
 #[test]
+fn same_seed_synthesis_runs_are_byte_identical() {
+    // The determinism guarantee: two synthesis runs with the same configuration must
+    // produce bit-identical block sequences, parameters, and infidelity, even though
+    // the frontier is evaluated by a pool of worker threads with early stopping. A
+    // multi-edge 3-qubit target exercises the racy path: several frontier candidates
+    // can succeed in the same expansion.
+    let template = builders::pqc_template(&[2, 2, 2], &[(0, 1), (1, 2)]).unwrap();
+    let target = reachable_target(&template, 404);
+    let mut config = SynthesisConfig::qubits(3);
+    config.max_blocks = 3;
+    let first = synthesize(&target, &config).unwrap();
+    let second = synthesize(&target, &config).unwrap();
+    assert_eq!(first.blocks, second.blocks, "block sequences diverged between identical runs");
+    assert_eq!(first.blocks_deleted, second.blocks_deleted);
+    let first_bits: Vec<u64> = first.params.iter().map(|p| p.to_bits()).collect();
+    let second_bits: Vec<u64> = second.params.iter().map(|p| p.to_bits()).collect();
+    assert_eq!(first_bits, second_bits, "parameters diverged between identical runs");
+    assert_eq!(first.infidelity.to_bits(), second.infidelity.to_bits());
+    assert_eq!(first.nodes_expanded, second.nodes_expanded);
+}
+
+#[test]
 fn synthesis_shares_one_expression_cache_across_the_search() {
     let cache = ExpressionCache::new();
     let target = openqudit::circuit::gates::cnot().to_matrix::<f64>(&[]).unwrap();
