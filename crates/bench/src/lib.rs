@@ -208,6 +208,18 @@ pub fn synthesis_workloads() -> Vec<SynthWorkload> {
             target: reachable(&[3, 3], &[(0, 1)], 47),
             max_blocks: 2,
         },
+        // Mixed-radix workload: the embedded controlled-shift entangler on a
+        // qubit–qutrit pair, served by the default gate-set registry's (2, 3) entry.
+        // Its presence here also folds the mixed path into the CI byte-for-byte
+        // determinism diff over `report_synthesis`.
+        SynthWorkload {
+            name: "qubit-qutrit embedded csum",
+            radices: vec![2, 3],
+            target: openqudit::circuit::gates::cshift23()
+                .to_matrix::<f64>(&[])
+                .expect("constant gate"),
+            max_blocks: 2,
+        },
     ]
 }
 
@@ -215,10 +227,7 @@ pub fn synthesis_workloads() -> Vec<SynthWorkload> {
 /// the report and bench harnesses can time the search and the refinement pass
 /// separately (the report calls [`openqudit::prelude::refine`] explicitly).
 pub fn synthesis_config(workload: &SynthWorkload) -> SynthesisConfig {
-    let mut config = match workload.radices[0] {
-        3 => SynthesisConfig::qutrits(workload.radices.len()),
-        _ => SynthesisConfig::qubits(workload.radices.len()),
-    };
+    let mut config = SynthesisConfig::with_radices(workload.radices.clone());
     config.max_blocks = workload.max_blocks;
     config.refine = false;
     config

@@ -8,6 +8,7 @@
 
 use crate::circuit::{QuditCircuit, Result};
 use crate::gates;
+use crate::gateset::GateSet;
 
 /// Builds the `n`-qubit Quantum Fourier Transform circuit from Hadamard, controlled
 /// phase, and SWAP gates. All gates are appended as constants via cached references, so
@@ -141,32 +142,53 @@ pub fn synthesis_local(radix: usize) -> Option<qudit_qgl::UnitaryExpression> {
     }
 }
 
-/// The two-qudit entangling gate used by synthesis building blocks for `radix`
-/// (CNOT for qubit pairs, CSUM for qutrit pairs). Returns `None` for radices without
-/// a registered gate set.
-pub fn synthesis_entangler(radix: usize) -> Option<qudit_qgl::UnitaryExpression> {
-    match radix {
-        2 => Some(gates::cnot()),
-        3 => Some(gates::csum()),
+/// The built-in two-qudit entangling gate for the (unordered) radix pair: CNOT for
+/// qubit pairs, CSUM for qutrit pairs, and the embedded controlled-shift
+/// [`gates::cshift23`] for mixed qubit–qutrit pairs. Returns `None` for pairs without
+/// a built-in entangler.
+pub fn synthesis_entangler_pair(ra: usize, rb: usize) -> Option<qudit_qgl::UnitaryExpression> {
+    match (ra.min(rb), ra.max(rb)) {
+        (2, 2) => Some(gates::cnot()),
+        (3, 3) => Some(gates::csum()),
+        (2, 3) => Some(gates::cshift23()),
         _ => None,
     }
+}
+
+/// The built-in same-radix entangler — [`synthesis_entangler_pair`] on `(radix, radix)`.
+pub fn synthesis_entangler(radix: usize) -> Option<qudit_qgl::UnitaryExpression> {
+    synthesis_entangler_pair(radix, radix)
 }
 
 /// Builds the QSearch-style *seed* circuit for bottom-up synthesis: one parameterized
 /// general local gate on every qudit and nothing else. Expanding it one
 /// [`append_pqc_block`] at a time grows the template the synthesis search explores.
 ///
+/// Uses the default gate set for the radices; [`pqc_initial_with`] accepts a custom
+/// [`GateSet`].
+///
 /// # Errors
 ///
 /// Returns [`crate::CircuitError::InvalidExpression`] when a radix has no registered
-/// synthesis gate set (currently: anything other than 2 or 3).
+/// local gate (with built-ins: anything other than 2 or 3).
 pub fn pqc_initial(radices: &[usize]) -> Result<QuditCircuit> {
+    pqc_initial_with(radices, &GateSet::default_for(radices))
+}
+
+/// [`pqc_initial`] drawing the local gates from an explicit [`GateSet`].
+///
+/// # Errors
+///
+/// Returns [`crate::CircuitError::InvalidExpression`] when a radix has no registered
+/// local gate in `gate_set`.
+pub fn pqc_initial_with(radices: &[usize], gate_set: &GateSet) -> Result<QuditCircuit> {
     let mut circ = QuditCircuit::pure(radices.to_vec());
     for (q, &radix) in radices.iter().enumerate() {
-        let local =
-            synthesis_local(radix).ok_or_else(|| crate::CircuitError::InvalidExpression {
-                detail: format!("no synthesis gate set registered for radix {radix}"),
-            })?;
+        let local = gate_set.local(radix).cloned().ok_or_else(|| {
+            crate::CircuitError::InvalidExpression {
+                detail: format!("no local gate registered for radix {radix} in the gate set"),
+            }
+        })?;
         let local_ref = circ.cache_operation(local)?;
         circ.append_ref(local_ref, vec![q])?;
     }
@@ -179,12 +201,35 @@ pub fn pqc_initial(radices: &[usize]) -> Result<QuditCircuit> {
 /// of the circuit parameter vector, so previously optimized parameters keep their
 /// positions (enabling warm-started re-instantiation of the extended circuit).
 ///
+/// Uses the default gate set for the circuit radices; [`append_pqc_block_with`] accepts
+/// a custom [`GateSet`].
+///
 /// # Errors
 ///
-/// Returns a [`crate::CircuitError`] when the wires are out of range, the radices
-/// differ (no mixed-radix entangler is registered), or no gate set exists for the
-/// radix.
+/// See [`append_pqc_block_with`].
 pub fn append_pqc_block(circ: &mut QuditCircuit, a: usize, b: usize) -> Result<()> {
+    let gate_set = GateSet::default_for(circ.radices());
+    append_pqc_block_with(circ, a, b, &gate_set)
+}
+
+/// [`append_pqc_block`] drawing the entangler and locals from an explicit [`GateSet`].
+///
+/// The entangler is looked up by the wires' (unordered) radix pair and applied with its
+/// wire order matching the expression's radices, so an entangler registered as `(2, 3)`
+/// also serves an edge whose lower wire is the qutrit.
+///
+/// # Errors
+///
+/// Returns [`crate::CircuitError::InvalidLocation`] when the wires are out of range,
+/// [`crate::CircuitError::RadixMismatch`] when no entangler is registered for the
+/// wires' radix pair, and [`crate::CircuitError::InvalidExpression`] when a wire's
+/// radix has no registered local gate.
+pub fn append_pqc_block_with(
+    circ: &mut QuditCircuit,
+    a: usize,
+    b: usize,
+    gate_set: &GateSet,
+) -> Result<()> {
     let radices = circ.radices();
     let (ra, rb) = match (radices.get(a), radices.get(b)) {
         (Some(&ra), Some(&rb)) => (ra, rb),
@@ -197,24 +242,27 @@ pub fn append_pqc_block(circ: &mut QuditCircuit, a: usize, b: usize) -> Result<(
             })
         }
     };
-    if ra != rb {
-        return Err(crate::CircuitError::RadixMismatch {
-            detail: format!("no entangler registered for mixed radix pair ({ra}, {rb})"),
-        });
-    }
-    let (entangler, local) = match (synthesis_entangler(ra), synthesis_local(ra)) {
-        (Some(e), Some(l)) => (e, l),
-        _ => {
-            return Err(crate::CircuitError::InvalidExpression {
-                detail: format!("no synthesis gate set registered for radix {ra}"),
-            })
-        }
+    let entangler =
+        gate_set.entangler(ra, rb).cloned().ok_or_else(|| crate::CircuitError::RadixMismatch {
+            detail: format!(
+                "no entangler registered for radix pair ({}, {}) in the gate set",
+                ra.min(rb),
+                ra.max(rb)
+            ),
+        })?;
+    let locals = |radix: usize| {
+        gate_set.local(radix).cloned().ok_or_else(|| crate::CircuitError::InvalidExpression {
+            detail: format!("no local gate registered for radix {radix} in the gate set"),
+        })
     };
+    let (local_a, local_b) = (locals(ra)?, locals(rb)?);
+    let ent_location = crate::gateset::oriented_entangler_wires(&entangler, a, b, radices);
     let ent_ref = circ.cache_operation(entangler)?;
-    let local_ref = circ.cache_operation(local)?;
-    circ.append_ref(ent_ref, vec![a, b])?;
-    circ.append_ref(local_ref, vec![a])?;
-    circ.append_ref(local_ref, vec![b])?;
+    circ.append_ref(ent_ref, ent_location)?;
+    let ref_a = circ.cache_operation(local_a)?;
+    circ.append_ref(ref_a, vec![a])?;
+    let ref_b = circ.cache_operation(local_b)?;
+    circ.append_ref(ref_b, vec![b])?;
     Ok(())
 }
 
@@ -226,9 +274,22 @@ pub fn append_pqc_block(circ: &mut QuditCircuit, a: usize, b: usize) -> Result<(
 ///
 /// Propagates the errors of [`pqc_initial`] and [`append_pqc_block`].
 pub fn pqc_template(radices: &[usize], blocks: &[(usize, usize)]) -> Result<QuditCircuit> {
-    let mut circ = pqc_initial(radices)?;
+    pqc_template_with(radices, blocks, &GateSet::default_for(radices))
+}
+
+/// [`pqc_template`] drawing every building block from an explicit [`GateSet`].
+///
+/// # Errors
+///
+/// Propagates the errors of [`pqc_initial_with`] and [`append_pqc_block_with`].
+pub fn pqc_template_with(
+    radices: &[usize],
+    blocks: &[(usize, usize)],
+    gate_set: &GateSet,
+) -> Result<QuditCircuit> {
+    let mut circ = pqc_initial_with(radices, gate_set)?;
     for &(a, b) in blocks {
-        append_pqc_block(&mut circ, a, b)?;
+        append_pqc_block_with(&mut circ, a, b, gate_set)?;
     }
     Ok(circ)
 }
@@ -402,21 +463,72 @@ mod tests {
     }
 
     #[test]
+    fn mixed_radix_block_uses_embedded_controlled_shift() {
+        // A qubit–qutrit block: CSHIFT23 entangler plus U3/QutritU locals per wire.
+        let mut c = pqc_initial(&[2, 3]).unwrap();
+        assert_eq!(c.num_params(), 3 + 8);
+        append_pqc_block(&mut c, 0, 1).unwrap();
+        assert_eq!(c.num_ops(), 2 + 3);
+        assert_eq!(c.num_params(), 2 * (3 + 8));
+        let entangler = &c.ops()[2];
+        assert_eq!(c.expression(entangler.expr).unwrap().name(), "CSHIFT23");
+        assert_eq!(entangler.location, vec![0, 1]);
+        let params: Vec<f64> = (0..c.num_params()).map(|k| 0.2 * k as f64 - 1.1).collect();
+        assert!(c.unitary::<f64>(&params).unwrap().is_unitary(1e-10));
+
+        // Reversed wire order ([3, 2]): the entangler is oriented to its expression
+        // radices, so the qubit wire stays the control.
+        let mut r = pqc_initial(&[3, 2]).unwrap();
+        append_pqc_block(&mut r, 0, 1).unwrap();
+        let entangler = &r.ops()[2];
+        assert_eq!(r.expression(entangler.expr).unwrap().name(), "CSHIFT23");
+        assert_eq!(entangler.location, vec![1, 0]);
+        let params: Vec<f64> = (0..r.num_params()).map(|k| 0.15 * k as f64 - 0.8).collect();
+        assert!(r.unitary::<f64>(&params).unwrap().is_unitary(1e-10));
+    }
+
+    #[test]
     fn synthesis_hooks_reject_invalid_blocks() {
         assert!(pqc_initial(&[2, 5]).is_err());
         let mut c = pqc_initial(&[2, 3]).unwrap();
-        // Mixed-radix pair has no registered entangler.
-        assert!(matches!(
-            append_pqc_block(&mut c, 0, 1),
-            Err(crate::CircuitError::RadixMismatch { .. })
-        ));
         // Out-of-range wires.
         assert!(matches!(
             append_pqc_block(&mut c, 0, 7),
             Err(crate::CircuitError::InvalidLocation { .. })
         ));
+        // A gate set with both locals but no entangler for the pair is rejected with
+        // the registry lookup key — the radix pair — in the message.
+        let mut no_pair = GateSet::new();
+        no_pair.register_local(gates::u3()).unwrap();
+        no_pair.register_local(gates::qutrit_u()).unwrap();
+        match append_pqc_block_with(&mut c, 0, 1, &no_pair) {
+            Err(crate::CircuitError::RadixMismatch { detail }) => {
+                assert!(detail.contains("radix pair (2, 3)"), "{detail}");
+            }
+            other => panic!("expected RadixMismatch, got {other:?}"),
+        }
         assert!(synthesis_local(4).is_none());
         assert!(synthesis_entangler(4).is_none());
+        assert!(synthesis_entangler_pair(2, 5).is_none());
+        assert_eq!(synthesis_entangler_pair(3, 2).unwrap().name(), "CSHIFT23");
+    }
+
+    #[test]
+    fn default_gate_set_templates_match_the_plain_builders() {
+        // `pqc_template` must be byte-identical to `pqc_template_with` on the default
+        // registry: same ops, same expression table, same unitary bits.
+        for radices in [vec![2, 2], vec![3, 3], vec![2, 3]] {
+            let blocks = [(0usize, 1usize), (0, 1)];
+            let plain = pqc_template(&radices, &blocks).unwrap();
+            let with =
+                pqc_template_with(&radices, &blocks, &GateSet::default_for(&radices)).unwrap();
+            assert_eq!(plain.ops(), with.ops());
+            assert_eq!(plain.num_params(), with.num_params());
+            let params: Vec<f64> = (0..plain.num_params()).map(|k| 0.3 * k as f64).collect();
+            let a = plain.unitary::<f64>(&params).unwrap();
+            let b = with.unitary::<f64>(&params).unwrap();
+            assert!(a.max_elementwise_distance(&b) == 0.0, "unitaries diverged");
+        }
     }
 
     #[test]

@@ -138,6 +138,23 @@ pub fn csum() -> UnitaryExpression {
     )
 }
 
+/// The embedded controlled-shift gate on a qubit–qutrit pair: |a, b⟩ → |a, (a+b) mod 3⟩
+/// with the qubit as control. This is the CSUM gate restricted to a two-level control —
+/// the mixed-radix entangler the default synthesis gate set registers for (2, 3) edges,
+/// defined (like every other gate here) as a plain QGL unitary expression.
+pub fn cshift23() -> UnitaryExpression {
+    must(
+        "CSHIFT23<2, 3>() {
+            [[1,0,0, 0,0,0],
+             [0,1,0, 0,0,0],
+             [0,0,1, 0,0,0],
+             [0,0,0, 0,0,1],
+             [0,0,0, 1,0,0],
+             [0,0,0, 0,1,0]]
+        }",
+    )
+}
+
 /// A single-qutrit phase gate with two independent phases — the qutrit analogue of the
 /// local rotations used in the Fig. 5 qutrit circuits.
 pub fn qutrit_phase() -> UnitaryExpression {
@@ -196,6 +213,7 @@ pub fn all_gates() -> Vec<(&'static str, UnitaryExpression)> {
         ("SWAP", swap()),
         ("CP", cphase()),
         ("CSUM", csum()),
+        ("CSHIFT23", cshift23()),
         ("P3", qutrit_phase()),
         ("QutritU", qutrit_u()),
     ]
@@ -251,6 +269,21 @@ mod tests {
                 assert_eq!(m.get(to, from).re, 1.0, "|{a},{b}>");
             }
         }
+    }
+
+    #[test]
+    fn cshift23_shifts_target_by_control() {
+        let m = cshift23().to_matrix::<f64>(&[]).unwrap();
+        // |a,b⟩ index = 3a+b ↦ |a, (a+b) mod 3⟩, with a ∈ {0, 1}.
+        for a in 0..2usize {
+            for b in 0..3usize {
+                let from = 3 * a + b;
+                let to = 3 * a + (a + b) % 3;
+                assert_eq!(m.get(to, from).re, 1.0, "|{a},{b}>");
+            }
+        }
+        assert!(m.is_unitary(1e-14));
+        assert_eq!(cshift23().radices(), &[2, 3]);
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! [`GateSet`] — the pluggable registry of synthesis building-block gates.
+//!
+//! The paper's extensibility claim is that a user-defined gate — a plain QGL
+//! [`UnitaryExpression`] — flows through instantiation, JIT compilation, and synthesis
+//! unchanged. The registry is where that plumbing starts: synthesis building blocks are
+//! looked up here by radix (local gates) and by radix *pair* (entanglers), instead of
+//! being hard-coded per radix, so registering `CSHIFT23` for the `(2, 3)` pair makes
+//! qubit–qutrit edges synthesizable with zero changes anywhere else in the pipeline.
+//!
+//! Registration validates what the rest of the pipeline assumes: arity (one qudit for
+//! locals, two for entanglers) and numerical unitarity, measured through
+//! [`Matrix::unitary_deviation`](qudit_tensor::Matrix::unitary_deviation) at several
+//! deterministic parameter points.
+//!
+//! # Example
+//!
+//! ```
+//! use qudit_circuit::{gates, GateSet};
+//!
+//! // Swap the default CNOT entangler for RZZ while keeping the U3 locals.
+//! let mut set = GateSet::new();
+//! set.register_local(gates::u3())?;
+//! set.register_entangler(gates::rzz())?;
+//! assert_eq!(set.entangler(2, 2).unwrap().name(), "RZZ");
+//! assert_eq!(set.local(2).unwrap().name(), "U3");
+//! # Ok::<(), qudit_circuit::CircuitError>(())
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use qudit_qgl::UnitaryExpression;
+
+use crate::circuit::{CircuitError, Result};
+
+/// How many deterministic parameter points [`GateSet`] registration probes when
+/// checking a parameterized expression for unitarity.
+const VALIDATION_SAMPLES: usize = 8;
+
+/// Element-wise `|U†U − I|` bound a registered expression must satisfy at every probe
+/// point.
+const VALIDATION_TOLERANCE: f64 = 1e-9;
+
+/// A registry of synthesis building-block gates: one general *local* gate per radix and
+/// one *entangler* per (unordered) radix pair.
+///
+/// Lookups normalize the pair key, and an entangler registered for `(2, 3)` serves
+/// edges in either wire order — appliers orient its wires to match the expression's
+/// radices. Later registrations for the same key replace earlier ones, so a default
+/// set can be built first and selectively overridden.
+#[derive(Debug, Clone, Default)]
+pub struct GateSet {
+    locals: BTreeMap<usize, UnitaryExpression>,
+    entanglers: BTreeMap<(usize, usize), UnitaryExpression>,
+}
+
+impl GateSet {
+    /// An empty registry.
+    pub fn new() -> Self {
+        GateSet::default()
+    }
+
+    /// The default registry for a system with the given radices: U3/CNOT for qubits,
+    /// the general qutrit gate/CSUM for qutrits, and the embedded controlled-shift
+    /// [`crate::gates::cshift23`] for mixed `(2, 3)` pairs. Radices without a built-in gate
+    /// set are skipped, surfacing later as lookup failures
+    /// ([`crate::builders::pqc_initial_with`] and the synthesis layer generator turn
+    /// those into structured errors).
+    pub fn default_for(radices: &[usize]) -> GateSet {
+        let mut set = GateSet::new();
+        let distinct: BTreeSet<usize> = radices.iter().copied().collect();
+        // The built-in gates are unitary by construction (their own tests pin this
+        // down), so insert directly instead of re-validating per call.
+        for &radix in &distinct {
+            if let Some(local) = crate::builders::synthesis_local(radix) {
+                set.locals.insert(radix, local);
+            }
+        }
+        for &a in &distinct {
+            for &b in distinct.range(a..) {
+                if let Some(entangler) = crate::builders::synthesis_entangler_pair(a, b) {
+                    set.entanglers.insert((a, b), entangler);
+                }
+            }
+        }
+        set
+    }
+
+    /// Builds a registry from the gates a template-shaped circuit actually uses:
+    /// its single-qudit expressions register as locals, its two-qudit expressions as
+    /// entanglers. The circuit's expression table was already validated by
+    /// [`crate::QuditCircuit::cache_operation`], so entries are inserted without
+    /// re-probing — this is how refinement recovers the registry of a result whose
+    /// synthesis configuration is no longer at hand.
+    pub fn from_circuit(circuit: &crate::QuditCircuit) -> GateSet {
+        let mut set = GateSet::new();
+        for expr in circuit.expressions() {
+            match expr.num_qudits() {
+                1 => {
+                    set.locals.insert(expr.radices()[0], expr.clone());
+                }
+                2 => {
+                    let (ra, rb) = (expr.radices()[0], expr.radices()[1]);
+                    set.entanglers.insert((ra.min(rb), ra.max(rb)), expr.clone());
+                }
+                _ => {}
+            }
+        }
+        set
+    }
+
+    /// Registers a single-qudit local gate, keyed by its radix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidExpression`] when the expression does not act on
+    /// exactly one qudit or is not numerically unitary.
+    pub fn register_local(&mut self, expr: UnitaryExpression) -> Result<()> {
+        if expr.num_qudits() != 1 {
+            return Err(CircuitError::InvalidExpression {
+                detail: format!(
+                    "local gate '{}' must act on exactly one qudit, but acts on {}",
+                    expr.name(),
+                    expr.num_qudits()
+                ),
+            });
+        }
+        validate_unitary(&expr)?;
+        self.locals.insert(expr.radices()[0], expr);
+        Ok(())
+    }
+
+    /// Registers a two-qudit entangler, keyed by its normalized radix pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidExpression`] when the expression does not act on
+    /// exactly two qudits or is not numerically unitary.
+    pub fn register_entangler(&mut self, expr: UnitaryExpression) -> Result<()> {
+        if expr.num_qudits() != 2 {
+            return Err(CircuitError::InvalidExpression {
+                detail: format!(
+                    "entangler '{}' must act on exactly two qudits, but acts on {}",
+                    expr.name(),
+                    expr.num_qudits()
+                ),
+            });
+        }
+        validate_unitary(&expr)?;
+        let (ra, rb) = (expr.radices()[0], expr.radices()[1]);
+        self.entanglers.insert((ra.min(rb), ra.max(rb)), expr);
+        Ok(())
+    }
+
+    /// The registered local gate for `radix`, if any.
+    pub fn local(&self, radix: usize) -> Option<&UnitaryExpression> {
+        self.locals.get(&radix)
+    }
+
+    /// The registered entangler for the (unordered) radix pair, if any.
+    pub fn entangler(&self, ra: usize, rb: usize) -> Option<&UnitaryExpression> {
+        self.entanglers.get(&(ra.min(rb), ra.max(rb)))
+    }
+
+    /// All registered locals, in ascending radix order.
+    pub fn locals(&self) -> impl Iterator<Item = (usize, &UnitaryExpression)> {
+        self.locals.iter().map(|(&radix, expr)| (radix, expr))
+    }
+
+    /// All registered entanglers, in ascending (normalized) radix-pair order.
+    pub fn entanglers(&self) -> impl Iterator<Item = ((usize, usize), &UnitaryExpression)> {
+        self.entanglers.iter().map(|(&pair, expr)| (pair, expr))
+    }
+}
+
+/// The wire order that aligns a registered entangler's expression radices with wires
+/// `(a, b)` of a system with `radices`: `[a, b]` when they match in order, `[b, a]`
+/// for a pair registered with the opposite orientation (same-radix pairs always get
+/// `[a, b]`). Every applier of a registry entangler — circuit builder and incremental
+/// network extension alike — must route through this one rule.
+pub fn oriented_entangler_wires(
+    entangler: &UnitaryExpression,
+    a: usize,
+    b: usize,
+    radices: &[usize],
+) -> Vec<usize> {
+    if entangler.radices() == [radices[a], radices[b]] {
+        vec![a, b]
+    } else {
+        vec![b, a]
+    }
+}
+
+/// Probes the expression for unitarity at several deterministic parameter points
+/// (one point suffices for constants).
+fn validate_unitary(expr: &UnitaryExpression) -> Result<()> {
+    let samples = if expr.num_params() == 0 { 1 } else { VALIDATION_SAMPLES };
+    for sample in 0..samples {
+        // Golden-ratio low-discrepancy stream over (−π, π), distinct per sample.
+        let params: Vec<f64> = (0..expr.num_params())
+            .map(|k| {
+                let step = (sample * expr.num_params() + k + 1) as f64;
+                let frac = (step * 0.6180339887498949) % 1.0;
+                std::f64::consts::PI * (2.0 * frac - 1.0)
+            })
+            .collect();
+        let matrix =
+            expr.to_matrix::<f64>(&params).map_err(|e| CircuitError::InvalidExpression {
+                detail: format!("expression '{}' failed to evaluate: {e}", expr.name()),
+            })?;
+        // A NaN deviation (poisoned elements) must fail too, so compare through the
+        // accepting branch rather than `>=` alone.
+        let deviation = matrix.unitary_deviation();
+        let acceptable = deviation < VALIDATION_TOLERANCE;
+        if !acceptable {
+            return Err(CircuitError::InvalidExpression {
+                detail: format!(
+                    "expression '{}' is not unitary at {params:?}: max |U†U − I| element \
+                     is {deviation:.3e}",
+                    expr.name()
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+
+    #[test]
+    fn default_registry_covers_pure_and_mixed_pairs() {
+        let set = GateSet::default_for(&[2, 3]);
+        assert_eq!(set.local(2).unwrap().name(), "U3");
+        assert_eq!(set.local(3).unwrap().name(), "QutritU");
+        assert_eq!(set.entangler(2, 2).unwrap().name(), "CNOT");
+        assert_eq!(set.entangler(3, 3).unwrap().name(), "CSUM");
+        assert_eq!(set.entangler(2, 3).unwrap().name(), "CSHIFT23");
+        // Pair lookup is order-normalized.
+        assert_eq!(set.entangler(3, 2).unwrap().name(), "CSHIFT23");
+        assert!(set.local(5).is_none());
+        assert_eq!(set.locals().count(), 2);
+        assert_eq!(set.entanglers().count(), 3);
+    }
+
+    #[test]
+    fn default_registry_skips_unsupported_radices() {
+        let set = GateSet::default_for(&[2, 5]);
+        assert!(set.local(2).is_some());
+        assert!(set.local(5).is_none());
+        assert!(set.entangler(2, 5).is_none());
+        assert!(set.entangler(5, 5).is_none());
+    }
+
+    #[test]
+    fn registration_validates_arity() {
+        let mut set = GateSet::new();
+        // A two-qudit gate is not a local; a one-qudit gate is not an entangler.
+        assert!(matches!(
+            set.register_local(gates::cnot()),
+            Err(CircuitError::InvalidExpression { .. })
+        ));
+        assert!(matches!(
+            set.register_entangler(gates::u3()),
+            Err(CircuitError::InvalidExpression { .. })
+        ));
+    }
+
+    #[test]
+    fn registration_validates_unitarity_with_measured_deviation() {
+        let mut set = GateSet::new();
+        let bad = UnitaryExpression::new("Bad() { [[2, 0], [0, 2]] }").unwrap();
+        match set.register_local(bad) {
+            Err(CircuitError::InvalidExpression { detail }) => {
+                assert!(detail.contains("not unitary"), "{detail}");
+                // The measured deviation appears in the message: |2·2 − 1| = 3.
+                assert!(detail.contains("3.000e0"), "{detail}");
+            }
+            other => panic!("expected InvalidExpression, got {other:?}"),
+        }
+        // A parameterized expression that is only unitary at some points must be
+        // caught by the multi-point probe (sin(x)-scaled identity).
+        let sometimes =
+            UnitaryExpression::new("Sometimes(x) { [[sin(x), 0], [0, sin(x)]] }").unwrap();
+        assert!(set.register_local(sometimes).is_err());
+    }
+
+    #[test]
+    fn later_registration_replaces_earlier() {
+        let mut set = GateSet::default_for(&[2, 2]);
+        set.register_entangler(gates::cz()).unwrap();
+        assert_eq!(set.entangler(2, 2).unwrap().name(), "CZ");
+        set.register_local(gates::rx()).unwrap();
+        assert_eq!(set.local(2).unwrap().name(), "RX");
+    }
+}

@@ -25,7 +25,9 @@
 pub mod builders;
 pub mod circuit;
 pub mod gates;
+pub mod gateset;
 
 pub use circuit::{
     embed_gate, CircuitError, ExpressionRef, OpParams, Operation, QuditCircuit, Result,
 };
+pub use gateset::{oriented_entangler_wires, GateSet};

@@ -62,7 +62,7 @@ pub use qudit_tnvm as tnvm;
 /// The most commonly used types, re-exported for convenient glob import.
 pub mod prelude {
     pub use qudit_baseline::{BaselineCircuit, BaselineEvaluator};
-    pub use qudit_circuit::{builders, gates, CircuitError, ExpressionRef, QuditCircuit};
+    pub use qudit_circuit::{builders, gates, CircuitError, ExpressionRef, GateSet, QuditCircuit};
     pub use qudit_egraph::simplify::{simplify, simplify_batch};
     pub use qudit_network::{compile_network, find_plan, TensorNetwork, TnvmProgram};
     pub use qudit_optimize::{

@@ -6,12 +6,14 @@
 //! (via the incremental `qudit-circuit` builder hooks) and into tensor networks (via
 //! the incremental `qudit-network` extension API), and enumerates the legal one-block
 //! expansions of a node.
+//!
+//! Building blocks are drawn from a pluggable [`GateSet`] registry — locals keyed by
+//! radix, entanglers keyed by (unordered) radix pair — so mixed-radix edges (e.g. a
+//! qubit–qutrit `(2, 3)` pair) and user-defined gates flow through the search with no
+//! further changes.
 
-use std::collections::HashMap;
-
-use qudit_circuit::{builders, QuditCircuit};
+use qudit_circuit::{builders, GateSet, QuditCircuit};
 use qudit_network::TensorNetwork;
-use qudit_qgl::UnitaryExpression;
 
 use crate::topology::CouplingGraph;
 use crate::SynthesisError;
@@ -21,20 +23,36 @@ use crate::SynthesisError;
 pub struct LayerGenerator {
     radices: Vec<usize>,
     coupling: CouplingGraph,
-    /// Per-radix `(entangler, local)` building-block gates, resolved once.
-    gate_sets: HashMap<usize, (UnitaryExpression, UnitaryExpression)>,
+    /// The building-block registry, validated up front: every radix has a local and
+    /// every coupling edge's radix pair has an entangler.
+    gate_set: GateSet,
 }
 
 impl LayerGenerator {
-    /// Builds a generator, resolving the per-radix gate sets up front.
+    /// Builds a generator over the default gate set for `radices` (U3/CNOT for
+    /// qubits, the general qutrit gate/CSUM for qutrits, the embedded controlled
+    /// shift for mixed `(2, 3)` edges).
+    ///
+    /// # Errors
+    ///
+    /// See [`LayerGenerator::with_gate_set`].
+    pub fn new(radices: &[usize], coupling: &CouplingGraph) -> Result<Self, SynthesisError> {
+        Self::with_gate_set(radices, coupling, GateSet::default_for(radices))
+    }
+
+    /// Builds a generator drawing building blocks from an explicit [`GateSet`],
+    /// validating the registry against the system up front.
     ///
     /// # Errors
     ///
     /// Returns [`SynthesisError::UnsupportedRadix`] when a radix has no registered
-    /// gate set, and [`SynthesisError::InvalidCoupling`] when an edge couples qudits
-    /// of different radices (no mixed-radix entangler is registered) or the graph size
-    /// disagrees with `radices`.
-    pub fn new(radices: &[usize], coupling: &CouplingGraph) -> Result<Self, SynthesisError> {
+    /// local gate, and [`SynthesisError::InvalidCoupling`] when an edge's radix pair
+    /// has no registered entangler or the graph size disagrees with `radices`.
+    pub fn with_gate_set(
+        radices: &[usize],
+        coupling: &CouplingGraph,
+        gate_set: GateSet,
+    ) -> Result<Self, SynthesisError> {
         if radices.len() != coupling.num_qudits() {
             return Err(SynthesisError::InvalidCoupling(format!(
                 "coupling graph spans {} qudit(s) but {} radices were given",
@@ -42,26 +60,23 @@ impl LayerGenerator {
                 radices.len()
             )));
         }
-        let mut gate_sets = HashMap::new();
         for &radix in radices {
-            if let std::collections::hash_map::Entry::Vacant(entry) = gate_sets.entry(radix) {
-                let entangler = builders::synthesis_entangler(radix)
-                    .ok_or(SynthesisError::UnsupportedRadix(radix))?;
-                let local = builders::synthesis_local(radix)
-                    .ok_or(SynthesisError::UnsupportedRadix(radix))?;
-                entry.insert((entangler, local));
+            if gate_set.local(radix).is_none() {
+                return Err(SynthesisError::UnsupportedRadix(radix));
             }
         }
         for &(a, b) in coupling.edges() {
-            if radices[a] != radices[b] {
+            let (ra, rb) = (radices[a], radices[b]);
+            if gate_set.entangler(ra, rb).is_none() {
                 return Err(SynthesisError::InvalidCoupling(format!(
-                    "edge ({a}, {b}) couples radix {} to radix {}; no mixed-radix \
-                     entangler is registered",
-                    radices[a], radices[b]
+                    "edge ({a}, {b}) needs an entangler registered for radix pair \
+                     ({}, {}), but the gate set has none",
+                    ra.min(rb),
+                    ra.max(rb)
                 )));
             }
         }
-        Ok(LayerGenerator { radices: radices.to_vec(), coupling: coupling.clone(), gate_sets })
+        Ok(LayerGenerator { radices: radices.to_vec(), coupling: coupling.clone(), gate_set })
     }
 
     /// The qudit radices.
@@ -72,6 +87,11 @@ impl LayerGenerator {
     /// The coupling graph expansions draw edges from.
     pub fn coupling(&self) -> &CouplingGraph {
         &self.coupling
+    }
+
+    /// The validated building-block registry.
+    pub fn gate_set(&self) -> &GateSet {
+        &self.gate_set
     }
 
     /// The edge pairs for a block sequence.
@@ -87,7 +107,7 @@ impl LayerGenerator {
     /// Propagates [`SynthesisError::Circuit`] (cannot occur for validated generators
     /// and in-range block indices).
     pub fn circuit_for(&self, blocks: &[usize]) -> Result<QuditCircuit, SynthesisError> {
-        Ok(builders::pqc_template(&self.radices, &self.edges_of(blocks))?)
+        Ok(builders::pqc_template_with(&self.radices, &self.edges_of(blocks), &self.gate_set)?)
     }
 
     /// Lowers the local-only seed template to a tensor network.
@@ -96,25 +116,31 @@ impl LayerGenerator {
     ///
     /// Propagates [`SynthesisError::Circuit`] (cannot occur for validated generators).
     pub fn seed_network(&self) -> Result<TensorNetwork, SynthesisError> {
-        Ok(TensorNetwork::from_circuit(&builders::pqc_initial(&self.radices)?))
+        Ok(TensorNetwork::from_circuit(&builders::pqc_initial_with(&self.radices, &self.gate_set)?))
     }
 
     /// Extends a node's tensor network by one building block **in place of a full
     /// re-lowering**: clones the parent network and pushes the entangler and the two
     /// local gates — the recompile-on-expansion path. The appended gates allocate
     /// trailing circuit parameters, so the parent's optimized parameter vector remains
-    /// a valid warm-start prefix for the child.
+    /// a valid warm-start prefix for the child. The entangler's wire order matches its
+    /// expression radices, so a `(2, 3)`-registered entangler also serves an edge
+    /// whose lower wire is the qutrit.
     pub fn extend_network(&self, parent: &TensorNetwork, edge_index: usize) -> TensorNetwork {
         let (a, b) = self.coupling.edges()[edge_index];
-        let (entangler, local) = &self.gate_sets[&self.radices[a]];
+        let (ra, rb) = (self.radices[a], self.radices[b]);
+        let entangler = self.gate_set.entangler(ra, rb).expect("validated at construction");
+        let local_a = self.gate_set.local(ra).expect("validated at construction");
+        let local_b = self.gate_set.local(rb).expect("validated at construction");
+        let ent_wires = qudit_circuit::oriented_entangler_wires(entangler, a, b, &self.radices);
         let mut network = parent.clone();
         if entangler.num_params() > 0 {
-            network.push_parameterized(entangler, vec![a, b]);
+            network.push_parameterized(entangler, ent_wires);
         } else {
-            network.push_constant(entangler, vec![a, b], &[]);
+            network.push_constant(entangler, ent_wires, &[]);
         }
-        network.push_parameterized(local, vec![a]);
-        network.push_parameterized(local, vec![b]);
+        network.push_parameterized(local_a, vec![a]);
+        network.push_parameterized(local_b, vec![b]);
         network
     }
 
@@ -134,6 +160,7 @@ impl LayerGenerator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qudit_circuit::gates;
 
     #[test]
     fn expansions_follow_the_coupling_graph() {
@@ -179,18 +206,57 @@ mod tests {
     }
 
     #[test]
-    fn rejects_unsupported_and_mixed_radices() {
+    fn mixed_radix_extension_matches_full_lowering() {
+        // A qubit–qutrit line is now a first-class template space; the incremental
+        // network extension must agree with a from-scratch lowering, in both wire
+        // orders (the [3, 2] case applies the entangler with reversed wires).
+        for radices in [[2usize, 3], [3, 2]] {
+            let generator = LayerGenerator::new(&radices, &CouplingGraph::linear(2)).unwrap();
+            let seed = generator.seed_network().unwrap();
+            let extended = generator.extend_network(&seed, 0);
+            let relowered = TensorNetwork::from_circuit(&generator.circuit_for(&[0]).unwrap());
+            assert_eq!(extended.num_params(), relowered.num_params());
+            assert_eq!(extended.nodes().len(), relowered.nodes().len());
+            for (a, b) in extended.nodes().iter().zip(relowered.nodes()) {
+                assert_eq!(a.qudits, b.qudits, "radices {radices:?}");
+                assert_eq!(a.bindings, b.bindings, "radices {radices:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported_radices_and_missing_entanglers() {
         assert!(matches!(
             LayerGenerator::new(&[5, 5], &CouplingGraph::linear(2)),
             Err(SynthesisError::UnsupportedRadix(5))
         ));
-        assert!(matches!(
-            LayerGenerator::new(&[2, 3], &CouplingGraph::linear(2)),
-            Err(SynthesisError::InvalidCoupling(_))
-        ));
+        // Mixed (2, 3) edges are supported by the default registry now.
+        assert!(LayerGenerator::new(&[2, 3], &CouplingGraph::linear(2)).is_ok());
         assert!(matches!(
             LayerGenerator::new(&[2, 2, 2], &CouplingGraph::linear(2)),
             Err(SynthesisError::InvalidCoupling(_))
         ));
+    }
+
+    #[test]
+    fn missing_entangler_error_names_the_radix_pair() {
+        // The registry lookup key — the normalized radix pair — appears in the error,
+        // so a user registering a custom set knows exactly which entry is missing.
+        let mut locals_only = GateSet::new();
+        locals_only.register_local(gates::u3()).unwrap();
+        locals_only.register_local(gates::qutrit_u()).unwrap();
+        let err = LayerGenerator::with_gate_set(&[3, 2], &CouplingGraph::linear(2), locals_only)
+            .unwrap_err();
+        match err {
+            SynthesisError::InvalidCoupling(detail) => {
+                assert!(detail.contains("edge (0, 1)"), "{detail}");
+                assert!(detail.contains("radix pair (2, 3)"), "{detail}");
+            }
+            other => panic!("expected InvalidCoupling, got {other:?}"),
+        }
+        // A radix without a local gate reports UnsupportedRadix, and its Display
+        // names the radix.
+        let err = LayerGenerator::new(&[5, 5], &CouplingGraph::linear(2)).unwrap_err();
+        assert_eq!(err.to_string(), "no synthesis gate set registered for radix 5");
     }
 }

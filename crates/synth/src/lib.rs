@@ -8,10 +8,15 @@
 //! The engine is a pipeline: **search → refine**.
 //!
 //! * [`topology`] — [`CouplingGraph`]: which qudit pairs may be entangled,
+//! * [`GateSet`] — the pluggable building-block registry: one general local gate per
+//!   radix and one entangler per (unordered) radix pair, each a plain QGL
+//!   [`UnitaryExpression`](qudit_qgl::UnitaryExpression) validated at registration
+//!   (arity + numerical unitarity). [`GateSet::default_for`] supplies CNOT/U3 for
+//!   qubits, CSUM/the general qutrit gate for qutrits, and the embedded
+//!   controlled-shift `CSHIFT23` for mixed qubit–qutrit `(2, 3)` edges,
 //! * [`layers`] — [`LayerGenerator`]: expands a candidate by one two-qudit building
-//!   block (entangler + general locals; CNOT/U3 for qubits, CSUM/the general qutrit
-//!   gate for qutrits) along a coupling edge, incrementally extending both the circuit
-//!   and its tensor network,
+//!   block (the pair's registered entangler + the per-wire registered locals) along a
+//!   coupling edge, incrementally extending both the circuit and its tensor network,
 //! * [`search`] / [`frontier`] — an A*/beam search whose cost combines instantiated
 //!   Hilbert–Schmidt infidelity with gate count, evaluating all candidate expansions
 //!   of a node concurrently (one TNVM per worker, re-targeted in place per candidate,
@@ -58,6 +63,32 @@
 //! assert_eq!(result.blocks, vec![(0, 1)]); // one entangling block suffices
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! # Custom gate sets
+//!
+//! Any QGL unitary expression can serve as a building block — the paper's
+//! extensibility claim made concrete. Register it and the whole pipeline
+//! (instantiation, JIT compilation, search, refinement) uses it unchanged:
+//!
+//! ```
+//! use qudit_circuit::gates;
+//! use qudit_synth::{synthesize, GateSet, SynthesisConfig};
+//!
+//! // Synthesize over an RZZ-entangler gate set instead of the default CNOT.
+//! let mut gate_set = GateSet::new();
+//! gate_set.register_local(gates::u3())?;
+//! gate_set.register_entangler(gates::rzz())?;
+//!
+//! let mut config = SynthesisConfig::qubits(2);
+//! config.gate_set = gate_set;
+//! let target = gates::cz().to_matrix::<f64>(&[])?;
+//! let result = synthesize(&target, &config)?;
+//! assert!(result.success);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Mixed-radix systems work out of the box: `SynthesisConfig::with_radices(vec![2, 3])`
+//! registers the embedded controlled-shift entangler for the qubit–qutrit edge.
 
 pub mod frontier;
 pub mod layers;
@@ -67,6 +98,7 @@ pub mod topology;
 
 pub use frontier::{candidate_seed, evaluate_frontier, Candidate, EvaluatedCandidate};
 pub use layers::LayerGenerator;
+pub use qudit_circuit::GateSet;
 pub use refine::{entangling_residual, refine, RefineConfig};
 pub use search::{synthesize, synthesize_with_cache, SynthesisConfig, SynthesisResult};
 pub use topology::CouplingGraph;
@@ -74,9 +106,11 @@ pub use topology::CouplingGraph;
 /// Errors produced while configuring or running a synthesis search.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SynthesisError {
-    /// No synthesis gate set is registered for this radix.
+    /// The gate-set registry has no local gate for this radix.
     UnsupportedRadix(usize),
-    /// The coupling graph is inconsistent with the radices, disconnected, or empty.
+    /// The coupling graph is inconsistent with the radices, disconnected, or empty —
+    /// or an edge's radix pair has no registered entangler (the message names the
+    /// registry lookup key).
     InvalidCoupling(String),
     /// The target matrix has the wrong shape or is not unitary.
     InvalidTarget(String),

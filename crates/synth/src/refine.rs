@@ -30,7 +30,7 @@
 //! schedule-independent, so refinement preserves the engine's reproducibility
 //! guarantee.
 
-use qudit_circuit::{builders, embed_gate, QuditCircuit};
+use qudit_circuit::{builders, embed_gate, GateSet, QuditCircuit};
 use qudit_egraph::fold;
 use qudit_optimize::{
     instantiate_circuit_mapped, GradientEvaluator, InstantiateConfig, TnvmEvaluator,
@@ -64,6 +64,12 @@ pub struct RefineConfig {
     pub instantiate: InstantiateConfig,
     /// Base seed mixed into every attempt's deterministic instantiation seed.
     pub seed: u64,
+    /// The gate-set registry the result's template was built from, used when
+    /// rebuilding shrunken templates. `None` (the default) recovers the registry
+    /// from the result circuit's own expressions ([`GateSet::from_circuit`]), so
+    /// custom-gate-set results refine without further configuration;
+    /// [`crate::synthesize`] threads its configured registry through explicitly.
+    pub gate_set: Option<GateSet>,
 }
 
 impl Default for RefineConfig {
@@ -75,6 +81,7 @@ impl Default for RefineConfig {
             fold_tolerance: 1e-6,
             instantiate: InstantiateConfig { starts: 4, ..Default::default() },
             seed: 0,
+            gate_set: None,
         }
     }
 }
@@ -171,10 +178,18 @@ impl Refiner<'_> {
     }
 
     /// Entangling residuals of every block, paired with the block index.
+    ///
+    /// The Schmidt cut's dimensions follow the *entangler op's* wire order, not the
+    /// normalized coupling edge: a mixed-radix entangler registered for `(2, 3)` is
+    /// applied with its wires reversed when the lower wire is the qutrit, and
+    /// [`Refiner::block_unitary`] builds the pair space in that op order — scoring a
+    /// 2×3 cut as 3×2 would realign the wrong matrix.
     fn residuals(&self, state: &State) -> Result<Vec<(usize, f64)>, SynthesisError> {
+        let n = self.radices.len();
         (0..state.edges.len())
             .map(|i| {
-                let (a, b) = state.edges[i];
+                let entangler = &state.circuit.ops()[n + 3 * i];
+                let (a, b) = (entangler.location[0], entangler.location[1]);
                 let unitary = self.block_unitary(state, i)?;
                 Ok((i, entangling_residual(&unitary, self.radices[a], self.radices[b])))
             })
@@ -342,12 +357,17 @@ pub fn refine(
 
     if !state.edges.is_empty() {
         let coupling = CouplingGraph::new(n, state.edges.iter().copied())?;
+        // Without an explicit registry, recover it from the result's own circuit —
+        // falling back to the built-in defaults instead would mis-shape the rebuild
+        // check (and reject radices with no built-ins) for custom-gate-set results.
+        let gate_set =
+            config.gate_set.clone().unwrap_or_else(|| GateSet::from_circuit(&result.circuit));
         let refiner = Refiner {
             target,
             config,
             cache,
             radices: radices.clone(),
-            generator: LayerGenerator::new(&radices, &coupling)?,
+            generator: LayerGenerator::with_gate_set(&radices, &coupling, gate_set)?,
         };
 
         loop {

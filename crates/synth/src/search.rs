@@ -11,7 +11,7 @@
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
 
-use qudit_circuit::QuditCircuit;
+use qudit_circuit::{GateSet, QuditCircuit};
 use qudit_optimize::{InstantiateConfig, SUCCESS_THRESHOLD};
 use qudit_qvm::{CompileOptions, ExpressionCache};
 use qudit_tensor::Matrix;
@@ -29,6 +29,11 @@ pub struct SynthesisConfig {
     pub radices: Vec<usize>,
     /// Which pairs may be entangled.
     pub coupling: CouplingGraph,
+    /// The building-block registry the search draws from: locals keyed by radix,
+    /// entanglers keyed by (unordered) radix pair. Defaults to
+    /// [`GateSet::default_for`] the radices; replace it to synthesize over a custom
+    /// (e.g. hardware-native) gate set.
+    pub gate_set: GateSet,
     /// Maximum number of entangling blocks in a candidate (the search depth bound).
     pub max_blocks: usize,
     /// Open-list cap: after each expansion only the `beam_width` best nodes survive.
@@ -58,9 +63,14 @@ pub struct SynthesisConfig {
 }
 
 impl SynthesisConfig {
-    fn for_radices(radices: Vec<usize>) -> Self {
+    /// A default configuration for the given radices on a line — the general
+    /// constructor behind [`SynthesisConfig::qubits`]/[`SynthesisConfig::qutrits`],
+    /// and the entry point for mixed-radix systems (e.g. `vec![2, 3]` for a
+    /// qubit–qutrit pair).
+    pub fn with_radices(radices: Vec<usize>) -> Self {
         let n = radices.len();
         SynthesisConfig {
+            gate_set: GateSet::default_for(&radices),
             radices,
             coupling: CouplingGraph::linear(n),
             max_blocks: 8,
@@ -78,12 +88,12 @@ impl SynthesisConfig {
 
     /// A default configuration for `n` qubits on a line.
     pub fn qubits(n: usize) -> Self {
-        SynthesisConfig::for_radices(vec![2; n])
+        SynthesisConfig::with_radices(vec![2; n])
     }
 
     /// A default configuration for `n` qutrits on a line.
     pub fn qutrits(n: usize) -> Self {
-        SynthesisConfig::for_radices(vec![3; n])
+        SynthesisConfig::with_radices(vec![3; n])
     }
 
     /// The worker-thread count the frontier evaluator will use.
@@ -178,7 +188,8 @@ pub fn synthesize_with_cache(
     config: &SynthesisConfig,
     cache: &ExpressionCache,
 ) -> Result<SynthesisResult, SynthesisError> {
-    let generator = LayerGenerator::new(&config.radices, &config.coupling)?;
+    let generator =
+        LayerGenerator::with_gate_set(&config.radices, &config.coupling, config.gate_set.clone())?;
     let dim: usize = config.radices.iter().product();
     if target.rows() != dim || target.cols() != dim {
         return Err(SynthesisError::InvalidTarget(format!(
@@ -204,16 +215,28 @@ pub fn synthesize_with_cache(
     }
 
     // Pre-compile the (tiny) gate set once, so frontier workers never race a cold
-    // cache into compiling the same expression twice.
+    // cache into compiling the same expression twice. The generator validated every
+    // lookup, so the registry reads cannot fail; iteration order is deterministic
+    // (BTreeSet over radices, then over edge radix pairs).
     let seed_network = generator.seed_network()?;
     let options = CompileOptions::with_gradient();
-    for radix in config.radices.iter().collect::<std::collections::BTreeSet<_>>() {
-        let entangler = qudit_circuit::builders::synthesis_entangler(*radix)
-            .ok_or(SynthesisError::UnsupportedRadix(*radix))?;
-        let local = qudit_circuit::builders::synthesis_local(*radix)
-            .ok_or(SynthesisError::UnsupportedRadix(*radix))?;
-        cache.get_or_compile(&entangler, &options);
-        cache.get_or_compile(&local, &options);
+    let gate_set = generator.gate_set();
+    for radix in config.radices.iter().copied().collect::<std::collections::BTreeSet<_>>() {
+        let local = gate_set.local(radix).expect("generator validated every radix");
+        cache.get_or_compile(local, &options);
+    }
+    let edge_pairs: std::collections::BTreeSet<(usize, usize)> = config
+        .coupling
+        .edges()
+        .iter()
+        .map(|&(a, b)| {
+            let (ra, rb) = (config.radices[a], config.radices[b]);
+            (ra.min(rb), ra.max(rb))
+        })
+        .collect();
+    for (ra, rb) in edge_pairs {
+        let entangler = gate_set.entangler(ra, rb).expect("generator validated every edge");
+        cache.get_or_compile(entangler, &options);
     }
 
     let threads = config.effective_threads();
@@ -250,6 +273,7 @@ pub fn synthesize_with_cache(
                 success_threshold: config.success_threshold,
                 instantiate: frontier_cfg.clone(),
                 seed: frontier_cfg.seed ^ 0xcafe_f00d_5eed_0001,
+                gate_set: Some(config.gate_set.clone()),
                 ..RefineConfig::default()
             };
             return refine(&result, target, &refine_config, cache);

@@ -168,6 +168,41 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_registered_gate_set_gate_is_unitary(seed in 0u64..u64::MAX) {
+        // Every entangler and local the default registry serves for radices 2, 3,
+        // and the mixed (2, 3) pair must evaluate to a unitary (element-wise
+        // |U†U − I| < 1e-10) at random parameter vectors — 64 proptest cases means
+        // 64 vectors per gate.
+        let set = GateSet::default_for(&[2, 3]);
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut random_angle = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            std::f64::consts::PI * (((state >> 33) as f64 / (1u64 << 30) as f64) - 2.0)
+        };
+        let gates_under_test: Vec<(String, &UnitaryExpression)> = set
+            .locals()
+            .map(|(radix, gate)| (format!("local[{radix}]"), gate))
+            .chain(set.entanglers().map(|(pair, gate)| (format!("entangler[{pair:?}]"), gate)))
+            .collect();
+        // 2 locals (radix 2, 3) + 3 entanglers ((2,2), (2,3), (3,3)).
+        prop_assert_eq!(gates_under_test.len(), 5);
+        for (slot, gate) in gates_under_test {
+            let params: Vec<f64> = (0..gate.num_params()).map(|_| random_angle()).collect();
+            let unitary = gate.to_matrix::<f64>(&params).unwrap();
+            let deviation = unitary.unitary_deviation();
+            prop_assert!(
+                deviation < 1e-10,
+                "{slot} ('{}') deviates by {deviation:.3e} at {params:?}",
+                gate.name()
+            );
+        }
+    }
+}
+
 #[test]
 fn failure_injection_malformed_inputs() {
     // Malformed QGL never panics, always returns structured errors.

@@ -63,6 +63,50 @@ fn refine_shrinks_an_over_deep_two_qubit_template() {
 }
 
 #[test]
+fn refine_shrinks_an_over_deep_mixed_radix_template() {
+    // A qubit–qutrit target reachable at one (2, 3) block, instantiated on a padded
+    // two-block template: the padded block collapses to near-identity, refinement
+    // must delete it, and the warm-start re-instantiation of the shrunken template
+    // must stay under the success threshold.
+    let cache = ExpressionCache::new();
+    let lean = builders::pqc_template(&[2, 3], &[(0, 1)]).unwrap();
+    let target = reachable_target(&lean, 2033);
+    let padded = instantiated_result(&[2, 3], &[(0, 1), (0, 1)], &target, &cache, 11);
+
+    let refined = refine(&padded, &target, &RefineConfig::default(), &cache).unwrap();
+    assert!(refined.blocks_deleted >= 1, "refine deleted no mixed-radix block");
+    assert_eq!(refined.blocks.len() + refined.blocks_deleted, 2);
+    assert!(refined.infidelity < 1e-8, "refined infidelity {}", refined.infidelity);
+    assert!(refined.success);
+    assert_eq!(refined.params.len(), refined.circuit.num_params());
+    assert_eq!(refined.circuit.radices(), &[2, 3]);
+
+    // Cross-check on the independent full-width accumulator (the baseline engine has
+    // no CSHIFT23 implementation).
+    let unitary = refined.circuit.unitary::<f64>(&refined.params).unwrap();
+    assert!(
+        hs_infidelity(&target, &unitary) < 1e-7,
+        "reference evaluation disagrees with the refined TNVM result"
+    );
+}
+
+#[test]
+fn refine_scores_reversed_mixed_blocks_with_op_order_dimensions() {
+    // On [3, 2] the (2, 3)-registered entangler is applied with reversed wires; the
+    // Schmidt scoring must follow the op's wire order (a 2×3 cut, not 3×2 — swapped
+    // dimensions realign the wrong matrix and mis-rank the deletion candidates). The
+    // padded block must be detected and deleted.
+    let cache = ExpressionCache::new();
+    let lean = builders::pqc_template(&[3, 2], &[(0, 1)]).unwrap();
+    let target = reachable_target(&lean, 909);
+    let padded = instantiated_result(&[3, 2], &[(0, 1), (0, 1)], &target, &cache, 13);
+
+    let refined = refine(&padded, &target, &RefineConfig::default(), &cache).unwrap();
+    assert!(refined.blocks_deleted >= 1, "refine deleted no reversed mixed-radix block");
+    assert!(refined.infidelity < 1e-8, "refined infidelity {}", refined.infidelity);
+}
+
+#[test]
 fn refine_never_touches_a_minimal_cnot_result() {
     let cache = ExpressionCache::new();
     let target = openqudit::circuit::gates::cnot().to_matrix::<f64>(&[]).unwrap();
