@@ -1,7 +1,8 @@
-//! Criterion smoke bench for the bottom-up synthesis engine: end-to-end search time
-//! for the constant-CNOT workload and a reachable two-qubit target, with the
-//! expression cache shared across iterations (the steady-state a compiler sees), plus
-//! the post-synthesis refinement pass on a deliberately over-deep instantiated result.
+//! Criterion smoke bench for the synthesis pipeline: end-to-end compile time through
+//! the pass pipeline for the constant-CNOT workload and a reachable two-qubit target,
+//! with the expression cache shared across iterations (the steady-state a compiler
+//! sees), plus the post-synthesis refinement pass on a deliberately over-deep
+//! instantiated result.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use openqudit::prelude::*;
@@ -15,10 +16,11 @@ fn bench_synthesis(c: &mut Criterion) {
         .filter(|w| matches!(w.name, "2-qubit cnot" | "2-qubit reachable depth-2"))
     {
         let config = synthesis_config(&workload);
-        let cache = ExpressionCache::new();
+        let compiler = Compiler::with_cache(ExpressionCache::new()).default_passes();
         group.bench_function(workload.name, |b| {
             b.iter(|| {
-                synthesize_with_cache(&workload.target, &config, &cache)
+                compiler
+                    .compile(CompilationTask::new(workload.target.clone(), config.clone()))
                     .expect("benchmark workloads are valid")
             })
         });

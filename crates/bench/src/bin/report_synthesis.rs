@@ -1,17 +1,25 @@
-//! Reports the bottom-up synthesis workloads: nodes expanded, wall-clock time, and
-//! final infidelity per workload — with the search and the post-synthesis refinement
-//! pass timed separately, so the report carries pre- and post-refine entangling-block
-//! depths — emitted as JSON.
+//! Reports the synthesis workloads through the compiler-pass pipeline: nodes
+//! expanded, per-pass wall-clock timings (partition, search, refinement, folding),
+//! pre/post-refine entangling-block depths, and fold metrics per workload — emitted
+//! as JSON.
+//!
+//! Every workload runs through [`Compiler::partitioned_passes`]: narrow targets skip
+//! the partition pass and behave exactly like the legacy monolithic entry point
+//! (pinned byte-for-byte by the integration tests), while the 4-qubit workload
+//! exercises the partitioning front-end the monolith never had.
 //!
 //! Run with `cargo run --release -p qudit-bench --bin report_synthesis`.
 //! Set `OPENQUDIT_SYNTH_TRIALS=<n>` to repeat each workload (default 1; the report
-//! records the mean wall-clock over trials and the worst infidelity).
+//! records the mean per-pass wall-clock over trials and the worst infidelity).
 //! Set `OPENQUDIT_SYNTH_OMIT_TIMING=1` to drop the wall-clock fields: every remaining
 //! field is deterministic for a fixed seed, so two runs must produce byte-identical
-//! output — the CI determinism check diffs exactly this.
+//! output — the CI determinism check diffs exactly this (including the partitioned
+//! workload).
+
+use std::collections::BTreeMap;
 
 use openqudit::prelude::*;
-use qudit_bench::{synthesis_config, synthesis_workloads, time_it};
+use qudit_bench::{synthesis_config, synthesis_workloads};
 
 /// Minimal JSON string escaping for workload names (no exotic characters expected).
 fn json_escape(s: &str) -> String {
@@ -31,81 +39,74 @@ fn main() {
     let mut entries: Vec<String> = Vec::new();
     for workload in synthesis_workloads() {
         let config = synthesis_config(&workload);
-        let refine_config = RefineConfig {
-            success_threshold: config.success_threshold,
-            instantiate: config.instantiate.clone(),
-            seed: config.seed,
-            ..RefineConfig::default()
-        };
         // One shared cache per workload: trials after the first measure a warm cache,
-        // matching how a compiler would amortize gate compilation across partitions.
-        let cache = ExpressionCache::new();
-        let mut search_time = std::time::Duration::ZERO;
-        let mut refine_time = std::time::Duration::ZERO;
-        // Infidelity, nodes_expanded, and blocks are all taken from the *worst* trial
-        // (by post-refine infidelity), so the row always describes one run that
-        // actually happened.
-        let mut worst_infidelity = f64::NEG_INFINITY;
-        let mut nodes_expanded = 0usize;
-        let mut blocks_pre = 0usize;
-        let mut blocks_post = 0usize;
+        // matching how a compiler would amortize gate compilation across tasks.
+        let compiler = Compiler::with_cache(ExpressionCache::new()).partitioned_passes();
+        let mut pass_seconds: BTreeMap<String, f64> = BTreeMap::new();
+        let mut pass_order: Vec<String> = Vec::new();
+        // Result fields are taken from the *worst* trial (by final infidelity), so
+        // the row always describes one run that actually happened.
+        let mut worst: Option<SynthesisResult> = None;
+        let mut partition_rounds: Option<usize> = None;
         let mut success = true;
         for _ in 0..trials {
-            let (searched, search_elapsed) =
-                time_it(|| synthesize_with_cache(&workload.target, &config, &cache));
-            let searched = match searched {
-                Ok(result) => result,
+            let task = CompilationTask::new(workload.target.clone(), config.clone());
+            let report = match compiler.compile(task) {
+                Ok(report) => report,
                 Err(e) => {
                     eprintln!("workload '{}' failed: {e}", workload.name);
                     std::process::exit(1);
                 }
             };
-            let (refined, refine_elapsed) = if searched.success {
-                let (refined, elapsed) =
-                    time_it(|| refine(&searched, &workload.target, &refine_config, &cache));
-                match refined {
-                    Ok(refined) => (refined, elapsed),
-                    Err(e) => {
-                        eprintln!("workload '{}' refine failed: {e}", workload.name);
-                        std::process::exit(1);
-                    }
+            for timing in &report.timings {
+                if !pass_seconds.contains_key(&timing.pass) {
+                    pass_order.push(timing.pass.clone());
                 }
-            } else {
-                (searched.clone(), std::time::Duration::ZERO)
-            };
-            search_time += search_elapsed;
-            refine_time += refine_elapsed;
-            if refined.infidelity > worst_infidelity {
-                worst_infidelity = refined.infidelity;
-                nodes_expanded = refined.nodes_expanded;
-                blocks_pre = refined.blocks.len() + refined.blocks_deleted;
-                blocks_post = refined.blocks.len();
+                *pass_seconds.entry(timing.pass.clone()).or_insert(0.0) +=
+                    timing.duration.as_secs_f64();
             }
-            success &= refined.success;
+            partition_rounds = report.data.get_usize("partition.rounds");
+            success &= report.result.success;
+            let worse =
+                worst.as_ref().map(|w| report.result.infidelity > w.infidelity).unwrap_or(true);
+            if worse {
+                worst = Some(report.result);
+            }
         }
+        let worst = worst.expect("at least one trial ran");
         let timing = if omit_timing {
             String::new()
         } else {
-            format!(
-                "\"mean_search_seconds\": {:.6}, \"mean_refine_seconds\": {:.6}, ",
-                search_time.as_secs_f64() / trials as f64,
-                refine_time.as_secs_f64() / trials as f64,
-            )
+            let per_pass: Vec<String> = pass_order
+                .iter()
+                .map(|pass| {
+                    format!("\"{}\": {:.6}", json_escape(pass), pass_seconds[pass] / trials as f64)
+                })
+                .collect();
+            format!("\"mean_pass_seconds\": {{{}}}, ", per_pass.join(", "))
+        };
+        let partition = match partition_rounds {
+            Some(rounds) => format!("\"partition_rounds\": {rounds}, "),
+            None => String::new(),
         };
         entries.push(format!(
             concat!(
                 "  {{\"workload\": \"{}\", \"radices\": {:?}, \"trials\": {}, ",
                 "\"nodes_expanded\": {}, \"blocks_pre_refine\": {}, \"blocks\": {}, ",
-                "{}\"infidelity\": {:.3e}, \"success\": {}}}"
+                "\"params_folded\": {}, \"gates_constified\": {}, {}{}",
+                "\"infidelity\": {:.3e}, \"success\": {}}}"
             ),
             json_escape(workload.name),
             workload.radices,
             trials,
-            nodes_expanded,
-            blocks_pre,
-            blocks_post,
+            worst.nodes_expanded,
+            worst.blocks.len() + worst.blocks_deleted,
+            worst.blocks.len(),
+            worst.params_folded,
+            worst.gates_constified,
+            partition,
             timing,
-            worst_infidelity,
+            worst.infidelity,
             success,
         ));
     }

@@ -220,16 +220,32 @@ pub fn synthesis_workloads() -> Vec<SynthWorkload> {
                 .expect("constant gate"),
             max_blocks: 2,
         },
+        // Partitioned workload: a 4-qubit target reachable by a two-round partitioned
+        // template over the [0,1]|[2,3] cut — the width the monolithic search cannot
+        // practically reach. `report_synthesis` compiles it through the partitioned
+        // pipeline, folding the partition path into the CI byte-for-byte determinism
+        // diff.
+        SynthWorkload {
+            name: "4-qubit partitioned reachable",
+            radices: vec![2, 2, 2, 2],
+            target: {
+                let round = [(0usize, 1usize), (2, 3), (1, 2)];
+                let blocks: Vec<(usize, usize)> = round.iter().cycle().take(6).copied().collect();
+                let template =
+                    builders::pqc_template(&[2, 2, 2, 2], &blocks).expect("valid template");
+                reachable_target(&template, 53)
+            },
+            max_blocks: 8,
+        },
     ]
 }
 
-/// The synthesis configuration a workload runs under. Refinement is disabled here so
-/// the report and bench harnesses can time the search and the refinement pass
-/// separately (the report calls [`openqudit::prelude::refine`] explicitly).
+/// The synthesis configuration a workload runs under. Refinement stays enabled: the
+/// pass pipeline times the search, refinement, and folding stages separately, so the
+/// report no longer needs to orchestrate them by hand.
 pub fn synthesis_config(workload: &SynthWorkload) -> SynthesisConfig {
     let mut config = SynthesisConfig::with_radices(workload.radices.clone());
     config.max_blocks = workload.max_blocks;
-    config.refine = false;
     config
 }
 
@@ -276,6 +292,7 @@ pub fn padded_synthesis_result(
         blocks_deleted: 0,
         refined_infidelity: None,
         params_folded: 0,
+        gates_constified: 0,
         circuit,
     };
     (result, target)

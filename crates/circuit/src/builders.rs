@@ -132,24 +132,27 @@ pub fn pqc_qutrit_ladder(n: usize, layers: usize) -> Result<QuditCircuit> {
 }
 
 /// The general single-qudit gate used by synthesis building blocks for `radix`
-/// (U3 for qubits, the 8-parameter general qutrit gate for qutrits). Returns `None`
-/// for radices without a registered gate set.
+/// (U3 for qubits, the 8-parameter general qutrit gate for qutrits, the 15-parameter
+/// general ququart gate for radix 4). Returns `None` for radices without a registered
+/// gate set.
 pub fn synthesis_local(radix: usize) -> Option<qudit_qgl::UnitaryExpression> {
     match radix {
         2 => Some(gates::u3()),
         3 => Some(gates::qutrit_u()),
+        4 => Some(gates::ququart_u()),
         _ => None,
     }
 }
 
 /// The built-in two-qudit entangling gate for the (unordered) radix pair: CNOT for
-/// qubit pairs, CSUM for qutrit pairs, and the embedded controlled-shift
-/// [`gates::cshift23`] for mixed qubit–qutrit pairs. Returns `None` for pairs without
-/// a built-in entangler.
+/// qubit pairs, CSUM for qutrit pairs, the mod-4 CSUM [`gates::csum4`] for ququart
+/// pairs, and the embedded controlled-shift [`gates::cshift23`] for mixed qubit–qutrit
+/// pairs. Returns `None` for pairs without a built-in entangler.
 pub fn synthesis_entangler_pair(ra: usize, rb: usize) -> Option<qudit_qgl::UnitaryExpression> {
     match (ra.min(rb), ra.max(rb)) {
         (2, 2) => Some(gates::cnot()),
         (3, 3) => Some(gates::csum()),
+        (4, 4) => Some(gates::csum4()),
         (2, 3) => Some(gates::cshift23()),
         _ => None,
     }
@@ -507,10 +510,28 @@ mod tests {
             }
             other => panic!("expected RadixMismatch, got {other:?}"),
         }
-        assert!(synthesis_local(4).is_none());
-        assert!(synthesis_entangler(4).is_none());
+        assert!(synthesis_local(5).is_none());
+        assert!(synthesis_entangler(5).is_none());
         assert!(synthesis_entangler_pair(2, 5).is_none());
         assert_eq!(synthesis_entangler_pair(3, 2).unwrap().name(), "CSHIFT23");
+        // Ququarts are first-class registry citizens now.
+        assert_eq!(synthesis_local(4).unwrap().name(), "QuquartU");
+        assert_eq!(synthesis_entangler(4).unwrap().name(), "CSUM4");
+        // ... but mixed (2, 4)/(3, 4) pairs still have no built-in entangler.
+        assert!(synthesis_entangler_pair(2, 4).is_none());
+        assert!(synthesis_entangler_pair(3, 4).is_none());
+    }
+
+    #[test]
+    fn ququart_template_builds_and_is_unitary() {
+        // The ROADMAP claim made concrete: registering radix-4 building blocks is all
+        // it takes — the generic template machinery needs no changes.
+        let c = pqc_template(&[4, 4], &[(0, 1)]).unwrap();
+        assert_eq!(c.num_ops(), 2 + 3);
+        assert_eq!(c.num_params(), 2 * 15 + 2 * 15);
+        assert_eq!(c.dim(), 16);
+        let params: Vec<f64> = (0..c.num_params()).map(|k| 0.07 * (k + 1) as f64).collect();
+        assert!(c.unitary::<f64>(&params).unwrap().is_unitary(1e-10));
     }
 
     #[test]

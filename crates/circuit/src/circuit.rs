@@ -369,6 +369,53 @@ impl QuditCircuit {
         Ok(mapping)
     }
 
+    /// Converts the parameterized operation at `index` into a *constant* application of
+    /// the same expression at the given `values`, re-packing the parameter offsets of
+    /// every later parameterized operation.
+    ///
+    /// Constant operations carry their values inline, so downstream consumers (the
+    /// tensor-network lowering and the expression JIT) treat the gate as a fixed matrix
+    /// instead of a parameterized kernel — the mechanism behind post-synthesis
+    /// constant-folding's "compile cheaper expressions" payoff.
+    ///
+    /// Returns the parameter mapping of the conversion (same convention as
+    /// [`QuditCircuit::delete_op`]): `mapping[k]` is the index the circuit's new `k`-th
+    /// parameter had before the conversion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidLocation`] if `index` is out of range,
+    /// [`CircuitError::InvalidExpression`] if the operation is already constant, and
+    /// [`CircuitError::ParameterCount`] if `values` does not match the expression's
+    /// parameter count.
+    pub fn constify_op(&mut self, index: usize, values: Vec<f64>) -> Result<Vec<usize>> {
+        let op = self.ops.get(index).ok_or_else(|| CircuitError::InvalidLocation {
+            detail: format!("operation index {index} out of range for {} op(s)", self.ops.len()),
+        })?;
+        let expected = self.exprs[op.expr.0].num_params();
+        if !matches!(op.params, OpParams::Parameterized { .. }) {
+            return Err(CircuitError::InvalidExpression {
+                detail: format!("operation {index} is already constant"),
+            });
+        }
+        if values.len() != expected {
+            return Err(CircuitError::ParameterCount { expected, found: values.len() });
+        }
+        self.ops[index].params = OpParams::Constant(values);
+        let mut mapping = Vec::with_capacity(self.num_params);
+        let mut next_offset = 0usize;
+        for op in &mut self.ops {
+            if let OpParams::Parameterized { offset } = &mut op.params {
+                let count = self.exprs[op.expr.0].num_params();
+                mapping.extend(*offset..*offset + count);
+                *offset = next_offset;
+                next_offset += count;
+            }
+        }
+        self.num_params = next_offset;
+        Ok(mapping)
+    }
+
     /// Extracts the parameter values for operation `op` from the circuit parameter
     /// vector.
     ///
@@ -639,6 +686,37 @@ mod tests {
         assert!(a.max_elementwise_distance(&b) < 1e-13);
 
         assert!(c.delete_op(99).is_err());
+    }
+
+    #[test]
+    fn constify_op_bakes_values_and_repacks_offsets() {
+        let mut c = QuditCircuit::qubits(2);
+        let rx = c.cache_operation(gates::rx()).unwrap();
+        let u3 = c.cache_operation(gates::u3()).unwrap();
+        c.append_ref(rx, vec![0]).unwrap(); // param 0
+        c.append_ref(u3, vec![1]).unwrap(); // params 1..4
+        c.append_ref(rx, vec![1]).unwrap(); // param 4
+        let reference = c.unitary::<f64>(&[0.3, 0.1, 0.2, 0.4, -0.9]).unwrap();
+
+        // Constifying the U3 bakes its three values in and shifts the final RX down.
+        let mapping = c.constify_op(1, vec![0.1, 0.2, 0.4]).unwrap();
+        assert_eq!(mapping, vec![0, 4]);
+        assert_eq!(c.num_ops(), 3);
+        assert_eq!(c.num_params(), 2);
+        assert!(matches!(c.ops()[1].params, OpParams::Constant(_)));
+        let after = c.unitary::<f64>(&[0.3, -0.9]).unwrap();
+        assert!(after.max_elementwise_distance(&reference) < 1e-14);
+
+        // A second constify of the same op is rejected, as are bad indices/value counts.
+        assert!(matches!(
+            c.constify_op(1, vec![0.0; 3]),
+            Err(CircuitError::InvalidExpression { .. })
+        ));
+        assert!(matches!(c.constify_op(99, vec![]), Err(CircuitError::InvalidLocation { .. })));
+        assert!(matches!(
+            c.constify_op(0, vec![0.0, 0.0]),
+            Err(CircuitError::ParameterCount { expected: 1, found: 2 })
+        ));
     }
 
     #[test]

@@ -155,6 +155,33 @@ pub fn cshift23() -> UnitaryExpression {
     )
 }
 
+/// The two-ququart CSUM gate: |a, b⟩ → |a, (a+b) mod 4⟩ — the radix-4 analogue of the
+/// qutrit [`csum`], and the entangler the default synthesis gate set registers for
+/// `(4, 4)` pairs. Like every other built-in it is a plain QGL unitary expression: the
+/// registry entry is all it takes to make ququart pairs synthesizable.
+pub fn csum4() -> UnitaryExpression {
+    must(
+        "CSUM4<4, 4>() {
+            [[1,0,0,0, 0,0,0,0, 0,0,0,0, 0,0,0,0],
+             [0,1,0,0, 0,0,0,0, 0,0,0,0, 0,0,0,0],
+             [0,0,1,0, 0,0,0,0, 0,0,0,0, 0,0,0,0],
+             [0,0,0,1, 0,0,0,0, 0,0,0,0, 0,0,0,0],
+             [0,0,0,0, 0,0,0,1, 0,0,0,0, 0,0,0,0],
+             [0,0,0,0, 1,0,0,0, 0,0,0,0, 0,0,0,0],
+             [0,0,0,0, 0,1,0,0, 0,0,0,0, 0,0,0,0],
+             [0,0,0,0, 0,0,1,0, 0,0,0,0, 0,0,0,0],
+             [0,0,0,0, 0,0,0,0, 0,0,1,0, 0,0,0,0],
+             [0,0,0,0, 0,0,0,0, 0,0,0,1, 0,0,0,0],
+             [0,0,0,0, 0,0,0,0, 1,0,0,0, 0,0,0,0],
+             [0,0,0,0, 0,0,0,0, 0,1,0,0, 0,0,0,0],
+             [0,0,0,0, 0,0,0,0, 0,0,0,0, 0,1,0,0],
+             [0,0,0,0, 0,0,0,0, 0,0,0,0, 0,0,1,0],
+             [0,0,0,0, 0,0,0,0, 0,0,0,0, 0,0,0,1],
+             [0,0,0,0, 0,0,0,0, 0,0,0,0, 1,0,0,0]]
+        }",
+    )
+}
+
 /// A single-qutrit phase gate with two independent phases — the qutrit analogue of the
 /// local rotations used in the Fig. 5 qutrit circuits.
 pub fn qutrit_phase() -> UnitaryExpression {
@@ -194,6 +221,53 @@ pub fn qutrit_u() -> UnitaryExpression {
     )
 }
 
+/// A general parameterized single-ququart gate built from embedded two-level rotations
+/// on all six two-level subspaces plus three relative phases (15 parameters, the
+/// dimension of SU(4)) — the radix-4 counterpart of [`u3`] and [`qutrit_u`], used as
+/// the local mixing gate of the default ququart synthesis gate set.
+pub fn ququart_u() -> UnitaryExpression {
+    // Givens-style ladder: R01 · R02 · R03 · R12 · R13 · R23 · diag phases.
+    // Note: `e`, `i`, and `pi` are reserved constants in QGL and cannot be parameters.
+    must(
+        "QuquartU<4>(a, b, c, d, f, g, h, k, l, m, n, o, p, q, r) {
+            [[cos(a/2), ~e^(i*b)*sin(a/2), 0, 0],
+             [e^(~i*b)*sin(a/2), cos(a/2), 0, 0],
+             [0, 0, 1, 0],
+             [0, 0, 0, 1]]
+            *
+            [[cos(c/2), 0, ~e^(i*d)*sin(c/2), 0],
+             [0, 1, 0, 0],
+             [e^(~i*d)*sin(c/2), 0, cos(c/2), 0],
+             [0, 0, 0, 1]]
+            *
+            [[cos(f/2), 0, 0, ~e^(i*g)*sin(f/2)],
+             [0, 1, 0, 0],
+             [0, 0, 1, 0],
+             [e^(~i*g)*sin(f/2), 0, 0, cos(f/2)]]
+            *
+            [[1, 0, 0, 0],
+             [0, cos(h/2), ~e^(i*k)*sin(h/2), 0],
+             [0, e^(~i*k)*sin(h/2), cos(h/2), 0],
+             [0, 0, 0, 1]]
+            *
+            [[1, 0, 0, 0],
+             [0, cos(l/2), 0, ~e^(i*m)*sin(l/2)],
+             [0, 0, 1, 0],
+             [0, e^(~i*m)*sin(l/2), 0, cos(l/2)]]
+            *
+            [[1, 0, 0, 0],
+             [0, 1, 0, 0],
+             [0, 0, cos(n/2), ~e^(i*o)*sin(n/2)],
+             [0, 0, e^(~i*o)*sin(n/2), cos(n/2)]]
+            *
+            [[1, 0, 0, 0],
+             [0, e^(i*p), 0, 0],
+             [0, 0, e^(i*q), 0],
+             [0, 0, 0, e^(i*r)]]
+        }",
+    )
+}
+
 /// Returns every gate in the library with its name (used by exhaustive tests).
 pub fn all_gates() -> Vec<(&'static str, UnitaryExpression)> {
     vec![
@@ -213,9 +287,11 @@ pub fn all_gates() -> Vec<(&'static str, UnitaryExpression)> {
         ("SWAP", swap()),
         ("CP", cphase()),
         ("CSUM", csum()),
+        ("CSUM4", csum4()),
         ("CSHIFT23", cshift23()),
         ("P3", qutrit_phase()),
         ("QutritU", qutrit_u()),
+        ("QuquartU", ququart_u()),
     ]
 }
 
@@ -240,6 +316,43 @@ mod tests {
         assert_eq!(qutrit_phase().radices(), &[3]);
         assert_eq!(qutrit_u().num_params(), 8);
         assert_eq!(cnot().num_params(), 0);
+        assert_eq!(csum4().radices(), &[4, 4]);
+        assert_eq!(ququart_u().radices(), &[4]);
+        assert_eq!(ququart_u().num_params(), 15);
+    }
+
+    #[test]
+    fn csum4_adds_modulo_four() {
+        let m = csum4().to_matrix::<f64>(&[]).unwrap();
+        // |a,b⟩ index = 4a+b ↦ |a, (a+b) mod 4⟩
+        for a in 0..4usize {
+            for b in 0..4usize {
+                let from = 4 * a + b;
+                let to = 4 * a + (a + b) % 4;
+                assert_eq!(m.get(to, from).re, 1.0, "|{a},{b}>");
+            }
+        }
+        assert!(m.is_unitary(1e-14));
+    }
+
+    #[test]
+    fn ququart_u_reaches_nontrivial_unitaries() {
+        // All-zero parameters give the identity; the ladder's rotations move every
+        // basis state once excited.
+        let id = ququart_u().to_matrix::<f64>(&[0.0; 15]).unwrap();
+        assert!(id.is_identity(1e-14));
+        let params: Vec<f64> = (0..15).map(|k| 0.23 + 0.31 * k as f64).collect();
+        let u = ququart_u().to_matrix::<f64>(&params).unwrap();
+        assert!(u.is_unitary(1e-10));
+        for col in 0..4 {
+            let mut moved = 0.0;
+            for row in 0..4 {
+                if row != col {
+                    moved += u.get(row, col).norm_sqr();
+                }
+            }
+            assert!(moved > 1e-3, "column {col} untouched by the ladder");
+        }
     }
 
     #[test]

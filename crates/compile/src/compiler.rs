@@ -1,0 +1,208 @@
+//! The [`Compiler`]: an ordered pipeline of [`Pass`]es sharing one expression cache.
+
+use std::time::Instant;
+
+use qudit_qvm::ExpressionCache;
+use qudit_synth::SynthesisResult;
+
+use crate::error::CompileError;
+use crate::partition::PartitionPass;
+use crate::pass::{Pass, PassContext, PassTiming};
+use crate::passes::{FoldPass, RefinePass, SynthesisPass};
+use crate::task::{CompilationTask, PassData};
+
+/// The outcome of one [`Compiler::compile`] run: the final circuit, per-pass
+/// wall-clock timings, and the task's [`PassData`] blackboard (per-pass metrics).
+#[derive(Debug, Clone)]
+pub struct CompilationReport {
+    /// The compiled circuit with its instantiated parameters and quality metrics.
+    pub result: SynthesisResult,
+    /// Wall-clock time of every pass, in pipeline order.
+    pub timings: Vec<PassTiming>,
+    /// The blackboard as the last pass left it (metrics keyed `"<pass>.<metric>"`).
+    pub data: PassData,
+}
+
+/// An ordered, composable compilation pipeline.
+///
+/// The compiler owns the [`ExpressionCache`] its passes compile through (by default
+/// the process-wide [`qudit_qvm::global_cache`], so independent compilations amortize
+/// JIT work) and an optional worker-thread budget, and executes its passes in order
+/// over a [`CompilationTask`]. Each pass's wall-clock time and blackboard metrics are
+/// collected into a [`CompilationReport`].
+///
+/// ```
+/// use qudit_circuit::gates;
+/// use qudit_compile::{CompilationTask, Compiler};
+/// use qudit_qvm::ExpressionCache;
+///
+/// let target = gates::cnot().to_matrix::<f64>(&[])?;
+/// let compiler = Compiler::with_cache(ExpressionCache::new()).default_passes();
+/// let report = compiler.compile(CompilationTask::with_radices(target, vec![2, 2]))?;
+/// assert!(report.result.success);
+/// assert_eq!(report.timings.len(), 3); // synthesis, refine, fold
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Compiler {
+    cache: ExpressionCache,
+    threads: usize,
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl Default for Compiler {
+    fn default() -> Self {
+        Compiler::new()
+    }
+}
+
+impl Compiler {
+    /// An empty pipeline over the process-wide shared cache
+    /// ([`qudit_qvm::global_cache`]). Add passes with [`Compiler::add_pass`] or the
+    /// [`Compiler::default_passes`] / [`Compiler::partitioned_passes`] shorthands.
+    pub fn new() -> Self {
+        Compiler::with_cache(qudit_qvm::global_cache())
+    }
+
+    /// An empty pipeline over an explicit cache (cloning an [`ExpressionCache`]
+    /// shares its storage, so several compilers can deliberately share one).
+    pub fn with_cache(cache: ExpressionCache) -> Self {
+        Compiler { cache, threads: 0, passes: Vec::new() }
+    }
+
+    /// The standard pipeline — `SynthesisPass → RefinePass → FoldPass` — over the
+    /// process-wide cache. At the same seed this reproduces the deprecated
+    /// `qudit_synth::synthesize_with_cache` byte for byte (pinned by the integration
+    /// tests).
+    pub fn default_pipeline() -> Self {
+        Compiler::new().default_passes()
+    }
+
+    /// The width-aware pipeline — `PartitionPass → SynthesisPass → RefinePass →
+    /// FoldPass` — over the process-wide cache. Targets wider than the partition
+    /// threshold are split along a coupling cut and compiled partition-first; narrow
+    /// targets fall through to the standard pipeline unchanged.
+    pub fn partitioned_pipeline() -> Self {
+        Compiler::new().partitioned_passes()
+    }
+
+    /// Appends the standard `SynthesisPass → RefinePass → FoldPass` sequence.
+    #[must_use]
+    pub fn default_passes(self) -> Self {
+        self.add_pass(SynthesisPass).add_pass(RefinePass::default()).add_pass(FoldPass::default())
+    }
+
+    /// Appends `PartitionPass` followed by the standard sequence.
+    #[must_use]
+    pub fn partitioned_passes(self) -> Self {
+        self.add_pass(PartitionPass::default()).default_passes()
+    }
+
+    /// Appends a pass to the pipeline (builder style).
+    #[must_use]
+    pub fn add_pass(mut self, pass: impl Pass + 'static) -> Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Overrides the worker-thread budget of every pass (`0`, the default, lets each
+    /// stage resolve the machine's available parallelism). Applied by writing the
+    /// task configuration's thread fields before the first pass runs.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The compiler's shared expression cache.
+    pub fn cache(&self) -> &ExpressionCache {
+        &self.cache
+    }
+
+    /// The pipeline's pass names, in execution order.
+    pub fn pass_names(&self) -> Vec<&str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs every pass in order over `task` and returns the report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first pass failure, and returns [`CompileError::NoResult`] when
+    /// the pipeline finishes without any pass having produced a circuit.
+    pub fn compile(&self, task: CompilationTask) -> Result<CompilationReport, CompileError> {
+        let mut task = task;
+        if self.threads != 0 {
+            task.config.threads = self.threads;
+            task.config.instantiate.threads = self.threads;
+        }
+        let mut timings = Vec::with_capacity(self.passes.len());
+        for pass in &self.passes {
+            let mut ctx = PassContext::new(&self.cache);
+            let started = Instant::now();
+            pass.run(&mut task, &mut ctx)?;
+            timings.push(PassTiming { pass: pass.name().to_string(), duration: started.elapsed() });
+        }
+        let result = task.result.ok_or(CompileError::NoResult)?;
+        Ok(CompilationReport { result, timings, data: task.data })
+    }
+}
+
+impl std::fmt::Debug for Compiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Compiler")
+            .field("threads", &self.threads)
+            .field("passes", &self.pass_names())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qudit_circuit::gates;
+    use qudit_synth::SynthesisConfig;
+
+    #[test]
+    fn empty_pipeline_reports_no_result() {
+        let target = gates::cnot().to_matrix::<f64>(&[]).unwrap();
+        let task = CompilationTask::new(target, SynthesisConfig::qubits(2));
+        let err = Compiler::with_cache(ExpressionCache::new()).compile(task).unwrap_err();
+        assert_eq!(err, CompileError::NoResult);
+    }
+
+    #[test]
+    fn default_pipeline_compiles_a_cnot_with_timings_and_metrics() {
+        let target = gates::cnot().to_matrix::<f64>(&[]).unwrap();
+        let compiler = Compiler::with_cache(ExpressionCache::new()).default_passes();
+        assert_eq!(compiler.pass_names(), vec!["synthesis", "refine", "fold"]);
+        let report =
+            compiler.compile(CompilationTask::new(target, SynthesisConfig::qubits(2))).unwrap();
+        assert!(report.result.success, "infidelity {}", report.result.infidelity);
+        assert_eq!(report.result.blocks, vec![(0, 1)]);
+        assert_eq!(report.timings.len(), 3);
+        assert!(report.data.get_usize("synthesis.nodes_expanded").unwrap() >= 2);
+        assert!(report.data.get_usize("refine.blocks_deleted").is_some());
+    }
+
+    #[test]
+    fn thread_override_reaches_the_task_config() {
+        // A threads(1) compiler forces the serial path; the result must still be
+        // byte-identical to the parallel default (the determinism guarantee).
+        let target = gates::cnot().to_matrix::<f64>(&[]).unwrap();
+        let cache = ExpressionCache::new();
+        let parallel = Compiler::with_cache(cache.clone())
+            .default_passes()
+            .compile(CompilationTask::new(target.clone(), SynthesisConfig::qubits(2)))
+            .unwrap();
+        let serial = Compiler::with_cache(cache)
+            .threads(1)
+            .default_passes()
+            .compile(CompilationTask::new(target, SynthesisConfig::qubits(2)))
+            .unwrap();
+        assert_eq!(parallel.result.blocks, serial.result.blocks);
+        assert_eq!(parallel.result.infidelity.to_bits(), serial.result.infidelity.to_bits());
+        let a: Vec<u64> = parallel.result.params.iter().map(|p| p.to_bits()).collect();
+        let b: Vec<u64> = serial.result.params.iter().map(|p| p.to_bits()).collect();
+        assert_eq!(a, b);
+    }
+}

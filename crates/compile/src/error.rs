@@ -1,0 +1,54 @@
+//! The pipeline error type.
+
+use qudit_synth::SynthesisError;
+
+/// Errors produced while running a compilation pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// An engine stage (search, refinement, folding, instantiation plumbing) failed.
+    Synthesis(SynthesisError),
+    /// A pass rejected the task or detected a pipeline-order bug. The message names
+    /// the pass.
+    Pass {
+        /// The [`Pass::name`](crate::Pass::name) of the failing pass.
+        pass: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The pipeline completed without any pass producing a circuit — an empty or
+    /// misordered pipeline.
+    NoResult,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Synthesis(e) => write!(f, "synthesis stage failed: {e}"),
+            CompileError::Pass { pass, detail } => write!(f, "pass '{pass}' failed: {detail}"),
+            CompileError::NoResult => {
+                write!(f, "pipeline produced no result (no pass synthesized a circuit)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Synthesis(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SynthesisError> for CompileError {
+    fn from(e: SynthesisError) -> Self {
+        CompileError::Synthesis(e)
+    }
+}
+
+impl From<qudit_circuit::CircuitError> for CompileError {
+    fn from(e: qudit_circuit::CircuitError) -> Self {
+        CompileError::Synthesis(SynthesisError::Circuit(e))
+    }
+}

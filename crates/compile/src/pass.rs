@@ -1,0 +1,67 @@
+//! The [`Pass`] trait and the [`PassContext`] handed to every pass invocation.
+
+use qudit_qvm::ExpressionCache;
+
+use crate::error::CompileError;
+use crate::task::CompilationTask;
+
+/// One stage of a compilation pipeline.
+///
+/// A pass reads and mutates the [`CompilationTask`] blackboard: it may synthesize the
+/// first circuit (`task.result`), transform an existing one, or only annotate
+/// `task.data`. Passes must be deterministic for a fixed task (same seeds in, same
+/// bytes out) — the engine's reproducibility guarantee extends pass-wise.
+///
+/// See the crate root for a runnable custom-pass example.
+pub trait Pass: Send + Sync {
+    /// The pass's stable display name (used for timings and metric namespaces).
+    fn name(&self) -> &str;
+
+    /// Runs the pass over `task`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] when the pass cannot proceed (invalid target or
+    /// configuration, or a pipeline-order bug such as refining before synthesizing).
+    /// Skipping cleanly — recording a `"<name>.skipped"` flag and returning `Ok` —
+    /// is preferred whenever the pass simply does not apply.
+    fn run(
+        &self,
+        task: &mut CompilationTask,
+        ctx: &mut PassContext<'_>,
+    ) -> Result<(), CompileError>;
+}
+
+/// Per-invocation services the [`Compiler`](crate::Compiler) provides to a pass:
+/// today the process-wide [`ExpressionCache`] every stage compiles through.
+///
+/// The context is deliberately small — cross-pass *state* belongs on the
+/// [`CompilationTask`] blackboard, so that saving a task snapshot reproduces a run.
+#[derive(Debug)]
+pub struct PassContext<'a> {
+    cache: &'a ExpressionCache,
+}
+
+impl<'a> PassContext<'a> {
+    /// A context borrowing the compiler's expression cache.
+    pub fn new(cache: &'a ExpressionCache) -> Self {
+        PassContext { cache }
+    }
+
+    /// The shared expression cache. Cloning it is cheap (`Arc` under the hood) and
+    /// yields a handle to the *same* cache — nested pipelines (e.g. the partitioning
+    /// pass's per-block re-synthesis) share compiled gates this way.
+    pub fn cache(&self) -> &'a ExpressionCache {
+        self.cache
+    }
+}
+
+/// The measured wall-clock time of one pass execution, reported by
+/// [`Compiler::compile`](crate::Compiler::compile).
+#[derive(Debug, Clone)]
+pub struct PassTiming {
+    /// The pass's [`Pass::name`].
+    pub pass: String,
+    /// Wall-clock duration of the pass's `run`.
+    pub duration: std::time::Duration,
+}

@@ -1,0 +1,252 @@
+//! The built-in passes wrapping the synthesis engine's stages: [`SynthesisPass`]
+//! (A*/beam search), [`RefinePass`] (speculative gate deletion), and [`FoldPass`]
+//! (symbolic constant snapping + gate constification).
+//!
+//! Each pass derives its settings deterministically from the task's
+//! [`SynthesisConfig`](qudit_synth::SynthesisConfig) unless an explicit configuration
+//! is supplied, so the default pipeline reproduces the legacy monolithic entry point
+//! byte for byte at the same seed.
+
+use qudit_synth::{fold_constants, refine_deletions, run_search, FoldConfig, RefineConfig};
+
+use crate::error::CompileError;
+use crate::pass::{Pass, PassContext};
+use crate::task::CompilationTask;
+
+/// The bottom-up A*/beam search stage ([`qudit_synth::run_search`]).
+///
+/// Skips (recording `"synthesis.skipped"`) when an earlier pass — e.g.
+/// [`PartitionPass`](crate::PartitionPass) — already produced a result, so the
+/// standard tail of a pipeline composes cleanly behind width-dependent front-ends.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SynthesisPass;
+
+impl Pass for SynthesisPass {
+    fn name(&self) -> &str {
+        "synthesis"
+    }
+
+    fn run(
+        &self,
+        task: &mut CompilationTask,
+        ctx: &mut PassContext<'_>,
+    ) -> Result<(), CompileError> {
+        if task.result.is_some() {
+            task.data.set("synthesis.skipped", true);
+            return Ok(());
+        }
+        let result = run_search(&task.target, &task.config, ctx.cache())?;
+        task.data.set("synthesis.nodes_expanded", result.nodes_expanded);
+        task.data.set("synthesis.blocks", result.blocks.len());
+        task.data.set("synthesis.infidelity", result.infidelity);
+        task.result = Some(result);
+        Ok(())
+    }
+}
+
+/// The speculative gate-deletion stage ([`qudit_synth::refine_deletions`]).
+///
+/// Runs only on successful results with [`SynthesisConfig::refine`] enabled
+/// (recording a skip flag otherwise); without an explicit configuration it derives
+/// [`SynthesisConfig::refine_config`] from the task — the exact derivation the legacy
+/// monolith used.
+///
+/// [`SynthesisConfig::refine`]: qudit_synth::SynthesisConfig::refine
+/// [`SynthesisConfig::refine_config`]: qudit_synth::SynthesisConfig::refine_config
+#[derive(Debug, Clone, Default)]
+pub struct RefinePass {
+    config: Option<RefineConfig>,
+}
+
+impl RefinePass {
+    /// A refine pass with an explicit configuration instead of the task-derived one.
+    pub fn with_config(config: RefineConfig) -> Self {
+        RefinePass { config: Some(config) }
+    }
+}
+
+impl Pass for RefinePass {
+    fn name(&self) -> &str {
+        "refine"
+    }
+
+    fn run(
+        &self,
+        task: &mut CompilationTask,
+        ctx: &mut PassContext<'_>,
+    ) -> Result<(), CompileError> {
+        let Some(result) = task.result.as_ref() else {
+            return Err(CompileError::Pass {
+                pass: self.name().to_string(),
+                detail: "no synthesized result to refine; order a synthesis pass first".to_string(),
+            });
+        };
+        if !task.config.refine {
+            task.data.set("refine.disabled", true);
+            return Ok(());
+        }
+        if !result.success {
+            task.data.set("refine.skipped_unsuccessful", true);
+            return Ok(());
+        }
+        let config = self.config.clone().unwrap_or_else(|| task.config.refine_config());
+        let refined = refine_deletions(result, &task.target, &config, ctx.cache())?;
+        task.data.set("refine.blocks_deleted", refined.blocks_deleted);
+        task.data.set("refine.infidelity", refined.infidelity);
+        task.result = Some(refined);
+        Ok(())
+    }
+}
+
+/// The symbolic constant-folding stage ([`qudit_synth::fold_constants`]): snaps
+/// parameters that landed on symbolic constants (0, ±π/2, ±π, ±2π), verifies the
+/// substituted expressions e-graph-fold consistently, and **constifies** gates whose
+/// parameters all snapped — rewriting them as constant gate applications so the JIT
+/// compiles cheaper, constant-folded expressions. Records
+/// `"fold.params_folded"` / `"fold.gates_constified"`.
+#[derive(Debug, Clone, Default)]
+pub struct FoldPass {
+    config: Option<FoldConfig>,
+}
+
+impl FoldPass {
+    /// A fold pass with an explicit configuration instead of the task-derived one
+    /// (constification enabled).
+    pub fn with_config(config: FoldConfig) -> Self {
+        FoldPass { config: Some(config) }
+    }
+}
+
+impl Pass for FoldPass {
+    fn name(&self) -> &str {
+        "fold"
+    }
+
+    fn run(
+        &self,
+        task: &mut CompilationTask,
+        ctx: &mut PassContext<'_>,
+    ) -> Result<(), CompileError> {
+        let Some(result) = task.result.as_ref() else {
+            return Err(CompileError::Pass {
+                pass: self.name().to_string(),
+                detail: "no synthesized result to fold; order a synthesis pass first".to_string(),
+            });
+        };
+        if !task.config.refine {
+            task.data.set("fold.disabled", true);
+            return Ok(());
+        }
+        if !result.success {
+            task.data.set("fold.skipped_unsuccessful", true);
+            return Ok(());
+        }
+        let config = self.config.clone().unwrap_or_else(|| task.config.fold_config());
+        let folded = fold_constants(result, &task.target, &config, ctx.cache())?;
+        task.data.set("fold.params_folded", folded.params_folded);
+        task.data.set("fold.gates_constified", folded.gates_constified);
+        task.result = Some(folded);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::Compiler;
+    use qudit_circuit::{builders, gates, OpParams};
+    use qudit_optimize::InstantiateConfig;
+    use qudit_qvm::ExpressionCache;
+    use qudit_synth::{SynthesisConfig, SynthesisResult};
+
+    #[test]
+    fn refine_and_fold_demand_a_prior_result() {
+        let target = gates::cnot().to_matrix::<f64>(&[]).unwrap();
+        for compiler in [
+            Compiler::with_cache(ExpressionCache::new()).add_pass(RefinePass::default()),
+            Compiler::with_cache(ExpressionCache::new()).add_pass(FoldPass::default()),
+        ] {
+            let task = CompilationTask::new(target.clone(), SynthesisConfig::qubits(2));
+            match compiler.compile(task) {
+                Err(CompileError::Pass { detail, .. }) => {
+                    assert!(detail.contains("synthesis pass first"), "{detail}")
+                }
+                other => panic!("expected a pipeline-order error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn refine_disabled_passes_through_with_a_flag() {
+        let target = gates::cnot().to_matrix::<f64>(&[]).unwrap();
+        let mut config = SynthesisConfig::qubits(2);
+        config.refine = false;
+        let report = Compiler::with_cache(ExpressionCache::new())
+            .default_passes()
+            .compile(CompilationTask::new(target, config))
+            .unwrap();
+        assert_eq!(report.data.get_bool("refine.disabled"), Some(true));
+        assert_eq!(report.data.get_bool("fold.disabled"), Some(true));
+        assert_eq!(report.result.blocks_deleted, 0);
+        assert_eq!(report.result.refined_infidelity, None);
+    }
+
+    #[test]
+    fn fold_pass_constifies_fully_snapped_gates() {
+        // A hand-built optimum exactly on symbolic constants, perturbed by 1e-9: the
+        // fold snaps every parameter, so constification must rewrite every
+        // parameterized gate as a constant application and empty the parameter vector.
+        let cache = ExpressionCache::new();
+        let circuit = builders::pqc_template(&[2, 2], &[(0, 1)]).unwrap();
+        let exact: Vec<f64> = (0..circuit.num_params())
+            .map(|k| match k % 3 {
+                0 => 0.0,
+                1 => std::f64::consts::PI,
+                _ => std::f64::consts::FRAC_PI_2,
+            })
+            .collect();
+        let target = circuit.unitary::<f64>(&exact).unwrap();
+        let perturbed: Vec<f64> =
+            exact.iter().enumerate().map(|(k, &v)| v + 1e-9 * (k as f64 + 1.0)).collect();
+        let result = SynthesisResult {
+            blocks: vec![(0, 1)],
+            params: perturbed,
+            infidelity: 1e-12,
+            success: true,
+            nodes_expanded: 0,
+            blocks_deleted: 0,
+            refined_infidelity: None,
+            params_folded: 0,
+            gates_constified: 0,
+            circuit,
+        };
+        let mut config = SynthesisConfig::qubits(2);
+        config.instantiate = InstantiateConfig { starts: 2, ..Default::default() };
+        let mut task = CompilationTask::new(target.clone(), config);
+        task.result = Some(result);
+        let report =
+            Compiler::with_cache(cache).add_pass(FoldPass::default()).compile(task).unwrap();
+        let folded = &report.result;
+        assert_eq!(folded.params_folded, 12);
+        // The four U3 gates constify; the parameterless CNOT stays as-is.
+        assert_eq!(folded.gates_constified, 4);
+        assert_eq!(report.data.get_usize("fold.gates_constified"), Some(4));
+        assert_eq!(folded.params.len(), 0);
+        assert_eq!(folded.circuit.num_params(), 0);
+        assert!(folded.infidelity < 1e-10);
+        let constants = folded
+            .circuit
+            .ops()
+            .iter()
+            .filter(|op| matches!(op.params, OpParams::Constant(_)))
+            .count();
+        assert_eq!(constants, 4);
+        // The constified circuit still evaluates to the target through the reference
+        // evaluator (an independent path from the TNVM that vetted the rewrite).
+        let unitary = folded.circuit.unitary::<f64>(&[]).unwrap();
+        assert!(
+            qudit_optimize::hs_infidelity(&target, &unitary) < 1e-10,
+            "constified circuit diverged from the target"
+        );
+    }
+}

@@ -18,6 +18,7 @@
 //! | [`tnvm`] | `qudit-tnvm` | the Tensor Network Virtual Machine with forward-mode AD |
 //! | [`optimize`] | `qudit-optimize` | Hilbert–Schmidt cost, Levenberg–Marquardt, parallel multi-start instantiation |
 //! | [`synth`] | `qudit-synth` | instantiation-driven bottom-up synthesis (QSearch-style A*/beam over layered templates) |
+//! | [`compile`] | `qudit-compile` | the composable compiler-pass pipeline (`Compiler`/`Pass`/`PassContext`), incl. the partitioning front-end for wide targets |
 //! | [`baseline`] | `qudit-baseline` | a BQSKit-style baseline compiler used by the benchmarks |
 //!
 //! # Quickstart
@@ -50,6 +51,7 @@
 
 pub use qudit_baseline as baseline;
 pub use qudit_circuit as circuit;
+pub use qudit_compile as compile;
 pub use qudit_egraph as egraph;
 pub use qudit_network as network;
 pub use qudit_optimize as optimize;
@@ -63,6 +65,11 @@ pub use qudit_tnvm as tnvm;
 pub mod prelude {
     pub use qudit_baseline::{BaselineCircuit, BaselineEvaluator};
     pub use qudit_circuit::{builders, gates, CircuitError, ExpressionRef, GateSet, QuditCircuit};
+    pub use qudit_compile::{
+        CompilationReport, CompilationTask, CompileError, Compiler, FoldPass, PartitionConfig,
+        PartitionPass, Pass, PassContext, PassData, PassTiming, PassValue, RefinePass,
+        SynthesisPass,
+    };
     pub use qudit_egraph::simplify::{simplify, simplify_batch};
     pub use qudit_network::{compile_network, find_plan, TensorNetwork, TnvmProgram};
     pub use qudit_optimize::{
@@ -73,9 +80,11 @@ pub mod prelude {
     pub use qudit_qgl::{ComplexExpr, Expr, QglError, UnitaryExpression};
     pub use qudit_qvm::{CompileOptions, CompiledExpression, DiffMode, ExpressionCache};
     pub use qudit_synth::{
-        refine, synthesize, synthesize_with_cache, CouplingGraph, RefineConfig, SynthesisConfig,
-        SynthesisError, SynthesisResult,
+        fold_constants, refine, refine_deletions, run_search, CouplingGraph, FoldConfig,
+        RefineConfig, SynthesisConfig, SynthesisError, SynthesisResult,
     };
+    #[allow(deprecated)]
+    pub use qudit_synth::{synthesize, synthesize_with_cache};
     pub use qudit_tensor::{Complex, Matrix, Tensor, C64};
     pub use qudit_tnvm::{EvalResult, Tnvm};
 }
@@ -97,8 +106,12 @@ mod tests {
     #[test]
     fn facade_synthesis_smoke_test() {
         let target = gates::cnot().to_matrix::<f64>(&[]).unwrap();
-        let result = synthesize(&target, &SynthesisConfig::qubits(2)).unwrap();
-        assert!(result.success);
-        assert_eq!(result.blocks, vec![(0, 1)]);
+        let report = Compiler::with_cache(ExpressionCache::new())
+            .default_passes()
+            .compile(CompilationTask::new(target, SynthesisConfig::qubits(2)))
+            .unwrap();
+        assert!(report.result.success);
+        assert_eq!(report.result.blocks, vec![(0, 1)]);
+        assert_eq!(report.timings.len(), 3);
     }
 }

@@ -12,7 +12,7 @@
 //! * [`rules`] — the identity corpus (arithmetic, trigonometric, exponential),
 //! * [`cost`] — the extraction cost model of Table I,
 //! * [`extract`] — the greedy bottom-up, CSE-aware extraction heuristic,
-//! * [`simplify`] — the batch simplification entry point used by the expression JIT,
+//! * [`simplify`](mod@simplify) — the batch simplification entry point used by the expression JIT,
 //! * [`fold`] — constant folding of *instantiated* parameter values (snapping to
 //!   0/±π/2/±π/±2π and folding the substituted gate expressions), used by the
 //!   post-synthesis refinement pass.

@@ -188,8 +188,13 @@ mod tests {
         // The shared cache stores each unique (expression, mode) exactly once — two
         // gates in gradient mode — regardless of how many candidates were evaluated.
         // (Miss *counts* can exceed the entry count here: this test deliberately runs
-        // workers against a cold cache; `synthesize` pre-warms it instead.)
+        // workers against a cold cache; the search pre-warms it instead. Whether the
+        // *first* evaluation already scores hits depends on thread timing, so assert
+        // sharing on a second, warm evaluation instead.)
         assert_eq!(cache.stats().entries, 2);
+        let warm = evaluate_frontier(&target, &candidates, &config, 2, &cache, false);
+        assert_eq!(warm.len(), 2);
+        assert_eq!(cache.stats().entries, 2, "warm evaluation must not recompile");
         assert!(cache.stats().hits > 0);
     }
 

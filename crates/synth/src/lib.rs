@@ -22,7 +22,7 @@
 //!   of a node concurrently (one TNVM per worker, re-targeted in place per candidate,
 //!   all sharing one expression cache), and exiting as soon as a candidate drops below
 //!   the success threshold,
-//! * [`refine`] — a post-synthesis pass over the successful result: entangling blocks
+//! * [`refine`](mod@refine) — a post-synthesis pass over the successful result: entangling blocks
 //!   whose instantiated sub-unitary carries (near-)zero entangling content are
 //!   speculatively deleted — greedily batched, then one at a time — with the shrunken
 //!   template warm-start re-instantiated through exact parameter mappings, and
@@ -50,14 +50,19 @@
 //!
 //! # Example
 //!
-//! Synthesize a CNOT from scratch on a two-qubit line:
+//! Synthesize a CNOT from scratch on a two-qubit line. [`run_search`] is the raw
+//! engine stage; production callers should compose the stages through
+//! `qudit-compile`'s `Compiler` (the `openqudit` prelude re-exports it), which also
+//! schedules the [`refine_deletions`] / [`fold_constants`] stages and reports
+//! per-pass timings:
 //!
 //! ```
 //! use qudit_circuit::gates;
-//! use qudit_synth::{synthesize, SynthesisConfig};
+//! use qudit_qvm::ExpressionCache;
+//! use qudit_synth::{run_search, SynthesisConfig};
 //!
 //! let target = gates::cnot().to_matrix::<f64>(&[])?;
-//! let result = synthesize(&target, &SynthesisConfig::qubits(2))?;
+//! let result = run_search(&target, &SynthesisConfig::qubits(2), &ExpressionCache::new())?;
 //! assert!(result.success);
 //! assert!(result.infidelity < 1e-8);
 //! assert_eq!(result.blocks, vec![(0, 1)]); // one entangling block suffices
@@ -72,7 +77,8 @@
 //!
 //! ```
 //! use qudit_circuit::gates;
-//! use qudit_synth::{synthesize, GateSet, SynthesisConfig};
+//! use qudit_qvm::ExpressionCache;
+//! use qudit_synth::{run_search, GateSet, SynthesisConfig};
 //!
 //! // Synthesize over an RZZ-entangler gate set instead of the default CNOT.
 //! let mut gate_set = GateSet::new();
@@ -82,13 +88,14 @@
 //! let mut config = SynthesisConfig::qubits(2);
 //! config.gate_set = gate_set;
 //! let target = gates::cz().to_matrix::<f64>(&[])?;
-//! let result = synthesize(&target, &config)?;
+//! let result = run_search(&target, &config, &ExpressionCache::new())?;
 //! assert!(result.success);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
 //! Mixed-radix systems work out of the box: `SynthesisConfig::with_radices(vec![2, 3])`
-//! registers the embedded controlled-shift entangler for the qubit–qutrit edge.
+//! registers the embedded controlled-shift entangler for the qubit–qutrit edge, and
+//! ququart (radix-4) systems draw on the registered `QuquartU`/`CSUM4` pair.
 
 pub mod frontier;
 pub mod layers;
@@ -99,8 +106,13 @@ pub mod topology;
 pub use frontier::{candidate_seed, evaluate_frontier, Candidate, EvaluatedCandidate};
 pub use layers::LayerGenerator;
 pub use qudit_circuit::GateSet;
-pub use refine::{entangling_residual, refine, RefineConfig};
-pub use search::{synthesize, synthesize_with_cache, SynthesisConfig, SynthesisResult};
+pub use refine::{
+    block_unitary, entangling_residual, fold_constants, refine, refine_deletions, FoldConfig,
+    RefineConfig,
+};
+pub use search::{run_search, validate_target, SynthesisConfig, SynthesisResult};
+#[allow(deprecated)]
+pub use search::{synthesize, synthesize_with_cache};
 pub use topology::CouplingGraph;
 
 /// Errors produced while configuring or running a synthesis search.

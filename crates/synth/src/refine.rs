@@ -21,7 +21,7 @@
 //!    a warm start. A deletion is kept only when the re-instantiated infidelity stays
 //!    under the success threshold.
 //! 3. **Fold constants**: parameters that landed on symbolic constants (0, ±π/2, ±π,
-//!    ±2π) are snapped via `qudit-egraph`'s [`fold`](qudit_egraph::fold) entry point,
+//!    ±2π) are snapped via the `qudit-egraph` [`fold`] entry point,
 //!    the substituted gate expressions are e-graph-simplified to verify the fold, and
 //!    the snapped vector is accepted only if the circuit still meets the threshold.
 //!
@@ -29,6 +29,12 @@
 //! the surviving block sequence), and the re-instantiation drivers are all
 //! schedule-independent, so refinement preserves the engine's reproducibility
 //! guarantee.
+//!
+//! The two stages are exposed separately — [`refine_deletions`] (steps 1–2) and
+//! [`fold_constants`] (step 3, optionally also *constifying* fully-snapped
+//! parameterized gates into constant gate applications) — so the `qudit-compile`
+//! pass pipeline can schedule, time, and replace them independently. [`refine`] is
+//! their composition with constification disabled (the historical behavior).
 
 use qudit_circuit::{builders, embed_gate, GateSet, QuditCircuit};
 use qudit_egraph::fold;
@@ -150,33 +156,49 @@ struct State {
     infidelity: f64,
 }
 
-impl Refiner<'_> {
-    /// The instantiated sub-unitary of block `block_index` on its qudit pair — the
-    /// entangler followed by the two trailing locals, embedded in the pair space.
-    fn block_unitary(
-        &self,
-        state: &State,
-        block_index: usize,
-    ) -> Result<Matrix<f64>, SynthesisError> {
-        let n = self.radices.len();
-        let ops = state.circuit.ops();
-        let first = n + 3 * block_index;
-        let (a, b) = (ops[first].location[0], ops[first].location[1]);
-        let pair = [self.radices[a], self.radices[b]];
-        let mut unitary = Matrix::<f64>::identity(pair[0] * pair[1]);
-        for op in &ops[first..first + 3] {
-            let expr = state.circuit.expression(op.expr)?;
-            let values = state.circuit.op_values(op, &state.params)?;
-            let gate = expr.to_matrix::<f64>(&values).map_err(|e| {
-                SynthesisError::InvalidTarget(format!("block gate evaluation failed: {e}"))
-            })?;
-            let location: Vec<usize> = op.location.iter().map(|&q| usize::from(q != a)).collect();
-            let embedded = embed_gate(&gate, expr.radices(), &location, &pair);
-            unitary = embedded.matmul(&unitary);
-        }
-        Ok(unitary)
+/// The instantiated sub-unitary of entangling block `block_index` of a
+/// template-shaped circuit — the entangler followed by the two trailing locals,
+/// embedded in the block's two-qudit pair space (in the entangler op's wire order).
+///
+/// Refinement scores this matrix's entangling content; the partitioning front-end in
+/// `qudit-compile` re-synthesizes it through a nested pipeline.
+///
+/// # Errors
+///
+/// Returns [`SynthesisError::InvalidTarget`] when the circuit is not shaped like a
+/// `pqc_template` at this block (the ops at `n + 3·block_index..` must be an
+/// entangler plus two locals) or a gate fails to evaluate.
+pub fn block_unitary(
+    circuit: &QuditCircuit,
+    params: &[f64],
+    block_index: usize,
+) -> Result<Matrix<f64>, SynthesisError> {
+    let radices = circuit.radices();
+    let n = radices.len();
+    let first = n + 3 * block_index;
+    if first + 3 > circuit.num_ops() || circuit.ops()[first].location.len() != 2 {
+        return Err(SynthesisError::InvalidTarget(format!(
+            "circuit has no complete entangling block at index {block_index}"
+        )));
     }
+    let ops = circuit.ops();
+    let (a, b) = (ops[first].location[0], ops[first].location[1]);
+    let pair = [radices[a], radices[b]];
+    let mut unitary = Matrix::<f64>::identity(pair[0] * pair[1]);
+    for op in &ops[first..first + 3] {
+        let expr = circuit.expression(op.expr)?;
+        let values = circuit.op_values(op, params)?;
+        let gate = expr.to_matrix::<f64>(&values).map_err(|e| {
+            SynthesisError::InvalidTarget(format!("block gate evaluation failed: {e}"))
+        })?;
+        let location: Vec<usize> = op.location.iter().map(|&q| usize::from(q != a)).collect();
+        let embedded = embed_gate(&gate, expr.radices(), &location, &pair);
+        unitary = embedded.matmul(&unitary);
+    }
+    Ok(unitary)
+}
 
+impl Refiner<'_> {
     /// Entangling residuals of every block, paired with the block index.
     ///
     /// The Schmidt cut's dimensions follow the *entangler op's* wire order, not the
@@ -190,7 +212,7 @@ impl Refiner<'_> {
             .map(|i| {
                 let entangler = &state.circuit.ops()[n + 3 * i];
                 let (a, b) = (entangler.location[0], entangler.location[1]);
-                let unitary = self.block_unitary(state, i)?;
+                let unitary = block_unitary(&state.circuit, &state.params, i)?;
                 Ok((i, entangling_residual(&unitary, self.radices[a], self.radices[b])))
             })
             .collect()
@@ -278,6 +300,10 @@ impl Refiner<'_> {
 /// threshold) are returned unchanged — there is no baseline to validate deletions
 /// against.
 ///
+/// This is the composition [`refine_deletions`] → [`fold_constants`] with
+/// constification disabled; the `qudit-compile` pipeline runs the stages as separate
+/// passes instead.
+///
 /// The returned result describes the refined circuit: `blocks_deleted` counts the
 /// removed entangling blocks (the pre-refine depth is `blocks.len() + blocks_deleted`),
 /// `refined_infidelity` is `Some` of its final infidelity, and `params_folded` counts
@@ -285,11 +311,35 @@ impl Refiner<'_> {
 ///
 /// # Errors
 ///
+/// See [`refine_deletions`].
+pub fn refine(
+    result: &SynthesisResult,
+    target: &Matrix<f64>,
+    config: &RefineConfig,
+    cache: &ExpressionCache,
+) -> Result<SynthesisResult, SynthesisError> {
+    let refined = refine_deletions(result, target, config, cache)?;
+    let fold_config = FoldConfig {
+        fold_tolerance: config.fold_tolerance,
+        success_threshold: config.success_threshold,
+        constify: false,
+    };
+    fold_constants(&refined, target, &fold_config, cache)
+}
+
+/// The gate-deletion stage of refinement: speculatively deletes entangling blocks
+/// (greedy near-identity batch first, then one at a time) and warm-start
+/// re-instantiates the shrunken template, keeping a deletion only when the infidelity
+/// stays under the success threshold. Does **not** fold constants — that is
+/// [`fold_constants`]' job.
+///
+/// # Errors
+///
 /// Returns [`SynthesisError::InvalidTarget`] when `result` is not shaped like a
 /// synthesis template (its circuit must be `pqc_initial` + 3 ops per block) or the
 /// target's dimension does not match, and propagates coupling-graph errors for
 /// malformed block lists.
-pub fn refine(
+pub fn refine_deletions(
     result: &SynthesisResult,
     target: &Matrix<f64>,
     config: &RefineConfig,
@@ -416,48 +466,150 @@ pub fn refine(
         }
     }
 
-    // Constant folding: snap parameters that landed on symbolic constants, verify the
-    // substituted gate expressions fold consistently, and keep the snapped vector
-    // only if the circuit still meets the threshold.
-    let mut params_folded = 0usize;
-    if config.fold_tolerance > 0.0 {
-        let folded = fold::fold_params(&state.params, config.fold_tolerance);
-        if folded.folded > 0 {
-            let mut evaluator = TnvmEvaluator::new(&state.circuit, cache);
-            let (unitary, _) = evaluator.evaluate(&folded.params);
-            let snapped_infidelity = qudit_optimize::hs_infidelity(target, &unitary);
-            if snapped_infidelity < config.success_threshold {
-                // E-graph check: every op whose parameters all snapped must fold to
-                // expressions that agree with the snapped numeric gate.
-                let fold_is_consistent = fully_snapped_ops_fold(&state, &folded);
-                if fold_is_consistent {
-                    params_folded = folded.folded;
-                    state.params = folded.params;
-                    state.infidelity = snapped_infidelity;
-                }
-            }
-        }
-    }
-
     refined.circuit = state.circuit;
     refined.blocks = state.edges;
     refined.params = state.params;
     refined.infidelity = state.infidelity;
     refined.success = state.infidelity < config.success_threshold;
-    refined.blocks_deleted = blocks_deleted;
+    refined.blocks_deleted = result.blocks_deleted + blocks_deleted;
     refined.refined_infidelity = Some(state.infidelity);
-    refined.params_folded = params_folded;
+    Ok(refined)
+}
+
+/// Configuration of the constant-folding stage ([`fold_constants`]).
+#[derive(Debug, Clone)]
+pub struct FoldConfig {
+    /// Snap tolerance for folding parameters onto symbolic constants (0, ±π/2, ±π,
+    /// ±2π). Non-positive disables the stage.
+    pub fold_tolerance: f64,
+    /// Infidelity bound the snapped (and constified) circuit must preserve.
+    pub success_threshold: f64,
+    /// Whether to additionally *constify* every parameterized gate whose parameters
+    /// all snapped: the operation is rewritten as a constant gate application
+    /// ([`QuditCircuit::constify_op`]), removing its entries from the parameter vector
+    /// so a re-compile JITs the cheaper, constant-folded expression.
+    pub constify: bool,
+}
+
+impl Default for FoldConfig {
+    fn default() -> Self {
+        FoldConfig { fold_tolerance: 1e-6, success_threshold: SUCCESS_THRESHOLD, constify: false }
+    }
+}
+
+/// The constant-folding stage of refinement: snaps parameters that landed on symbolic
+/// constants (0, ±π/2, ±π, ±2π), verifies the substituted gate expressions e-graph
+/// fold consistently, and keeps the snapped vector only if the circuit still meets
+/// the threshold. With [`FoldConfig::constify`] set, gates whose parameters *all*
+/// snapped are then converted into constant gate applications (`gates_constified` in
+/// the result), shrinking the free-parameter vector and letting the JIT compile
+/// constant-folded expressions for them.
+///
+/// Unsuccessful results pass through unchanged. Unlike [`refine_deletions`] this
+/// stage accepts any circuit shape — it never rebuilds templates.
+///
+/// # Errors
+///
+/// Returns [`SynthesisError::InvalidTarget`] when the result's parameter vector or
+/// the target's dimension does not match the circuit, and propagates circuit errors
+/// from constification (cannot occur for well-formed results).
+pub fn fold_constants(
+    result: &SynthesisResult,
+    target: &Matrix<f64>,
+    config: &FoldConfig,
+    cache: &ExpressionCache,
+) -> Result<SynthesisResult, SynthesisError> {
+    if result.params.len() != result.circuit.num_params() {
+        return Err(SynthesisError::InvalidTarget(format!(
+            "result carries {} parameter value(s) for a circuit with {}",
+            result.params.len(),
+            result.circuit.num_params()
+        )));
+    }
+    if target.rows() != result.circuit.dim() || target.cols() != result.circuit.dim() {
+        return Err(SynthesisError::InvalidTarget(format!(
+            "target is {}×{} but the result acts on dimension {}",
+            target.rows(),
+            target.cols(),
+            result.circuit.dim()
+        )));
+    }
+    let mut refined = result.clone();
+    if refined.refined_infidelity.is_none() {
+        refined.refined_infidelity = Some(result.infidelity);
+    }
+    if result.infidelity >= config.success_threshold || config.fold_tolerance <= 0.0 {
+        return Ok(refined);
+    }
+    let folded = fold::fold_params(&result.params, config.fold_tolerance);
+    if folded.folded == 0 {
+        return Ok(refined);
+    }
+    let mut evaluator = TnvmEvaluator::new(&result.circuit, cache);
+    let (unitary, _) = evaluator.evaluate(&folded.params);
+    let snapped_infidelity = qudit_optimize::hs_infidelity(target, &unitary);
+    if snapped_infidelity >= config.success_threshold {
+        return Ok(refined);
+    }
+    // E-graph check: every op whose parameters all snapped must fold to expressions
+    // that agree with the snapped numeric gate.
+    if !fully_snapped_ops_fold(&result.circuit, &folded) {
+        return Ok(refined);
+    }
+    refined.params = folded.params.clone();
+    refined.infidelity = snapped_infidelity;
+    refined.refined_infidelity = Some(snapped_infidelity);
+    refined.success = true;
+    refined.params_folded = result.params_folded + folded.folded;
+
+    if config.constify {
+        // Every fully-snapped parameterized gate was just verified to fold; bake its
+        // values in, threading the parameter vector through each conversion's mapping.
+        let mut circuit = result.circuit.clone();
+        let mut params = folded.params.clone();
+        let targets: Vec<(usize, Vec<f64>)> = circuit
+            .ops()
+            .iter()
+            .enumerate()
+            .filter_map(|(index, op)| {
+                let qudit_circuit::OpParams::Parameterized { offset } = op.params else {
+                    return None;
+                };
+                let count = circuit.expression(op.expr).ok()?.num_params();
+                let fully_snapped =
+                    count > 0 && (offset..offset + count).all(|k| folded.symbolic[k].is_some());
+                fully_snapped.then(|| (index, folded.params[offset..offset + count].to_vec()))
+            })
+            .collect();
+        if !targets.is_empty() {
+            for (index, values) in &targets {
+                let mapping = circuit.constify_op(*index, values.clone())?;
+                params = mapping.iter().map(|&k| params[k]).collect();
+            }
+            // The constant path evaluates through a different (cheaper) kernel, so
+            // re-verify before committing the rewritten circuit.
+            let mut evaluator = TnvmEvaluator::new(&circuit, cache);
+            let (unitary, _) = evaluator.evaluate(&params);
+            let const_infidelity = qudit_optimize::hs_infidelity(target, &unitary);
+            if const_infidelity < config.success_threshold {
+                refined.circuit = circuit;
+                refined.params = params;
+                refined.infidelity = const_infidelity;
+                refined.refined_infidelity = Some(const_infidelity);
+                refined.gates_constified = result.gates_constified + targets.len();
+            }
+        }
+    }
     Ok(refined)
 }
 
 /// Substitutes each fully-snapped op's symbolic constants into its gate expression,
 /// e-graph-folds the elements, and numerically verifies the folded expressions still
 /// evaluate to the snapped gate matrix.
-fn fully_snapped_ops_fold(state: &State, folded: &qudit_egraph::ParamFold) -> bool {
-    for op in state.circuit.ops() {
+fn fully_snapped_ops_fold(circuit: &QuditCircuit, folded: &qudit_egraph::ParamFold) -> bool {
+    for op in circuit.ops() {
         let qudit_circuit::OpParams::Parameterized { offset } = op.params else { continue };
-        let expr =
-            state.circuit.expression(op.expr).expect("ops always reference cached expressions");
+        let expr = circuit.expression(op.expr).expect("ops always reference cached expressions");
         let count = expr.num_params();
         if count == 0 || !(offset..offset + count).all(|k| folded.symbolic[k].is_some()) {
             continue;
@@ -539,6 +691,7 @@ mod tests {
             blocks_deleted: 0,
             refined_infidelity: None,
             params_folded: 0,
+            gates_constified: 0,
             circuit,
         }
     }
@@ -621,6 +774,7 @@ mod tests {
             blocks_deleted: 0,
             refined_infidelity: None,
             params_folded: 0,
+            gates_constified: 0,
             circuit: flat,
         };
         assert!(matches!(
@@ -654,6 +808,7 @@ mod tests {
             blocks_deleted: 0,
             refined_infidelity: None,
             params_folded: 0,
+            gates_constified: 0,
             circuit,
         };
         let config = RefineConfig { scan_all: false, ..Default::default() };

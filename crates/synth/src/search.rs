@@ -18,7 +18,7 @@ use qudit_tensor::Matrix;
 
 use crate::frontier::{evaluate_frontier, Candidate, EvaluatedCandidate};
 use crate::layers::LayerGenerator;
-use crate::refine::{refine, RefineConfig};
+use crate::refine::{fold_constants, refine_deletions, FoldConfig, RefineConfig};
 use crate::topology::CouplingGraph;
 use crate::SynthesisError;
 
@@ -100,6 +100,42 @@ impl SynthesisConfig {
     pub fn effective_threads(&self) -> usize {
         qudit_optimize::resolve_threads(self.threads)
     }
+
+    /// The deterministic instantiation configuration every stage of the pipeline
+    /// derives its per-candidate seeds from: the configured instantiation settings with
+    /// the success threshold applied and the search seed mixed into the base seed.
+    pub fn frontier_instantiate_config(&self) -> InstantiateConfig {
+        let mut config = self.instantiate.clone();
+        config.success_threshold = self.success_threshold;
+        config.seed ^= self.seed;
+        config
+    }
+
+    /// The refinement (gate-deletion) configuration the default pipeline derives from
+    /// this search configuration — exactly the derivation the monolithic
+    /// `synthesize_with_cache` entry point has always used, factored out so a
+    /// pass-based pipeline reproduces the legacy path byte for byte.
+    pub fn refine_config(&self) -> RefineConfig {
+        let instantiate = self.frontier_instantiate_config();
+        RefineConfig {
+            success_threshold: self.success_threshold,
+            seed: instantiate.seed ^ 0xcafe_f00d_5eed_0001,
+            instantiate,
+            gate_set: Some(self.gate_set.clone()),
+            ..RefineConfig::default()
+        }
+    }
+
+    /// The constant-folding configuration the default pipeline derives from this
+    /// search configuration. Constification (fully-snapped parameterized gates turned
+    /// into constant gates, so the JIT compiles cheaper expressions) is enabled.
+    pub fn fold_config(&self) -> FoldConfig {
+        FoldConfig {
+            success_threshold: self.success_threshold,
+            constify: true,
+            ..FoldConfig::default()
+        }
+    }
 }
 
 /// The outcome of a synthesis run.
@@ -125,6 +161,10 @@ pub struct SynthesisResult {
     pub refined_infidelity: Option<f64>,
     /// Parameters the refinement pass snapped to exact symbolic constants.
     pub params_folded: usize,
+    /// Parameterized gates whose parameters all snapped to symbolic constants and were
+    /// converted into constant gate applications (so re-compiling the circuit JITs
+    /// cheaper, constant-folded expressions). `0` when constification did not run.
+    pub gates_constified: usize,
 }
 
 /// One open-list entry. Ordered so that `BinaryHeap` pops the lowest `f` first, with
@@ -158,7 +198,70 @@ impl Ord for OpenNode {
     }
 }
 
-/// Synthesizes a circuit implementing `target` over the configured template space.
+/// Synthesizes a circuit implementing `target` over the configured template space,
+/// running the full legacy pipeline (search, then gate-deletion refinement and
+/// constant folding when [`SynthesisConfig::refine`] is set).
+///
+/// # Errors
+///
+/// Returns a [`SynthesisError`] when the configuration is inconsistent (unsupported
+/// radices, disconnected or mismatched coupling graph) or the target's dimension does
+/// not match the configured radices (or is not unitary).
+#[deprecated(
+    since = "0.2.0",
+    note = "compose passes with qudit-compile's `Compiler` (e.g. \
+            `Compiler::default_pipeline()`); this wrapper runs that same pipeline"
+)]
+pub fn synthesize(
+    target: &Matrix<f64>,
+    config: &SynthesisConfig,
+) -> Result<SynthesisResult, SynthesisError> {
+    let cache = ExpressionCache::new();
+    #[allow(deprecated)]
+    synthesize_with_cache(target, config, &cache)
+}
+
+/// [`synthesize`] with an externally managed expression cache, so many synthesis calls
+/// (e.g. the partitions of a large circuit) share one set of compiled gates.
+///
+/// This is a thin wrapper over the default pass pipeline: [`run_search`], then —
+/// when [`SynthesisConfig::refine`] is set and the search succeeded —
+/// [`refine_deletions`] and [`fold_constants`] with the configurations
+/// [`SynthesisConfig::refine_config`] / [`SynthesisConfig::fold_config`] derive. A
+/// `qudit-compile` `Compiler::default_pipeline()` run is byte-identical at the same
+/// seed (pinned by the integration tests).
+///
+/// **Behavioral change vs. the pre-pipeline monolith:** because the wrapper tracks
+/// the default pipeline, its fold stage now also *constifies* gates whose parameters
+/// all snapped to symbolic constants — such gates come back as constant operations
+/// and their entries leave `params` (see [`SynthesisResult::gates_constified`]).
+/// Callers that need the old always-parameterized shape should call [`run_search`] +
+/// [`crate::refine`](fn@crate::refine) (whose fold keeps constification off) instead.
+///
+/// # Errors
+///
+/// See [`synthesize`].
+#[deprecated(
+    since = "0.2.0",
+    note = "compose passes with qudit-compile's `Compiler` (e.g. \
+            `Compiler::default_pipeline()`); this wrapper runs that same pipeline"
+)]
+pub fn synthesize_with_cache(
+    target: &Matrix<f64>,
+    config: &SynthesisConfig,
+    cache: &ExpressionCache,
+) -> Result<SynthesisResult, SynthesisError> {
+    let result = run_search(target, config, cache)?;
+    if config.refine && result.success {
+        let result = refine_deletions(&result, target, &config.refine_config(), cache)?;
+        return fold_constants(&result, target, &config.fold_config(), cache);
+    }
+    Ok(result)
+}
+
+/// The bottom-up A*/beam search itself — the engine stage behind `SynthesisPass` in
+/// the `qudit-compile` pipeline. Never refines: gate deletion and constant folding are
+/// separate pipeline stages ([`refine_deletions`], [`fold_constants`]).
 ///
 /// The search is bottom-up and instantiation-driven: every candidate's quality is the
 /// numerically instantiated Hilbert–Schmidt infidelity, produced by the TNVM pipeline
@@ -169,50 +272,14 @@ impl Ord for OpenNode {
 /// Returns a [`SynthesisError`] when the configuration is inconsistent (unsupported
 /// radices, disconnected or mismatched coupling graph) or the target's dimension does
 /// not match the configured radices (or is not unitary).
-pub fn synthesize(
-    target: &Matrix<f64>,
-    config: &SynthesisConfig,
-) -> Result<SynthesisResult, SynthesisError> {
-    let cache = ExpressionCache::new();
-    synthesize_with_cache(target, config, &cache)
-}
-
-/// [`synthesize`] with an externally managed expression cache, so many synthesis calls
-/// (e.g. the partitions of a large circuit) share one set of compiled gates.
-///
-/// # Errors
-///
-/// See [`synthesize`].
-pub fn synthesize_with_cache(
+pub fn run_search(
     target: &Matrix<f64>,
     config: &SynthesisConfig,
     cache: &ExpressionCache,
 ) -> Result<SynthesisResult, SynthesisError> {
     let generator =
         LayerGenerator::with_gate_set(&config.radices, &config.coupling, config.gate_set.clone())?;
-    let dim: usize = config.radices.iter().product();
-    if target.rows() != dim || target.cols() != dim {
-        return Err(SynthesisError::InvalidTarget(format!(
-            "target is {}×{} but the radices {:?} require {dim}×{dim}",
-            target.rows(),
-            target.cols(),
-            config.radices
-        )));
-    }
-    // `>` alone would accept a NaN deviation, so compare through is-nan explicitly.
-    let deviation = target.unitary_deviation();
-    if deviation > config.unitary_tolerance || deviation.is_nan() {
-        return Err(SynthesisError::InvalidTarget(format!(
-            "target matrix is not unitary: max |U†U − I| element is {deviation:.3e} \
-             (tolerance {:.3e})",
-            config.unitary_tolerance
-        )));
-    }
-    if config.radices.len() > 1 && !config.coupling.is_connected() {
-        return Err(SynthesisError::InvalidCoupling(
-            "coupling graph is disconnected; a generic target is unreachable".to_string(),
-        ));
-    }
+    validate_target(target, config)?;
 
     // Pre-compile the (tiny) gate set once, so frontier workers never race a cold
     // cache into compiling the same expression twice. The generator validated every
@@ -240,9 +307,7 @@ pub fn synthesize_with_cache(
     }
 
     let threads = config.effective_threads();
-    let mut frontier_cfg = config.instantiate.clone();
-    frontier_cfg.success_threshold = config.success_threshold;
-    frontier_cfg.seed ^= config.seed;
+    let frontier_cfg = config.frontier_instantiate_config();
 
     let mut nodes_expanded = 0usize;
 
@@ -257,7 +322,7 @@ pub fn synthesize_with_cache(
 
     let finish = |best: &EvaluatedCandidate, nodes_expanded: usize| {
         let circuit = generator.circuit_for(&best.blocks)?;
-        let result = SynthesisResult {
+        Ok(SynthesisResult {
             blocks: generator.edges_of(&best.blocks),
             params: best.params.clone(),
             infidelity: best.infidelity,
@@ -267,18 +332,8 @@ pub fn synthesize_with_cache(
             blocks_deleted: 0,
             refined_infidelity: None,
             params_folded: 0,
-        };
-        if config.refine && result.success {
-            let refine_config = RefineConfig {
-                success_threshold: config.success_threshold,
-                instantiate: frontier_cfg.clone(),
-                seed: frontier_cfg.seed ^ 0xcafe_f00d_5eed_0001,
-                gate_set: Some(config.gate_set.clone()),
-                ..RefineConfig::default()
-            };
-            return refine(&result, target, &refine_config, cache);
-        }
-        Ok(result)
+            gates_constified: 0,
+        })
     };
 
     if root.infidelity < config.success_threshold {
@@ -373,6 +428,45 @@ pub fn synthesize_with_cache(
     finish(&best, nodes_expanded)
 }
 
+/// Validates a target against a configuration the way every synthesis front door
+/// must: matching dimension, numerical unitarity within the configured tolerance,
+/// and a connected coupling graph. Shared by [`run_search`] and the `qudit-compile`
+/// partitioning front-end, so wide and narrow targets get identical diagnostics.
+///
+/// # Errors
+///
+/// Returns [`SynthesisError::InvalidTarget`] for shape/unitarity violations and
+/// [`SynthesisError::InvalidCoupling`] for a disconnected graph.
+pub fn validate_target(
+    target: &Matrix<f64>,
+    config: &SynthesisConfig,
+) -> Result<(), SynthesisError> {
+    let dim: usize = config.radices.iter().product();
+    if target.rows() != dim || target.cols() != dim {
+        return Err(SynthesisError::InvalidTarget(format!(
+            "target is {}×{} but the radices {:?} require {dim}×{dim}",
+            target.rows(),
+            target.cols(),
+            config.radices
+        )));
+    }
+    // `>` alone would accept a NaN deviation, so compare through is-nan explicitly.
+    let deviation = target.unitary_deviation();
+    if deviation > config.unitary_tolerance || deviation.is_nan() {
+        return Err(SynthesisError::InvalidTarget(format!(
+            "target matrix is not unitary: max |U†U − I| element is {deviation:.3e} \
+             (tolerance {:.3e})",
+            config.unitary_tolerance
+        )));
+    }
+    if config.radices.len() > 1 && !config.coupling.is_connected() {
+        return Err(SynthesisError::InvalidCoupling(
+            "coupling graph is disconnected; a generic target is unreachable".to_string(),
+        ));
+    }
+    Ok(())
+}
+
 /// The QSearch-style A* priority: root-scaled distance plus a gate-count penalty.
 fn heuristic(infidelity: f64, blocks: usize, block_weight: f64) -> f64 {
     infidelity.max(0.0).sqrt() + block_weight * blocks as f64
@@ -403,6 +497,9 @@ fn infidelity_order(a: &EvaluatedCandidate, b: &EvaluatedCandidate) -> CmpOrderi
 
 #[cfg(test)]
 mod tests {
+    // The deprecated wrappers stay pinned by these tests until they are removed.
+    #![allow(deprecated)]
+
     use super::*;
     use qudit_circuit::gates;
     use qudit_optimize::{haar_random_unitary, reachable_target};

@@ -1,13 +1,15 @@
 //! Numerical instantiation / synthesis example (the Fig. 6–7 workload): fit a QSearch
 //! style ansatz to a target unitary with the TNVM-backed multi-start Levenberg–Marquardt
 //! driver, compare against the BQSKit-style baseline engine — then hand the same
-//! machinery to the bottom-up *search* engine, which discovers the circuit structure
-//! itself instead of being given an ansatz.
+//! machinery to the compiler-pass pipeline (`Compiler`), which discovers the circuit
+//! structure itself instead of being given an ansatz and reports per-pass timings.
 //!
 //! Run with `cargo run --release -p openqudit-examples --bin synthesis`.
 //! Pass `--radices 2,3` (or any comma-separated radix list) to additionally run a
 //! mixed-radix search through the pluggable gate-set registry — for `2,3` the target
 //! is the embedded controlled-shift entangler itself.
+//! Pass `--partition` to additionally compile a 4-qubit target through the
+//! partitioned pipeline (the workload the plain search cannot practically reach).
 
 use std::time::Instant;
 
@@ -73,11 +75,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("speedup   : {:.1}x", bl_time.as_secs_f64() / oq_time.as_secs_f64());
 
-    // Search mode: bottom-up synthesis discovers the circuit structure itself. Give
-    // the engine a CNOT and a reachable two-qubit unitary; it grows a template one
-    // entangling block at a time, instantiating every candidate on the TNVM, until
-    // the Hilbert–Schmidt infidelity drops below the success threshold.
-    println!("\n-- search mode: bottom-up synthesis --");
+    // Compile mode: the pass pipeline discovers the circuit structure itself. Give
+    // the compiler a CNOT and a reachable two-qubit unitary; the synthesis pass grows
+    // a template one entangling block at a time, instantiating every candidate on the
+    // TNVM, and the refine/fold passes shrink and constant-fold the winner — with
+    // each pass timed separately.
+    println!("\n-- compile mode: the pass pipeline --");
+    let compiler = Compiler::with_cache(ExpressionCache::new()).default_passes();
     for (name, target) in [
         ("cnot", openqudit::circuit::gates::cnot().to_matrix::<f64>(&[])?),
         (
@@ -85,19 +89,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             reachable_target(&builders::pqc_template(&[2, 2], &[(0, 1), (0, 1)])?, 99),
         ),
     ] {
-        let start = Instant::now();
-        let result = synthesize(&target, &SynthesisConfig::qubits(2))?;
+        let task = CompilationTask::new(target, SynthesisConfig::qubits(2));
+        let report = compiler.compile(task)?;
+        let result = &report.result;
         println!(
-            "{name:<18}: infidelity {:.2e}, {} block(s) {:?} ({} deleted by refine), \
-             {} nodes expanded, {:.1} ms",
+            "{name:<18}: infidelity {:.2e}, {} block(s) {:?} ({} deleted, {} gate(s) \
+             constified), {} nodes expanded | {}",
             result.infidelity,
             result.blocks.len(),
             result.blocks,
             result.blocks_deleted,
+            result.gates_constified,
             result.nodes_expanded,
-            start.elapsed().as_secs_f64() * 1e3
+            pass_timings(&report),
         );
-        assert!(result.success, "search-mode demo should synthesize {name}");
+        assert!(report.result.success, "compile-mode demo should synthesize {name}");
     }
 
     // Mixed-radix search through the gate-set registry: `--radices 2,3` synthesizes
@@ -112,18 +118,52 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let edges: Vec<(usize, usize)> = (0..radices.len() - 1).map(|q| (q, q + 1)).collect();
             reachable_target(&builders::pqc_template(&radices, &edges)?, 7)
         };
-        let start = Instant::now();
-        let result = synthesize(&target, &config)?;
+        let report = compiler.compile(CompilationTask::new(target, config))?;
+        let result = &report.result;
         println!(
-            "radices {radices:?}: infidelity {:.2e}, {} block(s) {:?}, {} nodes expanded, \
-             {:.1} ms",
+            "radices {radices:?}: infidelity {:.2e}, {} block(s) {:?}, {} nodes expanded | {}",
             result.infidelity,
             result.blocks.len(),
             result.blocks,
             result.nodes_expanded,
-            start.elapsed().as_secs_f64() * 1e3
+            pass_timings(&report),
         );
         assert!(result.success, "mixed-radix demo should synthesize its target");
     }
+
+    // Partitioned compile: `--partition` splits a 4-qubit target along the
+    // [0,1]|[2,3] coupling cut, sketches it partition-first, re-synthesizes each
+    // block through a nested pipeline, and stitches — the plain search never sees
+    // the exponentially wide 4-qubit candidate space.
+    if std::env::args().any(|a| a == "--partition") {
+        println!("\n-- partitioned compile: 4 qubits --");
+        let round = [(0, 1), (2, 3), (1, 2)];
+        let blocks: Vec<(usize, usize)> = round.iter().cycle().take(6).copied().collect();
+        let target = reachable_target(&builders::pqc_template(&[2, 2, 2, 2], &blocks)?, 53);
+        let partitioned = Compiler::with_cache(ExpressionCache::new()).partitioned_passes();
+        let report =
+            partitioned.compile(CompilationTask::with_radices(target, vec![2, 2, 2, 2]))?;
+        let result = &report.result;
+        println!(
+            "4-qubit reachable : infidelity {:.2e}, {} block(s) over {} round(s), \
+             groups {} | {}",
+            result.infidelity,
+            result.blocks.len(),
+            report.data.get_usize("partition.rounds").unwrap_or(0),
+            report.data.get("partition.groups_layout").map(ToString::to_string).unwrap_or_default(),
+            pass_timings(&report),
+        );
+        assert!(result.success, "partitioned demo should synthesize its target");
+    }
     Ok(())
+}
+
+/// Formats a report's per-pass wall-clock timings as `pass: ms` pairs.
+fn pass_timings(report: &CompilationReport) -> String {
+    report
+        .timings
+        .iter()
+        .map(|t| format!("{}: {:.1} ms", t.pass, t.duration.as_secs_f64() * 1e3))
+        .collect::<Vec<_>>()
+        .join(", ")
 }

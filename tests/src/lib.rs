@@ -1,1 +1,33 @@
 //! Support crate for the cross-crate integration tests (the tests live in `tests/`).
+
+use openqudit::prelude::*;
+
+/// Compiles `target` through the standard pass pipeline (`synthesis → refine → fold`)
+/// over a fresh expression cache — the test suite's replacement for the deprecated
+/// monolithic `synthesize` entry point.
+///
+/// # Errors
+///
+/// Propagates the pipeline's [`CompileError`].
+pub fn compile_default(
+    target: &Matrix<f64>,
+    config: &SynthesisConfig,
+) -> Result<SynthesisResult, CompileError> {
+    compile_with(target, config, &ExpressionCache::new())
+}
+
+/// [`compile_default`] over an explicit shared cache.
+///
+/// # Errors
+///
+/// Propagates the pipeline's [`CompileError`].
+pub fn compile_with(
+    target: &Matrix<f64>,
+    config: &SynthesisConfig,
+    cache: &ExpressionCache,
+) -> Result<SynthesisResult, CompileError> {
+    Compiler::with_cache(cache.clone())
+        .default_passes()
+        .compile(CompilationTask::new(target.clone(), config.clone()))
+        .map(|report| report.result)
+}

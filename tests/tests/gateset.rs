@@ -14,6 +14,7 @@
 
 use openqudit::circuit::{builders, gates};
 use openqudit::prelude::*;
+use openqudit_integration_tests::compile_default;
 use proptest::prelude::*;
 
 /// A deterministic pseudo-random parameter vector (golden-ratio low-discrepancy
@@ -54,7 +55,7 @@ fn mixed_radix_embedded_csum_synthesizes_end_to_end() {
     // through the default registry's (2, 3) entangler.
     let target = gates::cshift23().to_matrix::<f64>(&[]).unwrap();
     let config = SynthesisConfig::with_radices(vec![2, 3]);
-    let result = synthesize(&target, &config).unwrap();
+    let result = compile_default(&target, &config).unwrap();
     assert!(result.success, "mixed-radix search failed: infidelity {}", result.infidelity);
     assert!(result.infidelity < 1e-8);
     assert_eq!(result.circuit.radices(), &[2, 3]);
@@ -77,7 +78,7 @@ fn reversed_mixed_radices_synthesize_too() {
     let target = reachable_target(&template, 61);
     let mut config = SynthesisConfig::with_radices(vec![3, 2]);
     config.max_blocks = 2;
-    let result = synthesize(&target, &config).unwrap();
+    let result = compile_default(&target, &config).unwrap();
     assert!(result.success, "reversed mixed search failed: infidelity {}", result.infidelity);
     assert_eq!(result.circuit.radices(), &[3, 2]);
     let entangler_ops: Vec<&str> = result
@@ -104,7 +105,7 @@ fn custom_gate_registration_round_trips_through_synthesis() {
     let target = gates::cz().to_matrix::<f64>(&[]).unwrap();
     let mut config = SynthesisConfig::qubits(2);
     config.gate_set = set;
-    let result = synthesize(&target, &config).unwrap();
+    let result = compile_default(&target, &config).unwrap();
     assert!(result.success, "custom-set search failed: infidelity {}", result.infidelity);
     assert!(result.infidelity < 1e-8);
     let names: std::collections::BTreeSet<&str> =
@@ -127,8 +128,8 @@ fn same_seed_custom_gate_set_runs_are_byte_identical() {
     config.gate_set = set;
     config.max_blocks = 3;
 
-    let first = synthesize(&target, &config).unwrap();
-    let second = synthesize(&target, &config).unwrap();
+    let first = compile_default(&target, &config).unwrap();
+    let second = compile_default(&target, &config).unwrap();
     assert_eq!(first.blocks, second.blocks);
     assert_eq!(first.blocks_deleted, second.blocks_deleted);
     let first_bits: Vec<u64> = first.params.iter().map(|p| p.to_bits()).collect();
@@ -167,6 +168,7 @@ fn refine_recovers_a_custom_registry_from_the_result_circuit() {
         blocks_deleted: 0,
         refined_infidelity: None,
         params_folded: 0,
+        gates_constified: 0,
         circuit: padded,
     };
 
@@ -193,8 +195,8 @@ fn explicit_default_registry_matches_the_implicit_one_byte_for_byte() {
         let mut explicit_cfg = SynthesisConfig::with_radices(radices.clone());
         explicit_cfg.gate_set = GateSet::default_for(&radices);
 
-        let implicit = synthesize(&target, &implicit_cfg).unwrap();
-        let explicit = synthesize(&target, &explicit_cfg).unwrap();
+        let implicit = compile_default(&target, &implicit_cfg).unwrap();
+        let explicit = compile_default(&target, &explicit_cfg).unwrap();
         assert!(implicit.success, "radices {radices:?}: {}", implicit.infidelity);
         assert_eq!(implicit.blocks, explicit.blocks, "radices {radices:?}");
         let implicit_bits: Vec<u64> = implicit.params.iter().map(|p| p.to_bits()).collect();
@@ -213,8 +215,8 @@ fn registry_misses_surface_as_structured_errors() {
     let mut config = SynthesisConfig::with_radices(vec![2, 3]);
     config.gate_set = locals_only;
     let target = gates::cshift23().to_matrix::<f64>(&[]).unwrap();
-    match synthesize(&target, &config) {
-        Err(SynthesisError::InvalidCoupling(detail)) => {
+    match compile_default(&target, &config) {
+        Err(CompileError::Synthesis(SynthesisError::InvalidCoupling(detail))) => {
             assert!(detail.contains("radix pair (2, 3)"), "{detail}");
         }
         other => panic!("expected InvalidCoupling, got {other:?}"),
@@ -224,7 +226,37 @@ fn registry_misses_surface_as_structured_errors() {
     let mut empty_cfg = SynthesisConfig::qubits(2);
     empty_cfg.gate_set = GateSet::new();
     let cnot = gates::cnot().to_matrix::<f64>(&[]).unwrap();
-    assert!(matches!(synthesize(&cnot, &empty_cfg), Err(SynthesisError::UnsupportedRadix(2))));
+    assert!(matches!(
+        compile_default(&cnot, &empty_cfg),
+        Err(CompileError::Synthesis(SynthesisError::UnsupportedRadix(2)))
+    ));
+}
+
+#[test]
+fn ququart_registry_synthesizes_end_to_end_with_no_engine_changes() {
+    // The ROADMAP claim made concrete: registering radix-4 building blocks —
+    // `QuquartU` locals and the mod-4 `CSUM4` entangler — is the only change ququarts
+    // need; search, instantiation, refinement, and folding run unchanged.
+    let set = GateSet::default_for(&[4, 4]);
+    assert_eq!(set.local(4).unwrap().name(), "QuquartU");
+    assert_eq!(set.entangler(4, 4).unwrap().name(), "CSUM4");
+
+    let target = gates::csum4().to_matrix::<f64>(&[]).unwrap();
+    let mut config = SynthesisConfig::with_radices(vec![4, 4]);
+    config.max_blocks = 1;
+    config.max_nodes = 4;
+    let result = compile_default(&target, &config).unwrap();
+    assert!(result.success, "ququart search failed: infidelity {}", result.infidelity);
+    assert!(result.infidelity < 1e-8);
+    assert_eq!(result.circuit.radices(), &[4, 4]);
+    assert_eq!(result.blocks, vec![(0, 1)], "one CSUM4 block suffices");
+
+    // Cross-check on the independent full-width matrix accumulator.
+    let unitary = result.circuit.unitary::<f64>(&result.params).unwrap();
+    assert!(
+        hs_infidelity(&target, &unitary) < 1e-7,
+        "reference evaluation disagrees with the TNVM result"
+    );
 }
 
 proptest! {

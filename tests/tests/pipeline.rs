@@ -1,7 +1,10 @@
 //! End-to-end integration tests spanning the whole pipeline: QGL parsing → symbolic
 //! differentiation → e-graph simplification → expression compilation → tensor-network
 //! lowering → TNVM execution → numerical instantiation, cross-checked against the
-//! baseline engine.
+//! baseline engine — plus the compiler-pass pipeline contracts: the default
+//! `Compiler` pipeline reproduces the legacy monolithic entry point byte for byte,
+//! and the partitioned pipeline synthesizes a 4-qubit target the monolith cannot
+//! practically reach.
 
 use openqudit::network::{compile_network, TensorNetwork};
 use openqudit::prelude::*;
@@ -126,6 +129,108 @@ fn qft_on_tnvm_matches_closed_form() {
             assert!(u.get(j, k).dist(expect) < 1e-10);
         }
     }
+}
+
+#[test]
+fn default_pipeline_is_byte_identical_to_the_legacy_entry_point() {
+    // The api_redesign acceptance pin: at the same seed, `Compiler::default_pipeline`
+    // (synthesis → refine → fold) must reproduce the deprecated
+    // `synthesize_with_cache` wrapper byte for byte — blocks, parameters, infidelity,
+    // node counts, and the refinement/fold metrics. A multi-edge 3-qubit target
+    // exercises the racy frontier path.
+    use openqudit::circuit::builders;
+    let template = builders::pqc_template(&[2, 2, 2], &[(0, 1), (1, 2)]).unwrap();
+    let target = reachable_target(&template, 404);
+    let mut config = SynthesisConfig::qubits(3);
+    config.max_blocks = 3;
+
+    #[allow(deprecated)]
+    let legacy = synthesize_with_cache(&target, &config, &ExpressionCache::new()).unwrap();
+    let report = Compiler::with_cache(ExpressionCache::new())
+        .default_passes()
+        .compile(CompilationTask::new(target.clone(), config.clone()))
+        .unwrap();
+    let piped = &report.result;
+
+    assert_eq!(legacy.blocks, piped.blocks, "block sequences diverged");
+    assert_eq!(legacy.nodes_expanded, piped.nodes_expanded);
+    assert_eq!(legacy.blocks_deleted, piped.blocks_deleted);
+    assert_eq!(legacy.params_folded, piped.params_folded);
+    assert_eq!(legacy.gates_constified, piped.gates_constified);
+    let legacy_bits: Vec<u64> = legacy.params.iter().map(|p| p.to_bits()).collect();
+    let piped_bits: Vec<u64> = piped.params.iter().map(|p| p.to_bits()).collect();
+    assert_eq!(legacy_bits, piped_bits, "parameters diverged");
+    assert_eq!(legacy.infidelity.to_bits(), piped.infidelity.to_bits());
+    assert_eq!(
+        legacy.refined_infidelity.map(f64::to_bits),
+        piped.refined_infidelity.map(f64::to_bits)
+    );
+    assert_eq!(legacy.circuit.num_ops(), piped.circuit.num_ops());
+    assert_eq!(legacy.circuit.num_params(), piped.circuit.num_params());
+    // The report carries per-pass structure the monolith never exposed.
+    let passes: Vec<&str> = report.timings.iter().map(|t| t.pass.as_str()).collect();
+    assert_eq!(passes, vec!["synthesis", "refine", "fold"]);
+    assert!(report.data.get_usize("synthesis.nodes_expanded").is_some());
+}
+
+#[test]
+fn partitioned_pipeline_synthesizes_a_four_qubit_target() {
+    // The workload the monolithic search cannot practically reach: a 4-qubit unitary
+    // entangling across the [0,1]|[2,3] cut (its template carries a block on the cut
+    // edge (1, 2)). The target is reachable by a one-round partitioned template, so
+    // the sketch phase must drive the infidelity below the threshold and the
+    // stitched result must hold it under 1e-6 end to end. (The CI benchmark report
+    // runs a deeper two-round partitioned workload in release mode.)
+    use openqudit::circuit::builders;
+    let round = [(0, 1), (2, 3), (1, 2)];
+    let template = builders::pqc_template(&[2, 2, 2, 2], &round).unwrap();
+    let target = reachable_target(&template, 71);
+
+    let mut config = SynthesisConfig::qubits(4);
+    config.instantiate.starts = 8;
+    let compiler = Compiler::with_cache(ExpressionCache::new()).partitioned_passes();
+    let report = compiler.compile(CompilationTask::new(target.clone(), config)).unwrap();
+    let result = &report.result;
+    assert!(result.success, "partitioned compile failed: infidelity {}", result.infidelity);
+    assert!(result.infidelity < 1e-6, "infidelity {}", result.infidelity);
+    assert_eq!(result.circuit.radices(), &[2, 2, 2, 2]);
+    // The partition pass did the work; the search pass must have skipped.
+    assert_eq!(report.data.get_bool("synthesis.skipped"), Some(true));
+    assert_eq!(report.data.get_usize("partition.groups"), Some(2));
+    assert_eq!(report.data.get_usize("partition.cut_edges"), Some(1));
+    assert!(report.data.get_usize("partition.rounds").unwrap() >= 1);
+    // Every block stays on a coupling edge of the 4-qubit line.
+    for &(a, b) in &result.blocks {
+        assert!(b == a + 1, "block ({a},{b}) is not a line edge");
+    }
+    // Cross-check on the independent full-width matrix accumulator.
+    let unitary = result.circuit.unitary::<f64>(&result.params).unwrap();
+    assert!(
+        hs_infidelity(&target, &unitary) < 1e-6,
+        "reference evaluation disagrees with the partitioned result"
+    );
+}
+
+#[test]
+fn partitioned_pipeline_passes_narrow_targets_through_unchanged() {
+    // On a ≤3-qudit task the partition pass must skip and the tail of the pipeline
+    // must produce exactly what the default pipeline produces.
+    let target = openqudit::circuit::gates::cnot().to_matrix::<f64>(&[]).unwrap();
+    let config = SynthesisConfig::qubits(2);
+    let partitioned = Compiler::with_cache(ExpressionCache::new())
+        .partitioned_passes()
+        .compile(CompilationTask::new(target.clone(), config.clone()))
+        .unwrap();
+    let standard = Compiler::with_cache(ExpressionCache::new())
+        .default_passes()
+        .compile(CompilationTask::new(target, config))
+        .unwrap();
+    assert_eq!(partitioned.data.get_bool("partition.skipped_narrow"), Some(true));
+    assert_eq!(partitioned.result.blocks, standard.result.blocks);
+    assert_eq!(partitioned.result.infidelity.to_bits(), standard.result.infidelity.to_bits());
+    let a: Vec<u64> = partitioned.result.params.iter().map(|p| p.to_bits()).collect();
+    let b: Vec<u64> = standard.result.params.iter().map(|p| p.to_bits()).collect();
+    assert_eq!(a, b);
 }
 
 #[test]

@@ -4,6 +4,7 @@
 
 use openqudit::circuit::builders;
 use openqudit::prelude::*;
+use openqudit_integration_tests::compile_default;
 
 /// Instantiates a pqc template against `target` and wraps it as a synthesis result,
 /// the shape `refine` consumes.
@@ -31,6 +32,7 @@ fn instantiated_result(
         blocks_deleted: 0,
         refined_infidelity: None,
         params_folded: 0,
+        gates_constified: 0,
         circuit,
     }
 }
@@ -121,7 +123,7 @@ fn refine_never_touches_a_minimal_cnot_result() {
 }
 
 #[test]
-fn synthesize_runs_refine_automatically() {
+fn pipeline_runs_refine_automatically() {
     // With `SynthesisConfig::refine` (the default), the search result reports the
     // refinement fields; disabling it leaves `refined_infidelity` unset. Same seed,
     // so the two runs explore identical search trees.
@@ -130,13 +132,13 @@ fn synthesize_runs_refine_automatically() {
     let mut config = SynthesisConfig::qubits(2);
     config.max_blocks = 2;
 
-    let refined = synthesize(&target, &config).unwrap();
+    let refined = compile_default(&target, &config).unwrap();
     assert!(refined.success);
     assert!(refined.refined_infidelity.is_some());
     assert!(refined.infidelity < 1e-8);
 
     config.refine = false;
-    let unrefined = synthesize(&target, &config).unwrap();
+    let unrefined = compile_default(&target, &config).unwrap();
     assert!(unrefined.success);
     assert!(unrefined.refined_infidelity.is_none());
     assert_eq!(unrefined.blocks_deleted, 0);
@@ -145,19 +147,19 @@ fn synthesize_runs_refine_automatically() {
 }
 
 #[test]
-fn synthesize_reports_measured_unitarity_deviation() {
+fn pipeline_reports_measured_unitarity_deviation() {
     // A slightly-off target is rejected with the measured deviation in the message;
     // widening `unitary_tolerance` accepts the same matrix.
     let target = openqudit::circuit::gates::cnot().to_matrix::<f64>(&[]).unwrap();
     let off = target.scale(C64::from_real(1.0 + 3e-7));
     let config = SynthesisConfig::qubits(2);
-    let err = synthesize(&off, &config).unwrap_err();
+    let err = compile_default(&off, &config).unwrap_err();
     let message = err.to_string();
     assert!(message.contains("not unitary"), "unexpected message: {message}");
     assert!(message.contains("e-"), "message lacks the measured deviation: {message}");
 
     let mut relaxed = config.clone();
     relaxed.unitary_tolerance = 1e-5;
-    let result = synthesize(&off, &relaxed).unwrap();
+    let result = compile_default(&off, &relaxed).unwrap();
     assert!(result.success, "infidelity {}", result.infidelity);
 }

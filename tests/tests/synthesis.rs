@@ -1,10 +1,12 @@
-//! End-to-end tests for the bottom-up synthesis engine: `synthesize` must recover
+//! End-to-end tests for the bottom-up synthesis engine (driven through the pass
+//! pipeline): the default pipeline must recover
 //! reachable qubit and qutrit targets below the success threshold, with the result
 //! unitary cross-checked against the independent `baseline` evaluation engine, and the
 //! search must respect the coupling graph.
 
 use openqudit::circuit::builders;
 use openqudit::prelude::*;
+use openqudit_integration_tests::{compile_default, compile_with};
 
 /// Evaluates a synthesis result's circuit on the baseline engine (hand-written gates,
 /// full-width matrix accumulation) and returns its infidelity against `target`. This
@@ -25,7 +27,7 @@ fn synthesize_recovers_random_two_qubit_target() {
     let target = reachable_target(&template, 2024);
     let mut config = SynthesisConfig::qubits(2);
     config.max_blocks = 3;
-    let result = synthesize(&target, &config).unwrap();
+    let result = compile_default(&target, &config).unwrap();
     assert!(result.success, "search failed with infidelity {}", result.infidelity);
     assert!(result.infidelity < 1e-8);
     assert!(result.nodes_expanded >= 1);
@@ -45,7 +47,7 @@ fn synthesize_recovers_two_qutrit_target() {
     let target = reachable_target(&template, 7);
     let mut config = SynthesisConfig::qutrits(2);
     config.max_blocks = 2;
-    let result = synthesize(&target, &config).unwrap();
+    let result = compile_default(&target, &config).unwrap();
     assert!(result.success, "search failed with infidelity {}", result.infidelity);
     assert!(result.infidelity < 1e-8);
     assert_eq!(result.circuit.radices(), &[3, 3]);
@@ -61,7 +63,7 @@ fn synthesized_blocks_respect_the_coupling_graph() {
     let mut config = SynthesisConfig::qubits(3);
     config.max_blocks = 2;
     config.instantiate.starts = 2;
-    let result = synthesize(&target, &config).unwrap();
+    let result = compile_default(&target, &config).unwrap();
     for &(a, b) in &result.blocks {
         assert!(
             config.coupling.contains(a, b),
@@ -82,8 +84,8 @@ fn same_seed_synthesis_runs_are_byte_identical() {
     let target = reachable_target(&template, 404);
     let mut config = SynthesisConfig::qubits(3);
     config.max_blocks = 3;
-    let first = synthesize(&target, &config).unwrap();
-    let second = synthesize(&target, &config).unwrap();
+    let first = compile_default(&target, &config).unwrap();
+    let second = compile_default(&target, &config).unwrap();
     assert_eq!(first.blocks, second.blocks, "block sequences diverged between identical runs");
     assert_eq!(first.blocks_deleted, second.blocks_deleted);
     let first_bits: Vec<u64> = first.params.iter().map(|p| p.to_bits()).collect();
@@ -97,14 +99,14 @@ fn same_seed_synthesis_runs_are_byte_identical() {
 fn synthesis_shares_one_expression_cache_across_the_search() {
     let cache = ExpressionCache::new();
     let target = openqudit::circuit::gates::cnot().to_matrix::<f64>(&[]).unwrap();
-    let result = synthesize_with_cache(&target, &SynthesisConfig::qubits(2), &cache).unwrap();
+    let result = compile_with(&target, &SynthesisConfig::qubits(2), &cache).unwrap();
     assert!(result.success);
     // Gradient-mode U3 + CNOT: exactly two compiled artifacts, however many nodes the
     // search instantiated.
     assert_eq!(cache.stats().entries, 2);
     // A second synthesis call against the same cache recompiles nothing.
     let misses_before = cache.stats().misses;
-    let again = synthesize_with_cache(&target, &SynthesisConfig::qubits(2), &cache).unwrap();
+    let again = compile_with(&target, &SynthesisConfig::qubits(2), &cache).unwrap();
     assert!(again.success);
     assert_eq!(cache.stats().misses, misses_before);
 }
