@@ -1,29 +1,50 @@
 //! Reports the synthesis workloads through the compiler-pass pipeline: nodes
 //! expanded, per-pass wall-clock timings (partition, search, refinement, folding),
 //! pre/post-refine entangling-block depths, and fold metrics per workload — emitted
-//! as JSON.
+//! as JSON, one row per (workload, TNVM backend) pair.
 //!
 //! Every workload runs through [`Compiler::partitioned_passes`]: narrow targets skip
 //! the partition pass and behave exactly like the legacy monolithic entry point
 //! (pinned byte-for-byte by the integration tests), while the 4-qubit workload
 //! exercises the partitioning front-end the monolith never had.
 //!
+//! By default every workload runs under **both** execution tiers (`scalar` and
+//! `blocked`), so the report doubles as the backend benchmark committed as
+//! `BENCH_synthesis.json`. Set `OPENQUDIT_TNVM_BACKEND=scalar|blocked` to pin a
+//! single tier — the CI determinism check runs the report once per tier this way.
+//!
 //! Run with `cargo run --release -p qudit-bench --bin report_synthesis`.
 //! Set `OPENQUDIT_SYNTH_TRIALS=<n>` to repeat each workload (default 1; the report
-//! records the mean per-pass wall-clock over trials and the worst infidelity).
+//! records the **median** per-trial wall-clock — robust to co-tenancy spikes and to
+//! the cold-cache first trial, both of which dwarf the millisecond workloads — and
+//! the worst infidelity).
 //! Set `OPENQUDIT_SYNTH_OMIT_TIMING=1` to drop the wall-clock fields: every remaining
 //! field is deterministic for a fixed seed, so two runs must produce byte-identical
 //! output — the CI determinism check diffs exactly this (including the partitioned
-//! workload).
+//! workload), once per backend.
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 use openqudit::prelude::*;
+use openqudit::tnvm::BACKEND_ENV_VAR;
 use qudit_bench::{synthesis_config, synthesis_workloads};
 
 /// Minimal JSON string escaping for workload names (no exotic characters expected).
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Median of the samples (mean of the middle two for even counts). Panics on empty.
+fn median(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
 }
 
 fn main() {
@@ -35,80 +56,135 @@ fn main() {
     let omit_timing = std::env::var("OPENQUDIT_SYNTH_OMIT_TIMING")
         .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
         .unwrap_or(false);
+    // Pinned tier when the env var is set (the CI per-backend determinism diff);
+    // otherwise report both tiers side by side for the committed benchmark.
+    let backends: Vec<BackendKind> = match std::env::var(BACKEND_ENV_VAR) {
+        Ok(_) => vec![BackendKind::from_env()],
+        Err(_) => BackendKind::all().to_vec(),
+    };
 
     let mut entries: Vec<String> = Vec::new();
     for workload in synthesis_workloads() {
         let config = synthesis_config(&workload);
-        // One shared cache per workload: trials after the first measure a warm cache,
-        // matching how a compiler would amortize gate compilation across tasks.
-        let compiler = Compiler::with_cache(ExpressionCache::new()).partitioned_passes();
-        let mut pass_seconds: BTreeMap<String, f64> = BTreeMap::new();
-        let mut pass_order: Vec<String> = Vec::new();
-        // Result fields are taken from the *worst* trial (by final infidelity), so
-        // the row always describes one run that actually happened.
-        let mut worst: Option<SynthesisResult> = None;
-        let mut partition_rounds: Option<usize> = None;
-        let mut success = true;
+        // One fresh cache per (workload, backend): trials after the first measure a
+        // warm cache, matching how a compiler would amortize gate compilation across
+        // tasks, while the tiers never share compilation work. Trials are *paired* —
+        // every trial runs each tier back to back — so slow machine drift (frequency
+        // scaling, co-tenancy) cancels out of the tier comparison.
+        struct TierRun {
+            backend: openqudit::prelude::BackendKind,
+            compiler: Compiler,
+            pass_seconds: BTreeMap<String, Vec<f64>>,
+            pass_order: Vec<String>,
+            workload_seconds: Vec<f64>,
+            // Result fields are taken from the *worst* trial (by final infidelity),
+            // so the row always describes one run that actually happened.
+            worst: Option<SynthesisResult>,
+            partition_rounds: Option<usize>,
+            success: bool,
+        }
+        let mut runs: Vec<TierRun> = backends
+            .iter()
+            .map(|&backend| TierRun {
+                backend,
+                compiler: Compiler::with_cache(ExpressionCache::new())
+                    .backend(backend)
+                    .partitioned_passes(),
+                pass_seconds: BTreeMap::new(),
+                pass_order: Vec::new(),
+                workload_seconds: Vec::new(),
+                worst: None,
+                partition_rounds: None,
+                success: true,
+            })
+            .collect();
         for _ in 0..trials {
-            let task = CompilationTask::new(workload.target.clone(), config.clone());
-            let report = match compiler.compile(task) {
-                Ok(report) => report,
-                Err(e) => {
-                    eprintln!("workload '{}' failed: {e}", workload.name);
-                    std::process::exit(1);
+            for run in runs.iter_mut() {
+                let task = CompilationTask::new(workload.target.clone(), config.clone());
+                let started = Instant::now();
+                let report = match run.compiler.compile(task) {
+                    Ok(report) => report,
+                    Err(e) => {
+                        eprintln!("workload '{}' [{}] failed: {e}", workload.name, run.backend);
+                        std::process::exit(1);
+                    }
+                };
+                run.workload_seconds.push(started.elapsed().as_secs_f64());
+                for timing in &report.timings {
+                    if !run.pass_seconds.contains_key(&timing.pass) {
+                        run.pass_order.push(timing.pass.clone());
+                    }
+                    run.pass_seconds
+                        .entry(timing.pass.clone())
+                        .or_default()
+                        .push(timing.duration.as_secs_f64());
                 }
-            };
-            for timing in &report.timings {
-                if !pass_seconds.contains_key(&timing.pass) {
-                    pass_order.push(timing.pass.clone());
+                run.partition_rounds = report.data.get_usize("partition.rounds");
+                run.success &= report.result.success;
+                let worse = run
+                    .worst
+                    .as_ref()
+                    .map(|w| report.result.infidelity > w.infidelity)
+                    .unwrap_or(true);
+                if worse {
+                    run.worst = Some(report.result);
                 }
-                *pass_seconds.entry(timing.pass.clone()).or_insert(0.0) +=
-                    timing.duration.as_secs_f64();
-            }
-            partition_rounds = report.data.get_usize("partition.rounds");
-            success &= report.result.success;
-            let worse =
-                worst.as_ref().map(|w| report.result.infidelity > w.infidelity).unwrap_or(true);
-            if worse {
-                worst = Some(report.result);
             }
         }
-        let worst = worst.expect("at least one trial ran");
-        let timing = if omit_timing {
-            String::new()
-        } else {
-            let per_pass: Vec<String> = pass_order
-                .iter()
-                .map(|pass| {
-                    format!("\"{}\": {:.6}", json_escape(pass), pass_seconds[pass] / trials as f64)
-                })
-                .collect();
-            format!("\"mean_pass_seconds\": {{{}}}, ", per_pass.join(", "))
-        };
-        let partition = match partition_rounds {
-            Some(rounds) => format!("\"partition_rounds\": {rounds}, "),
-            None => String::new(),
-        };
-        entries.push(format!(
-            concat!(
-                "  {{\"workload\": \"{}\", \"radices\": {:?}, \"trials\": {}, ",
-                "\"nodes_expanded\": {}, \"blocks_pre_refine\": {}, \"blocks\": {}, ",
-                "\"params_folded\": {}, \"gates_constified\": {}, {}{}",
-                "\"infidelity\": {:.3e}, \"success\": {}}}"
-            ),
-            json_escape(workload.name),
-            workload.radices,
-            trials,
-            worst.nodes_expanded,
-            worst.blocks.len() + worst.blocks_deleted,
-            worst.blocks.len(),
-            worst.params_folded,
-            worst.gates_constified,
-            partition,
-            timing,
-            worst.infidelity,
-            success,
-        ));
+        for run in runs {
+            let TierRun {
+                backend,
+                compiler: _,
+                pass_seconds,
+                pass_order,
+                workload_seconds,
+                worst,
+                partition_rounds,
+                success,
+            } = run;
+            let worst = worst.expect("at least one trial ran");
+            let timing = if omit_timing {
+                String::new()
+            } else {
+                let per_pass: Vec<String> = pass_order
+                    .iter()
+                    .map(|pass| {
+                        format!("\"{}\": {:.6}", json_escape(pass), median(&pass_seconds[pass]))
+                    })
+                    .collect();
+                format!(
+                    "\"workload_seconds\": {:.6}, \"median_pass_seconds\": {{{}}}, ",
+                    median(&workload_seconds),
+                    per_pass.join(", ")
+                )
+            };
+            let partition = match partition_rounds {
+                Some(rounds) => format!("\"partition_rounds\": {rounds}, "),
+                None => String::new(),
+            };
+            entries.push(format!(
+                concat!(
+                    "  {{\"workload\": \"{}\", \"backend\": \"{}\", \"radices\": {:?}, ",
+                    "\"trials\": {}, ",
+                    "\"nodes_expanded\": {}, \"blocks_pre_refine\": {}, \"blocks\": {}, ",
+                    "\"params_folded\": {}, \"gates_constified\": {}, {}{}",
+                    "\"infidelity\": {:.3e}, \"success\": {}}}"
+                ),
+                json_escape(workload.name),
+                backend.name(),
+                workload.radices,
+                trials,
+                worst.nodes_expanded,
+                worst.blocks.len() + worst.blocks_deleted,
+                worst.blocks.len(),
+                worst.params_folded,
+                worst.gates_constified,
+                partition,
+                timing,
+                worst.infidelity,
+                success,
+            ));
+        }
     }
     println!("[\n{}\n]", entries.join(",\n"));
 }

@@ -154,6 +154,8 @@ pub fn synthesis_entangler_pair(ra: usize, rb: usize) -> Option<qudit_qgl::Unita
         (3, 3) => Some(gates::csum()),
         (4, 4) => Some(gates::csum4()),
         (2, 3) => Some(gates::cshift23()),
+        (2, 4) => Some(gates::cshift24()),
+        (3, 4) => Some(gates::cshift34()),
         _ => None,
     }
 }
@@ -517,9 +519,11 @@ mod tests {
         // Ququarts are first-class registry citizens now.
         assert_eq!(synthesis_local(4).unwrap().name(), "QuquartU");
         assert_eq!(synthesis_entangler(4).unwrap().name(), "CSUM4");
-        // ... but mixed (2, 4)/(3, 4) pairs still have no built-in entangler.
-        assert!(synthesis_entangler_pair(2, 4).is_none());
-        assert!(synthesis_entangler_pair(3, 4).is_none());
+        // ... and the mixed (2, 4)/(3, 4) pairs carry embedded controlled-shifts.
+        assert_eq!(synthesis_entangler_pair(2, 4).unwrap().name(), "CSHIFT24");
+        assert_eq!(synthesis_entangler_pair(4, 2).unwrap().name(), "CSHIFT24");
+        assert_eq!(synthesis_entangler_pair(3, 4).unwrap().name(), "CSHIFT34");
+        assert_eq!(synthesis_entangler_pair(4, 3).unwrap().name(), "CSHIFT34");
     }
 
     #[test]

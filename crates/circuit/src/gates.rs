@@ -155,6 +155,48 @@ pub fn cshift23() -> UnitaryExpression {
     )
 }
 
+/// The embedded controlled-shift gate on a qubit–ququart pair: |a, b⟩ → |a, (a+b) mod 4⟩
+/// with the qubit as control — [`csum4`] restricted to a two-level control, following
+/// the same recipe as [`cshift23`]. This is the mixed-radix entangler the default
+/// synthesis gate set registers for (2, 4) edges.
+pub fn cshift24() -> UnitaryExpression {
+    must(
+        "CSHIFT24<2, 4>() {
+            [[1,0,0,0, 0,0,0,0],
+             [0,1,0,0, 0,0,0,0],
+             [0,0,1,0, 0,0,0,0],
+             [0,0,0,1, 0,0,0,0],
+             [0,0,0,0, 0,0,0,1],
+             [0,0,0,0, 1,0,0,0],
+             [0,0,0,0, 0,1,0,0],
+             [0,0,0,0, 0,0,1,0]]
+        }",
+    )
+}
+
+/// The embedded controlled-shift gate on a qutrit–ququart pair: |a, b⟩ → |a, (a+b) mod 4⟩
+/// with the qutrit as control (control levels 0/1/2 shift the ququart by 0/1/2). The
+/// mixed-radix entangler the default synthesis gate set registers for (3, 4) edges,
+/// built with the same embedded-controlled-shift recipe as [`cshift23`].
+pub fn cshift34() -> UnitaryExpression {
+    must(
+        "CSHIFT34<3, 4>() {
+            [[1,0,0,0, 0,0,0,0, 0,0,0,0],
+             [0,1,0,0, 0,0,0,0, 0,0,0,0],
+             [0,0,1,0, 0,0,0,0, 0,0,0,0],
+             [0,0,0,1, 0,0,0,0, 0,0,0,0],
+             [0,0,0,0, 0,0,0,1, 0,0,0,0],
+             [0,0,0,0, 1,0,0,0, 0,0,0,0],
+             [0,0,0,0, 0,1,0,0, 0,0,0,0],
+             [0,0,0,0, 0,0,1,0, 0,0,0,0],
+             [0,0,0,0, 0,0,0,0, 0,0,1,0],
+             [0,0,0,0, 0,0,0,0, 0,0,0,1],
+             [0,0,0,0, 0,0,0,0, 1,0,0,0],
+             [0,0,0,0, 0,0,0,0, 0,1,0,0]]
+        }",
+    )
+}
+
 /// The two-ququart CSUM gate: |a, b⟩ → |a, (a+b) mod 4⟩ — the radix-4 analogue of the
 /// qutrit [`csum`], and the entangler the default synthesis gate set registers for
 /// `(4, 4)` pairs. Like every other built-in it is a plain QGL unitary expression: the
@@ -289,6 +331,8 @@ pub fn all_gates() -> Vec<(&'static str, UnitaryExpression)> {
         ("CSUM", csum()),
         ("CSUM4", csum4()),
         ("CSHIFT23", cshift23()),
+        ("CSHIFT24", cshift24()),
+        ("CSHIFT34", cshift34()),
         ("P3", qutrit_phase()),
         ("QutritU", qutrit_u()),
         ("QuquartU", ququart_u()),
@@ -397,6 +441,36 @@ mod tests {
         }
         assert!(m.is_unitary(1e-14));
         assert_eq!(cshift23().radices(), &[2, 3]);
+    }
+
+    #[test]
+    fn cshift24_shifts_target_by_control() {
+        let m = cshift24().to_matrix::<f64>(&[]).unwrap();
+        // |a,b⟩ index = 4a+b ↦ |a, (a+b) mod 4⟩, with a ∈ {0, 1}.
+        for a in 0..2usize {
+            for b in 0..4usize {
+                let from = 4 * a + b;
+                let to = 4 * a + (a + b) % 4;
+                assert_eq!(m.get(to, from).re, 1.0, "|{a},{b}>");
+            }
+        }
+        assert!(m.is_unitary(1e-14));
+        assert_eq!(cshift24().radices(), &[2, 4]);
+    }
+
+    #[test]
+    fn cshift34_shifts_target_by_control() {
+        let m = cshift34().to_matrix::<f64>(&[]).unwrap();
+        // |a,b⟩ index = 4a+b ↦ |a, (a+b) mod 4⟩, with a ∈ {0, 1, 2}.
+        for a in 0..3usize {
+            for b in 0..4usize {
+                let from = 4 * a + b;
+                let to = 4 * a + (a + b) % 4;
+                assert_eq!(m.get(to, from).re, 1.0, "|{a},{b}>");
+            }
+        }
+        assert!(m.is_unitary(1e-14));
+        assert_eq!(cshift34().radices(), &[3, 4]);
     }
 
     #[test]

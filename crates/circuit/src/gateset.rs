@@ -245,6 +245,19 @@ mod tests {
     }
 
     #[test]
+    fn default_registry_covers_every_radix_234_pair() {
+        // With the (2, 4) and (3, 4) embedded controlled-shifts registered, a mixed
+        // qubit–qutrit–ququart system has an entangler on every distinct pair.
+        let set = GateSet::default_for(&[2, 3, 4]);
+        assert_eq!(set.entangler(2, 4).unwrap().name(), "CSHIFT24");
+        assert_eq!(set.entangler(4, 2).unwrap().name(), "CSHIFT24");
+        assert_eq!(set.entangler(3, 4).unwrap().name(), "CSHIFT34");
+        assert_eq!(set.entangler(4, 3).unwrap().name(), "CSHIFT34");
+        assert_eq!(set.locals().count(), 3);
+        assert_eq!(set.entanglers().count(), 6);
+    }
+
+    #[test]
     fn default_registry_skips_unsupported_radices() {
         let set = GateSet::default_for(&[2, 5]);
         assert!(set.local(2).is_some());

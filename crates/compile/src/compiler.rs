@@ -3,7 +3,7 @@
 use std::time::Instant;
 
 use qudit_qvm::ExpressionCache;
-use qudit_synth::SynthesisResult;
+use qudit_synth::{BackendKind, SynthesisResult};
 
 use crate::error::CompileError;
 use crate::partition::PartitionPass;
@@ -46,6 +46,7 @@ pub struct CompilationReport {
 pub struct Compiler {
     cache: ExpressionCache,
     threads: usize,
+    backend: Option<BackendKind>,
     passes: Vec<Box<dyn Pass>>,
 }
 
@@ -66,7 +67,7 @@ impl Compiler {
     /// An empty pipeline over an explicit cache (cloning an [`ExpressionCache`]
     /// shares its storage, so several compilers can deliberately share one).
     pub fn with_cache(cache: ExpressionCache) -> Self {
-        Compiler { cache, threads: 0, passes: Vec::new() }
+        Compiler { cache, threads: 0, backend: None, passes: Vec::new() }
     }
 
     /// The standard pipeline — `SynthesisPass → RefinePass → FoldPass` — over the
@@ -113,6 +114,16 @@ impl Compiler {
         self
     }
 
+    /// Overrides the TNVM execution tier of every pass (by default each task keeps
+    /// the tier its `SynthesisConfig` carries — the process-wide
+    /// `OPENQUDIT_TNVM_BACKEND` default unless set explicitly). Applied by writing the
+    /// task configuration's backend fields before the first pass runs.
+    #[must_use]
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
     /// The compiler's shared expression cache.
     pub fn cache(&self) -> &ExpressionCache {
         &self.cache
@@ -135,12 +146,21 @@ impl Compiler {
             task.config.threads = self.threads;
             task.config.instantiate.threads = self.threads;
         }
+        if let Some(backend) = self.backend {
+            task.config.backend = backend;
+            task.config.instantiate.backend = backend;
+        }
+        let backend = task.config.backend;
         let mut timings = Vec::with_capacity(self.passes.len());
         for pass in &self.passes {
-            let mut ctx = PassContext::new(&self.cache);
+            let mut ctx = PassContext::new(&self.cache).with_backend(backend);
             let started = Instant::now();
             pass.run(&mut task, &mut ctx)?;
-            timings.push(PassTiming { pass: pass.name().to_string(), duration: started.elapsed() });
+            timings.push(PassTiming {
+                pass: pass.name().to_string(),
+                duration: started.elapsed(),
+                backend: backend.name(),
+            });
         }
         let result = task.result.ok_or(CompileError::NoResult)?;
         Ok(CompilationReport { result, timings, data: task.data })

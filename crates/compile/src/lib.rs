@@ -91,4 +91,5 @@ pub use error::CompileError;
 pub use partition::{PartitionConfig, PartitionPass};
 pub use pass::{Pass, PassContext, PassTiming};
 pub use passes::{FoldPass, RefinePass, SynthesisPass};
+pub use qudit_synth::BackendKind;
 pub use task::{CompilationTask, PassData, PassValue};

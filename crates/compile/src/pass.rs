@@ -1,6 +1,7 @@
 //! The [`Pass`] trait and the [`PassContext`] handed to every pass invocation.
 
 use qudit_qvm::ExpressionCache;
+use qudit_synth::BackendKind;
 
 use crate::error::CompileError;
 use crate::task::CompilationTask;
@@ -40,12 +41,21 @@ pub trait Pass: Send + Sync {
 #[derive(Debug)]
 pub struct PassContext<'a> {
     cache: &'a ExpressionCache,
+    backend: BackendKind,
 }
 
 impl<'a> PassContext<'a> {
-    /// A context borrowing the compiler's expression cache.
+    /// A context borrowing the compiler's expression cache, running on the
+    /// process-default TNVM execution tier.
     pub fn new(cache: &'a ExpressionCache) -> Self {
-        PassContext { cache }
+        PassContext { cache, backend: BackendKind::default() }
+    }
+
+    /// Sets the TNVM execution tier this pass invocation runs under (builder style).
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// The shared expression cache. Cloning it is cheap (`Arc` under the hood) and
@@ -53,6 +63,13 @@ impl<'a> PassContext<'a> {
     /// pass's per-block re-synthesis) share compiled gates this way.
     pub fn cache(&self) -> &'a ExpressionCache {
         self.cache
+    }
+
+    /// The TNVM execution tier this pass invocation runs under. Informational for
+    /// most passes — the tier is threaded through the task configuration — but
+    /// available so a pass can report or branch on it.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
     }
 }
 
@@ -64,4 +81,6 @@ pub struct PassTiming {
     pub pass: String,
     /// Wall-clock duration of the pass's `run`.
     pub duration: std::time::Duration,
+    /// The TNVM execution tier the pass ran under ([`BackendKind::name`]).
+    pub backend: &'static str,
 }

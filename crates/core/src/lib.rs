@@ -86,7 +86,7 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use qudit_synth::{synthesize, synthesize_with_cache};
     pub use qudit_tensor::{Complex, Matrix, Tensor, C64};
-    pub use qudit_tnvm::{EvalResult, Tnvm};
+    pub use qudit_tnvm::{Backend, BackendKind, EvalResult, ExecPlan, KernelSel, Tnvm};
 }
 
 #[cfg(test)]

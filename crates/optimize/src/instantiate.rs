@@ -22,7 +22,7 @@ use qudit_circuit::QuditCircuit;
 use qudit_network::{compile_network, TensorNetwork, TnvmProgram};
 use qudit_qvm::{CompileOptions, DiffMode, ExpressionCache};
 use qudit_tensor::{Matrix, C64};
-use qudit_tnvm::Tnvm;
+use qudit_tnvm::{BackendKind, Tnvm};
 
 use crate::cost::hs_infidelity;
 use crate::lm::{minimize, GradientEvaluator, LmConfig, LmResult};
@@ -38,7 +38,8 @@ pub struct InstantiateConfig {
     pub starts: usize,
     /// Infidelity threshold for declaring success (and short-circuiting restarts).
     pub success_threshold: f64,
-    /// LM settings shared by every start.
+    /// LM settings shared by every start. The `panel_columns` field is re-derived
+    /// from [`Self::backend`] at run time — see [`Self::effective_lm`].
     pub lm: LmConfig,
     /// RNG seed for the random starting parameters. Each start derives its own
     /// generator from `(seed, start index)`, so results are schedule-independent.
@@ -51,6 +52,9 @@ pub struct InstantiateConfig {
     /// passes the parent node's optimum here, since an extended circuit keeps its
     /// parent's parameter positions.
     pub warm_start: Option<Vec<f64>>,
+    /// The TNVM execution tier every evaluator built for this run lowers through.
+    /// Defaults to the process-wide tier (`OPENQUDIT_TNVM_BACKEND`, else scalar).
+    pub backend: BackendKind,
 }
 
 impl Default for InstantiateConfig {
@@ -62,6 +66,7 @@ impl Default for InstantiateConfig {
             seed: 0,
             threads: 0,
             warm_start: None,
+            backend: BackendKind::default(),
         }
     }
 }
@@ -75,6 +80,18 @@ impl InstantiateConfig {
     /// The number of worker threads a multi-start run will actually use.
     pub fn effective_threads(&self) -> usize {
         resolve_threads(self.threads).min(self.starts.max(1))
+    }
+
+    /// The LM settings actually passed to the optimizer: [`Self::lm`] with its
+    /// `panel_columns` taken from the selected backend's target descriptor, so the
+    /// optimizer's normal-equations assembly follows the execution tier (the scalar
+    /// tier keeps the strictly serial reference loop; the blocked tier runs the
+    /// bit-identical panel-packed assembly).
+    pub fn effective_lm(&self) -> LmConfig {
+        LmConfig {
+            panel_columns: self.backend.instance().descriptor().panel_columns,
+            ..self.lm.clone()
+        }
     }
 }
 
@@ -137,6 +154,7 @@ pub fn instantiate(
 ) -> InstantiationResult {
     assert!(config.starts >= 1, "at least one start is required");
     let n = evaluator.num_params();
+    let lm = config.effective_lm();
     let mut best: Option<(Vec<f64>, f64)> = None;
     let mut total_iterations = 0usize;
     let mut starts_used = 0usize;
@@ -144,7 +162,7 @@ pub fn instantiate(
     for start_idx in 0..config.starts {
         starts_used += 1;
         let x0 = start_point(n, config, start_idx);
-        let LmResult { params, iterations, .. } = minimize(evaluator, target, &x0, &config.lm);
+        let LmResult { params, iterations, .. } = minimize(evaluator, target, &x0, &lm);
         total_iterations += iterations;
         let (unitary, _) = evaluator.evaluate(&params);
         let infidelity = hs_infidelity(target, &unitary);
@@ -210,6 +228,7 @@ where
             scope.spawn(|| {
                 let mut evaluator = make_evaluator();
                 let n = evaluator.num_params();
+                let lm = config.effective_lm();
                 loop {
                     let start_idx = next_start.fetch_add(1, Ordering::Relaxed);
                     if start_idx >= config.starts || start_idx > min_success.load(Ordering::Relaxed)
@@ -218,7 +237,7 @@ where
                     }
                     let x0 = start_point(n, config, start_idx);
                     let LmResult { params, iterations, .. } =
-                        minimize(&mut evaluator, target, &x0, &config.lm);
+                        minimize(&mut evaluator, target, &x0, &lm);
                     let (unitary, _) = evaluator.evaluate(&params);
                     let infidelity = hs_infidelity(target, &unitary);
                     if infidelity < config.success_threshold {
@@ -264,19 +283,42 @@ pub struct TnvmEvaluator {
 
 impl TnvmEvaluator {
     /// Compiles `circuit` ahead of time and initializes a gradient-mode TNVM using the
-    /// given expression cache.
+    /// given expression cache and the process-default execution tier.
     pub fn new(circuit: &QuditCircuit, cache: &ExpressionCache) -> Self {
-        let network = TensorNetwork::from_circuit(circuit);
-        let program = compile_network(&network);
-        TnvmEvaluator::from_program(&program, cache)
+        TnvmEvaluator::new_with_backend(circuit, cache, BackendKind::default())
     }
 
-    /// Initializes a gradient-mode TNVM directly from already-compiled bytecode. The
-    /// parallel multi-start driver uses this to share one AOT compilation across all
-    /// worker threads.
+    /// [`TnvmEvaluator::new`] with an explicit TNVM execution tier.
+    pub fn new_with_backend(
+        circuit: &QuditCircuit,
+        cache: &ExpressionCache,
+        backend: BackendKind,
+    ) -> Self {
+        let network = TensorNetwork::from_circuit(circuit);
+        let program = compile_network(&network);
+        TnvmEvaluator::from_program_with_backend(&program, cache, backend)
+    }
+
+    /// Initializes a gradient-mode TNVM directly from already-compiled bytecode (using
+    /// the process-default execution tier). The parallel multi-start driver uses this
+    /// to share one AOT compilation across all worker threads.
     pub fn from_program(program: &TnvmProgram, cache: &ExpressionCache) -> Self {
-        let vm = Tnvm::new(program, DiffMode::Gradient, cache);
+        TnvmEvaluator::from_program_with_backend(program, cache, BackendKind::default())
+    }
+
+    /// [`TnvmEvaluator::from_program`] with an explicit TNVM execution tier.
+    pub fn from_program_with_backend(
+        program: &TnvmProgram,
+        cache: &ExpressionCache,
+        backend: BackendKind,
+    ) -> Self {
+        let vm = Tnvm::with_backend(program, DiffMode::Gradient, cache, backend);
         TnvmEvaluator { num_params: program.num_params, dim: program.dim(), vm }
+    }
+
+    /// The execution tier the underlying TNVM lowers through.
+    pub fn backend(&self) -> BackendKind {
+        self.vm.backend()
     }
 
     /// Re-targets the evaluator at new bytecode in place, reusing the TNVM's arena
@@ -322,7 +364,7 @@ pub fn instantiate_circuit(
     cache: &ExpressionCache,
 ) -> InstantiationResult {
     if config.effective_threads() <= 1 {
-        let mut evaluator = TnvmEvaluator::new(circuit, cache);
+        let mut evaluator = TnvmEvaluator::new_with_backend(circuit, cache, config.backend);
         return instantiate(&mut evaluator, target, config);
     }
     let network = TensorNetwork::from_circuit(circuit);
@@ -333,7 +375,11 @@ pub fn instantiate_circuit(
     for expr in &program.exprs {
         let _ = cache.get_or_compile(expr, &options);
     }
-    instantiate_parallel(|| TnvmEvaluator::from_program(&program, cache), target, config)
+    instantiate_parallel(
+        || TnvmEvaluator::from_program_with_backend(&program, cache, config.backend),
+        target,
+        config,
+    )
 }
 
 /// Projects a parent parameter vector onto a smaller (or re-indexed) circuit through a

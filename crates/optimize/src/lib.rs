@@ -31,3 +31,6 @@ pub use instantiate::{
     InstantiateConfig, InstantiationResult, TnvmEvaluator, SUCCESS_THRESHOLD,
 };
 pub use lm::{minimize, solve_linear_system, GradientEvaluator, LmConfig, LmResult};
+// Re-exported so higher layers (qudit-synth, qudit-compile) can thread backend
+// selection without depending on qudit-tnvm directly.
+pub use qudit_tnvm::BackendKind;

@@ -36,6 +36,13 @@ pub struct LmConfig {
     pub cost_tolerance: f64,
     /// Stop when the step norm falls below this value.
     pub step_tolerance: f64,
+    /// Accumulator lanes for the normal-equations assembly: `1` selects the strictly
+    /// serial reference loop; any larger value selects the panel-packed assembly
+    /// (which runs [`NE_PANEL`] lanes wide, matching the blocked TNVM tier's SoA
+    /// panel). Both assemblies produce bit-identical `JᵀJ` and `Jᵀr`; instantiation
+    /// derives this from the selected backend's target descriptor so the optimizer's
+    /// inner loop follows the execution tier.
+    pub panel_columns: usize,
 }
 
 impl Default for LmConfig {
@@ -46,6 +53,110 @@ impl Default for LmConfig {
             lambda_factor: 10.0,
             cost_tolerance: 1e-16,
             step_tolerance: 1e-12,
+            panel_columns: 1,
+        }
+    }
+}
+
+/// Lane width of the panel-packed normal-equations assembly; matches the blocked
+/// TNVM tier's SoA panel width so one descriptor field governs both.
+pub const NE_PANEL: usize = 8;
+
+/// Reference normal-equations assembly: textbook column dot products, each one a
+/// single strictly sequential accumulation chain.
+fn assemble_normal_equations(
+    jacobian: &[f64],
+    residuals: &[f64],
+    m: usize,
+    n: usize,
+    jtj: &mut [f64],
+    jtr: &mut [f64],
+) {
+    for a in 0..n {
+        let col_a = &jacobian[a * m..(a + 1) * m];
+        for b in a..n {
+            let col_b = &jacobian[b * m..(b + 1) * m];
+            let dot: f64 = col_a.iter().zip(col_b).map(|(x, y)| x * y).sum();
+            jtj[a * n + b] = dot;
+            jtj[b * n + a] = dot;
+        }
+        jtr[a] = -col_a.iter().zip(residuals.iter()).map(|(x, y)| x * y).sum::<f64>();
+    }
+}
+
+/// Panel-packed normal-equations assembly for execution tiers whose descriptor
+/// reports more than one panel column.
+///
+/// Every dot product is **bit-identical** to [`assemble_normal_equations`]: each dot
+/// still accumulates its `m` terms in ascending index order through its own scalar
+/// chain. The speedup comes from running [`NE_PANEL`] *independent* chains side by
+/// side — the reference loop's single chain is FMA-latency-bound (each `acc += x*y`
+/// waits on the previous add), and strict FP semantics forbid the compiler from
+/// splitting it. Interleaving eight columns into one row-major panel turns the inner
+/// loop into eight independent accumulator lanes, which fills the FMA pipeline (and
+/// vectorizes) without reassociating anything.
+fn assemble_normal_equations_panel(
+    jacobian: &[f64],
+    residuals: &[f64],
+    m: usize,
+    n: usize,
+    jtj: &mut [f64],
+    jtr: &mut [f64],
+    packed: &mut Vec<f64>,
+) {
+    let panels = n.div_ceil(NE_PANEL);
+    packed.clear();
+    packed.resize(panels * m * NE_PANEL, 0.0);
+    // Interleave each run of NE_PANEL Jacobian columns: row `i` of panel `t` holds
+    // element `i` of columns `t*NE_PANEL..(t+1)*NE_PANEL` (zero-padded ragged tail).
+    for t in 0..panels {
+        let panel = &mut packed[t * m * NE_PANEL..(t + 1) * m * NE_PANEL];
+        for jj in 0..NE_PANEL.min(n - t * NE_PANEL) {
+            let col = &jacobian[(t * NE_PANEL + jj) * m..(t * NE_PANEL + jj + 1) * m];
+            for (i, &value) in col.iter().enumerate() {
+                panel[i * NE_PANEL + jj] = value;
+            }
+        }
+    }
+    for a in 0..n {
+        let col_a = &jacobian[a * m..(a + 1) * m];
+        // Only panels containing some column b ≥ a are needed; the boundary panel
+        // computes (and discards) up to NE_PANEL−1 dots with b < a.
+        for t in a / NE_PANEL..panels {
+            let panel = &packed[t * m * NE_PANEL..(t + 1) * m * NE_PANEL];
+            let mut acc = [0.0f64; NE_PANEL];
+            for (i, &x) in col_a.iter().enumerate() {
+                let row = <&[f64; NE_PANEL]>::try_from(&panel[i * NE_PANEL..(i + 1) * NE_PANEL])
+                    .expect("panel row width");
+                for (lane, acc) in acc.iter_mut().enumerate() {
+                    *acc += x * row[lane];
+                }
+            }
+            for (lane, dot) in acc.into_iter().enumerate() {
+                let b = t * NE_PANEL + lane;
+                if b >= a && b < n {
+                    jtj[a * n + b] = dot;
+                    jtj[b * n + a] = dot;
+                }
+            }
+        }
+    }
+    // Jᵀr reuses the packed panels: lanes are still columns, the shared operand is r.
+    for t in 0..panels {
+        let panel = &packed[t * m * NE_PANEL..(t + 1) * m * NE_PANEL];
+        let mut acc = [0.0f64; NE_PANEL];
+        for (i, &r) in residuals.iter().enumerate() {
+            let row = <&[f64; NE_PANEL]>::try_from(&panel[i * NE_PANEL..(i + 1) * NE_PANEL])
+                .expect("panel row width");
+            for (lane, acc) in acc.iter_mut().enumerate() {
+                *acc += row[lane] * r;
+            }
+        }
+        for (lane, dot) in acc.into_iter().enumerate() {
+            let b = t * NE_PANEL + lane;
+            if b < n {
+                jtr[b] = -dot;
+            }
         }
     }
 }
@@ -79,6 +190,12 @@ pub fn minimize(
     let mut residuals = vec![0.0; m];
     let mut jacobian = vec![0.0; m * n]; // column-major: column k at [k*m .. (k+1)*m]
     let mut lambda = config.initial_lambda;
+    // Below two panels' worth of columns the pack cost and boundary-panel waste eat
+    // the lane-parallel win (measured break-even: n ≈ 2·NE_PANEL), so small problems
+    // stay on the reference loop under every tier. Both paths are bit-identical, so
+    // the gate is free to flip per problem.
+    let use_panels = config.panel_columns > 1 && n >= 2 * NE_PANEL;
+    let mut packed: Vec<f64> = Vec::new(); // panel-assembly scratch, reused across iterations
 
     let (mut unitary, mut grads) = evaluator.evaluate(&params);
     residuals_into(target, &unitary, &mut residuals);
@@ -97,18 +214,22 @@ pub fn minimize(
         for (k, g) in grads.iter().enumerate() {
             jacobian_column_into(g, &mut jacobian[k * m..(k + 1) * m]);
         }
-        // Normal equations: (JᵀJ + λ diag(JᵀJ)) δ = −Jᵀ r.
+        // Normal equations: (JᵀJ + λ diag(JᵀJ)) δ = −Jᵀ r. Both assemblies are
+        // bit-identical; the tiers differ only in wall-clock.
         let mut jtj = vec![0.0; n * n];
         let mut jtr = vec![0.0; n];
-        for a in 0..n {
-            let col_a = &jacobian[a * m..(a + 1) * m];
-            for b in a..n {
-                let col_b = &jacobian[b * m..(b + 1) * m];
-                let dot: f64 = col_a.iter().zip(col_b).map(|(x, y)| x * y).sum();
-                jtj[a * n + b] = dot;
-                jtj[b * n + a] = dot;
-            }
-            jtr[a] = -col_a.iter().zip(residuals.iter()).map(|(x, y)| x * y).sum::<f64>();
+        if use_panels {
+            assemble_normal_equations_panel(
+                &jacobian,
+                &residuals,
+                m,
+                n,
+                &mut jtj,
+                &mut jtr,
+                &mut packed,
+            );
+        } else {
+            assemble_normal_equations(&jacobian, &residuals, m, n, &mut jtj, &mut jtr);
         }
 
         let mut improved = false;
@@ -259,6 +380,59 @@ mod tests {
             ]);
             (u.clone(), vec![drz.matmul(&rx), rz.matmul(&drx)])
         }
+    }
+
+    /// Deterministic pseudo-random values in (−0.5, 0.5) from a 64-bit LCG.
+    fn lcg_values(count: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (0..count)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn panel_assembly_is_bit_identical_to_reference() {
+        // Ragged n (not a multiple of NE_PANEL) exercises the zero-padded tail panel;
+        // n < NE_PANEL exercises a single all-padding panel.
+        for (m, n) in [(7usize, 3usize), (32, 8), (45, 13), (64, 21)] {
+            let jacobian = lcg_values(m * n, (m * 1000 + n) as u64);
+            let residuals = lcg_values(m, (m * 7 + n) as u64);
+            let (mut jtj_ref, mut jtr_ref) = (vec![0.0; n * n], vec![0.0; n]);
+            assemble_normal_equations(&jacobian, &residuals, m, n, &mut jtj_ref, &mut jtr_ref);
+            let (mut jtj_panel, mut jtr_panel) = (vec![0.0; n * n], vec![0.0; n]);
+            let mut packed = Vec::new();
+            assemble_normal_equations_panel(
+                &jacobian,
+                &residuals,
+                m,
+                n,
+                &mut jtj_panel,
+                &mut jtr_panel,
+                &mut packed,
+            );
+            for (i, (x, y)) in jtj_ref.iter().zip(&jtj_panel).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "JᵀJ[{i}] differs at m={m} n={n}");
+            }
+            for (i, (x, y)) in jtr_ref.iter().zip(&jtr_panel).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "Jᵀr[{i}] differs at m={m} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn panel_lanes_do_not_change_lm_results() {
+        let mut evaluator = ToyEvaluator;
+        let (target, _) = evaluator.evaluate(&[0.9, -1.3]);
+        let reference = minimize(&mut evaluator, &target, &[0.1, 0.1], &LmConfig::default());
+        let panel_config = LmConfig { panel_columns: NE_PANEL, ..LmConfig::default() };
+        let panel = minimize(&mut evaluator, &target, &[0.1, 0.1], &panel_config);
+        assert_eq!(reference.iterations, panel.iterations);
+        assert_eq!(reference.cost.to_bits(), panel.cost.to_bits());
+        let bits = |p: &[f64]| p.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&reference.params), bits(&panel.params));
     }
 
     #[test]

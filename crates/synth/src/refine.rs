@@ -39,7 +39,7 @@
 use qudit_circuit::{builders, embed_gate, GateSet, QuditCircuit};
 use qudit_egraph::fold;
 use qudit_optimize::{
-    instantiate_circuit_mapped, GradientEvaluator, InstantiateConfig, TnvmEvaluator,
+    instantiate_circuit_mapped, BackendKind, GradientEvaluator, InstantiateConfig, TnvmEvaluator,
     SUCCESS_THRESHOLD,
 };
 use qudit_qvm::ExpressionCache;
@@ -323,6 +323,7 @@ pub fn refine(
         fold_tolerance: config.fold_tolerance,
         success_threshold: config.success_threshold,
         constify: false,
+        backend: config.instantiate.backend,
     };
     fold_constants(&refined, target, &fold_config, cache)
 }
@@ -489,11 +490,18 @@ pub struct FoldConfig {
     /// ([`QuditCircuit::constify_op`]), removing its entries from the parameter vector
     /// so a re-compile JITs the cheaper, constant-folded expression.
     pub constify: bool,
+    /// The TNVM execution tier the verification evaluators lower through.
+    pub backend: BackendKind,
 }
 
 impl Default for FoldConfig {
     fn default() -> Self {
-        FoldConfig { fold_tolerance: 1e-6, success_threshold: SUCCESS_THRESHOLD, constify: false }
+        FoldConfig {
+            fold_tolerance: 1e-6,
+            success_threshold: SUCCESS_THRESHOLD,
+            constify: false,
+            backend: BackendKind::default(),
+        }
     }
 }
 
@@ -545,7 +553,7 @@ pub fn fold_constants(
     if folded.folded == 0 {
         return Ok(refined);
     }
-    let mut evaluator = TnvmEvaluator::new(&result.circuit, cache);
+    let mut evaluator = TnvmEvaluator::new_with_backend(&result.circuit, cache, config.backend);
     let (unitary, _) = evaluator.evaluate(&folded.params);
     let snapped_infidelity = qudit_optimize::hs_infidelity(target, &unitary);
     if snapped_infidelity >= config.success_threshold {
@@ -588,7 +596,7 @@ pub fn fold_constants(
             }
             // The constant path evaluates through a different (cheaper) kernel, so
             // re-verify before committing the rewritten circuit.
-            let mut evaluator = TnvmEvaluator::new(&circuit, cache);
+            let mut evaluator = TnvmEvaluator::new_with_backend(&circuit, cache, config.backend);
             let (unitary, _) = evaluator.evaluate(&params);
             let const_infidelity = qudit_optimize::hs_infidelity(target, &unitary);
             if const_infidelity < config.success_threshold {

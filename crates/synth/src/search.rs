@@ -12,7 +12,7 @@ use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
 
 use qudit_circuit::{GateSet, QuditCircuit};
-use qudit_optimize::{InstantiateConfig, SUCCESS_THRESHOLD};
+use qudit_optimize::{BackendKind, InstantiateConfig, SUCCESS_THRESHOLD};
 use qudit_qvm::{CompileOptions, ExpressionCache};
 use qudit_tensor::Matrix;
 
@@ -60,6 +60,10 @@ pub struct SynthesisConfig {
     /// mixed-precision pipelines produce targets whose deviation exceeds the strict
     /// default; widen this instead of pre-polishing the matrix.
     pub unitary_tolerance: f64,
+    /// The TNVM execution tier every evaluator in the pipeline (frontier workers,
+    /// refinement, constant folding) lowers through. Defaults to the process-wide tier
+    /// (`OPENQUDIT_TNVM_BACKEND`, else scalar).
+    pub backend: BackendKind,
 }
 
 impl SynthesisConfig {
@@ -83,6 +87,7 @@ impl SynthesisConfig {
             seed: 0,
             refine: true,
             unitary_tolerance: 1e-8,
+            backend: BackendKind::default(),
         }
     }
 
@@ -108,6 +113,7 @@ impl SynthesisConfig {
         let mut config = self.instantiate.clone();
         config.success_threshold = self.success_threshold;
         config.seed ^= self.seed;
+        config.backend = self.backend;
         config
     }
 
@@ -133,6 +139,7 @@ impl SynthesisConfig {
         FoldConfig {
             success_threshold: self.success_threshold,
             constify: true,
+            backend: self.backend,
             ..FoldConfig::default()
         }
     }

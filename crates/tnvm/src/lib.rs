@@ -31,6 +31,19 @@
 //! # Ok::<(), qudit_circuit::CircuitError>(())
 //! ```
 
+//!
+//! ## Execution backends
+//!
+//! [`Tnvm::new`] lowers the program through the process-default execution tier
+//! ([`BackendKind::from_env`], driven by the `OPENQUDIT_TNVM_BACKEND` environment
+//! variable); [`Tnvm::with_backend`] selects a tier explicitly. See [`backend`] for the
+//! lowering architecture and the per-tier determinism contract.
+
+pub mod backend;
 pub mod vm;
 
+pub use backend::{
+    Backend, BackendKind, BlockedCpuBackend, ExecPlan, KernelSel, ScalarBackend, TargetDescriptor,
+    BACKEND_ENV_VAR,
+};
 pub use vm::{EvalResult, Tnvm};

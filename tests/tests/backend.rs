@@ -1,0 +1,191 @@
+//! Backend conformance suite: the multi-tier lowering contract.
+//!
+//! The TNVM's execution tiers must be interchangeable: `BlockedCpuBackend` is pinned
+//! to the `ScalarBackend` reference **bit for bit** (its kernels are
+//! reassociation-free — same per-element accumulation order, zero-skip, and
+//! complex-multiply expansion — so not even a 1e-12 tolerance is needed; that budget
+//! is reserved for future reassociating tiers, per `crates/tnvm/README.md`). The
+//! suite drives both tiers over every registered-gate-set radix mix (pure qubit,
+//! qutrit, ququart, and all mixed pairs), in both differentiation modes, through
+//! `evaluate` and `evaluate_unitary`, plus a proptest sweep over random templates.
+
+use openqudit::circuit::builders;
+use openqudit::prelude::*;
+use openqudit::tnvm::BACKEND_ENV_VAR;
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random parameters in (−2, 2).
+fn param_vector(count: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+    (0..count)
+        .map(|_| {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            ((state >> 33) as f64 / (1u64 << 30) as f64) - 2.0
+        })
+        .collect()
+}
+
+fn assert_matrices_bit_identical(a: &Matrix<f64>, b: &Matrix<f64>, what: &str) {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "{what}: shape");
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice().iter()).enumerate() {
+        assert_eq!(x.re.to_bits(), y.re.to_bits(), "{what}: re differs at element {i}");
+        assert_eq!(x.im.to_bits(), y.im.to_bits(), "{what}: im differs at element {i}");
+    }
+}
+
+/// Evaluates `circuit` under both tiers and asserts bitwise agreement of the unitary
+/// and (in gradient mode) every gradient block.
+fn assert_backends_agree(circuit: &QuditCircuit, diff: DiffMode, seed: u64, what: &str) {
+    let program = compile_network(&TensorNetwork::from_circuit(circuit));
+    let cache = ExpressionCache::new();
+    let mut scalar = Tnvm::<f64>::with_backend(&program, diff, &cache, BackendKind::Scalar);
+    let mut blocked = Tnvm::<f64>::with_backend(&program, diff, &cache, BackendKind::Blocked);
+    let params = param_vector(circuit.num_params(), seed);
+    let rs = scalar.evaluate(&params);
+    let rb = blocked.evaluate(&params);
+    assert_matrices_bit_identical(&rs.unitary, &rb.unitary, what);
+    assert_eq!(rs.gradient.len(), rb.gradient.len(), "{what}: gradient count");
+    for (k, (gs, gb)) in rs.gradient.iter().zip(rb.gradient.iter()).enumerate() {
+        assert_matrices_bit_identical(gs, gb, &format!("{what}: gradient {k}"));
+    }
+    // `evaluate_unitary` goes through the same lowered plan; pin it explicitly.
+    let us = scalar.evaluate_unitary(&params);
+    let ub = blocked.evaluate_unitary(&params);
+    assert_matrices_bit_identical(&us, &ub, &format!("{what}: evaluate_unitary"));
+}
+
+#[test]
+fn tiers_agree_bitwise_on_every_registered_radix_mix() {
+    // Every radix pair the default gate set registers, under both diff modes. Each
+    // mix lowers its KRONs (and gradient accumulations) to the blocked kernels while
+    // the MATMULs pin the scalar-fallback path below the gemm threshold.
+    for radices in
+        [vec![2, 2], vec![3, 3], vec![4, 4], vec![2, 3], vec![2, 4], vec![3, 4], vec![2, 3, 4]]
+    {
+        let edges: Vec<(usize, usize)> = (0..radices.len() - 1).map(|q| (q, q + 1)).collect();
+        let circuit = builders::pqc_template(&radices, &edges).unwrap();
+        for diff in [DiffMode::None, DiffMode::Gradient] {
+            assert_backends_agree(&circuit, diff, 7, &format!("{radices:?} {diff:?}"));
+        }
+    }
+}
+
+#[test]
+fn tiers_agree_bitwise_on_deep_qubit_ladders() {
+    // Deeper programs chain many MATMUL/KRON ops, so selection mistakes accumulate
+    // loudly; 3 and 4 qubits put every KRON firmly in blocked territory.
+    for (n, layers) in [(3usize, 3usize), (4, 2)] {
+        let circuit = builders::pqc_qubit_ladder(n, layers).unwrap();
+        assert_backends_agree(
+            &circuit,
+            DiffMode::Gradient,
+            (n * 10 + layers) as u64,
+            &format!("{n}-qubit {layers}-layer ladder"),
+        );
+    }
+}
+
+#[test]
+fn blocked_tier_reports_workspace_and_larger_memory() {
+    // Small programs lower blocked KRONs but no panel-packed MATMUL (workspace-free);
+    // 6-qubit operands clear the gemm threshold and must surface their workspace in
+    // the memory report.
+    let small = builders::pqc_qubit_ladder(3, 2).unwrap();
+    let program = compile_network(&TensorNetwork::from_circuit(&small));
+    let cache = ExpressionCache::new();
+    let scalar =
+        Tnvm::<f64>::with_backend(&program, DiffMode::Gradient, &cache, BackendKind::Scalar);
+    let blocked =
+        Tnvm::<f64>::with_backend(&program, DiffMode::Gradient, &cache, BackendKind::Blocked);
+    assert!(!scalar.plan().uses_blocked());
+    assert!(blocked.plan().uses_blocked());
+    assert_eq!(blocked.plan().workspace_scalars, 0);
+    assert_eq!(blocked.memory_bytes(), scalar.memory_bytes());
+
+    let wide = builders::pqc_qubit_ladder(6, 1).unwrap();
+    let program = compile_network(&TensorNetwork::from_circuit(&wide));
+    let scalar = Tnvm::<f64>::with_backend(&program, DiffMode::None, &cache, BackendKind::Scalar);
+    let blocked = Tnvm::<f64>::with_backend(&program, DiffMode::None, &cache, BackendKind::Blocked);
+    assert!(blocked.plan().workspace_scalars > 0);
+    assert!(
+        blocked.memory_bytes() > scalar.memory_bytes(),
+        "the blocked tier's workspace must show up in the memory report"
+    );
+}
+
+#[test]
+fn backend_threads_through_the_whole_stack() {
+    // One knob at the top (SynthesisConfig::backend) must reach the frontier
+    // evaluators, refinement, and folding — and both tiers must compile the same
+    // target to byte-identical results at the same seed (the per-tier determinism
+    // contract; the tiers are additionally bit-identical to each other today).
+    let target = openqudit::circuit::gates::cnot().to_matrix::<f64>(&[]).unwrap();
+    let mut results = Vec::new();
+    for backend in BackendKind::all() {
+        let mut config = SynthesisConfig::qubits(2);
+        config.backend = backend;
+        assert_eq!(config.frontier_instantiate_config().backend, backend);
+        assert_eq!(config.fold_config().backend, backend);
+        let report = Compiler::with_cache(ExpressionCache::new())
+            .default_passes()
+            .compile(CompilationTask::new(target.clone(), config))
+            .unwrap();
+        assert!(report.result.success);
+        for timing in &report.timings {
+            assert_eq!(timing.backend, backend.name(), "pass {}", timing.pass);
+        }
+        results.push(report.result);
+    }
+    let bits = |r: &SynthesisResult| {
+        (r.params.iter().map(|p| p.to_bits()).collect::<Vec<_>>(), r.infidelity.to_bits())
+    };
+    assert_eq!(bits(&results[0]), bits(&results[1]), "tiers diverged on a compiled result");
+    assert_eq!(results[0].blocks, results[1].blocks);
+}
+
+#[test]
+fn compiler_backend_override_wins_over_task_config() {
+    let target = openqudit::circuit::gates::cnot().to_matrix::<f64>(&[]).unwrap();
+    let mut config = SynthesisConfig::qubits(2);
+    config.backend = BackendKind::Scalar;
+    let report = Compiler::with_cache(ExpressionCache::new())
+        .backend(BackendKind::Blocked)
+        .default_passes()
+        .compile(CompilationTask::new(target, config))
+        .unwrap();
+    assert!(report.timings.iter().all(|t| t.backend == "blocked"));
+}
+
+#[test]
+fn env_var_name_is_stable() {
+    // CI's backend matrix sets this variable; renaming it must be a conscious act.
+    assert_eq!(BACKEND_ENV_VAR, "OPENQUDIT_TNVM_BACKEND");
+    assert_eq!(BackendKind::parse("scalar"), Some(BackendKind::Scalar));
+    assert_eq!(BackendKind::parse("blocked"), Some(BackendKind::Blocked));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random programs over radices 2/3/4 and mixed shapes: the tiers agree bitwise
+    /// on `evaluate` + `evaluate_unitary` in both `DiffMode`s (gradient mode also
+    /// compares every gradient block).
+    #[test]
+    fn tiers_agree_on_random_programs(
+        radices in prop_oneof![
+            Just(vec![2usize, 2]), Just(vec![3, 3]), Just(vec![4, 4]),
+            Just(vec![2, 3]), Just(vec![2, 4]), Just(vec![3, 4]),
+            Just(vec![2, 2, 2]), Just(vec![2, 3, 4]), Just(vec![4, 2, 3]),
+        ],
+        layers in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        let chain: Vec<(usize, usize)> = (0..radices.len() - 1).map(|q| (q, q + 1)).collect();
+        let edges: Vec<(usize, usize)> =
+            chain.iter().cycle().take(chain.len() * layers).copied().collect();
+        let circuit = builders::pqc_template(&radices, &edges).unwrap();
+        for diff in [DiffMode::None, DiffMode::Gradient] {
+            assert_backends_agree(&circuit, diff, seed, &format!("{radices:?} x{layers} {diff:?}"));
+        }
+    }
+}

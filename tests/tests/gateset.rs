@@ -259,6 +259,52 @@ fn ququart_registry_synthesizes_end_to_end_with_no_engine_changes() {
     );
 }
 
+#[test]
+fn qubit_ququart_entangler_synthesizes_end_to_end() {
+    // The (2, 4) embedded controlled-shift: its own unitary must synthesize in one
+    // block through the default registry, exactly like cshift23 does for (2, 3).
+    let target = gates::cshift24().to_matrix::<f64>(&[]).unwrap();
+    let mut config = SynthesisConfig::with_radices(vec![2, 4]);
+    config.max_blocks = 1;
+    config.max_nodes = 4;
+    assert_eq!(config.gate_set.entangler(2, 4).unwrap().name(), "CSHIFT24");
+    let result = compile_default(&target, &config).unwrap();
+    assert!(result.success, "(2,4) search failed: infidelity {}", result.infidelity);
+    assert!(result.infidelity < 1e-8);
+    assert_eq!(result.circuit.radices(), &[2, 4]);
+    assert_eq!(result.blocks, vec![(0, 1)], "one CSHIFT24 block suffices");
+
+    // Cross-check on the independent full-width matrix accumulator.
+    let unitary = result.circuit.unitary::<f64>(&result.params).unwrap();
+    assert!(
+        hs_infidelity(&target, &unitary) < 1e-7,
+        "reference evaluation disagrees with the TNVM result"
+    );
+}
+
+#[test]
+fn qutrit_ququart_entangler_synthesizes_end_to_end() {
+    // The (3, 4) embedded controlled-shift closes the last built-in mixed-radix gap:
+    // every pair over radices {2, 3, 4} now has a registered entangler.
+    let target = gates::cshift34().to_matrix::<f64>(&[]).unwrap();
+    let mut config = SynthesisConfig::with_radices(vec![3, 4]);
+    config.max_blocks = 1;
+    config.max_nodes = 4;
+    assert_eq!(config.gate_set.entangler(3, 4).unwrap().name(), "CSHIFT34");
+    let result = compile_default(&target, &config).unwrap();
+    assert!(result.success, "(3,4) search failed: infidelity {}", result.infidelity);
+    assert!(result.infidelity < 1e-8);
+    assert_eq!(result.circuit.radices(), &[3, 4]);
+    assert_eq!(result.blocks, vec![(0, 1)], "one CSHIFT34 block suffices");
+
+    // Cross-check on the independent full-width matrix accumulator.
+    let unitary = result.circuit.unitary::<f64>(&result.params).unwrap();
+    assert!(
+        hs_infidelity(&target, &unitary) < 1e-7,
+        "reference evaluation disagrees with the TNVM result"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
