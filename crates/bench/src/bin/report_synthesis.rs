@@ -18,17 +18,31 @@
 //! records the **median** per-trial wall-clock — robust to co-tenancy spikes and to
 //! the cold-cache first trial, both of which dwarf the millisecond workloads — and
 //! the worst infidelity).
-//! Set `OPENQUDIT_SYNTH_OMIT_TIMING=1` to drop the wall-clock fields: every remaining
-//! field is deterministic for a fixed seed, so two runs must produce byte-identical
-//! output — the CI determinism check diffs exactly this (including the partitioned
-//! workload), once per backend.
+//! Set `OPENQUDIT_SYNTH_OMIT_TIMING=1` to drop **every** wall-clock-derived field
+//! (`workload_seconds`, `median_pass_seconds`) in one gate — the single timing
+//! switch, shared via [`openqudit::trace::omit_timing`]: every remaining field is
+//! deterministic for a fixed seed, so two runs must produce byte-identical output —
+//! the CI determinism check diffs exactly this (including the partitioned workload),
+//! once per backend. The per-row `"metrics"` object (tier-invariant counters) and
+//! `"kernel_metrics"` object (`tnvm.*` tier-variant counters) are deterministic and
+//! stay in the pinned output; span *timings* never reach stdout at all — they only
+//! go to the optional Chrome trace file.
+//!
+//! Set `OPENQUDIT_SYNTH_TRACE=<path>` to also write a Chrome `trace_event` JSON
+//! profile (loadable in `about://tracing` or <https://ui.perfetto.dev>) of the first
+//! trial of the widest workload — the 4-qudit partitioned run — on the first
+//! reported tier.
 
 use std::collections::BTreeMap;
 use std::time::Instant;
 
 use openqudit::prelude::*;
 use openqudit::tnvm::BACKEND_ENV_VAR;
+use openqudit::trace::counters_to_json;
 use qudit_bench::{synthesis_config, synthesis_workloads};
+
+/// Environment variable naming the Chrome `trace_event` output file.
+const TRACE_ENV_VAR: &str = "OPENQUDIT_SYNTH_TRACE";
 
 /// Minimal JSON string escaping for workload names (no exotic characters expected).
 fn json_escape(s: &str) -> String {
@@ -53,9 +67,9 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(1)
         .max(1);
-    let omit_timing = std::env::var("OPENQUDIT_SYNTH_OMIT_TIMING")
-        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
-        .unwrap_or(false);
+    let omit_timing = openqudit::trace::omit_timing();
+    let trace_path = std::env::var(TRACE_ENV_VAR).ok();
+    let mut trace_export: Option<(usize, TraceRegistry)> = None;
     // Pinned tier when the env var is set (the CI per-backend determinism diff);
     // otherwise report both tiers side by side for the committed benchmark.
     let backends: Vec<BackendKind> = match std::env::var(BACKEND_ENV_VAR) {
@@ -82,6 +96,9 @@ fn main() {
             worst: Option<SynthesisResult>,
             partition_rounds: Option<usize>,
             success: bool,
+            // Counter snapshot of the *first* trial (cold fresh cache — the only
+            // trial whose cache.hits/misses are reproducible across processes).
+            metrics: BTreeMap<String, u64>,
         }
         let mut runs: Vec<TierRun> = backends
             .iter()
@@ -96,10 +113,11 @@ fn main() {
                 worst: None,
                 partition_rounds: None,
                 success: true,
+                metrics: BTreeMap::new(),
             })
             .collect();
-        for _ in 0..trials {
-            for run in runs.iter_mut() {
+        for trial in 0..trials {
+            for (tier, run) in runs.iter_mut().enumerate() {
                 let task = CompilationTask::new(workload.target.clone(), config.clone());
                 let started = Instant::now();
                 let report = match run.compiler.compile(task) {
@@ -110,6 +128,16 @@ fn main() {
                     }
                 };
                 run.workload_seconds.push(started.elapsed().as_secs_f64());
+                if trial == 0 {
+                    run.metrics = report.metrics.clone();
+                    if tier == 0 && trace_path.is_some() {
+                        // Keep the widest workload's registry for the Chrome export.
+                        let width = workload.radices.len();
+                        if trace_export.as_ref().map(|(w, _)| width > *w).unwrap_or(true) {
+                            trace_export = Some((width, report.trace.clone()));
+                        }
+                    }
+                }
                 for timing in &report.timings {
                     if !run.pass_seconds.contains_key(&timing.pass) {
                         run.pass_order.push(timing.pass.clone());
@@ -141,6 +169,7 @@ fn main() {
                 worst,
                 partition_rounds,
                 success,
+                metrics,
             } = run;
             let worst = worst.expect("at least one trial ran");
             let timing = if omit_timing {
@@ -162,12 +191,23 @@ fn main() {
                 Some(rounds) => format!("\"partition_rounds\": {rounds}, "),
                 None => String::new(),
             };
+            // Tier-invariant counters (identical across `scalar` and `blocked` at the
+            // same seed — the cross-tier determinism diff covers them) vs. `tnvm.*`
+            // kernel counters, which legitimately differ per tier (the diff scrubs
+            // the `kernel_metrics` field instead).
+            let (invariant, kernel): (Vec<_>, Vec<_>) =
+                metrics.into_iter().partition(|(k, _)| !k.starts_with("tnvm."));
+            let metrics_json = format!(
+                "\"metrics\": {}, \"kernel_metrics\": {}, ",
+                counters_to_json(&invariant.into_iter().collect()),
+                counters_to_json(&kernel.into_iter().collect()),
+            );
             entries.push(format!(
                 concat!(
                     "  {{\"workload\": \"{}\", \"backend\": \"{}\", \"radices\": {:?}, ",
                     "\"trials\": {}, ",
                     "\"nodes_expanded\": {}, \"blocks_pre_refine\": {}, \"blocks\": {}, ",
-                    "\"params_folded\": {}, \"gates_constified\": {}, {}{}",
+                    "\"params_folded\": {}, \"gates_constified\": {}, {}{}{}",
                     "\"infidelity\": {:.3e}, \"success\": {}}}"
                 ),
                 json_escape(workload.name),
@@ -180,6 +220,7 @@ fn main() {
                 worst.params_folded,
                 worst.gates_constified,
                 partition,
+                metrics_json,
                 timing,
                 worst.infidelity,
                 success,
@@ -187,4 +228,13 @@ fn main() {
         }
     }
     println!("[\n{}\n]", entries.join(",\n"));
+
+    if let Some(path) = trace_path {
+        let (_, registry) = trace_export.expect("at least one workload ran");
+        if let Err(e) = std::fs::write(&path, registry.chrome_trace_json()) {
+            eprintln!("failed to write Chrome trace to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote Chrome trace_event profile to {path}");
+    }
 }

@@ -1,9 +1,11 @@
 //! The [`Compiler`]: an ordered pipeline of [`Pass`]es sharing one expression cache.
 
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 use qudit_qvm::ExpressionCache;
 use qudit_synth::{BackendKind, SynthesisResult};
+use qudit_trace::TraceRegistry;
 
 use crate::error::CompileError;
 use crate::partition::PartitionPass;
@@ -21,6 +23,14 @@ pub struct CompilationReport {
     pub timings: Vec<PassTiming>,
     /// The blackboard as the last pass left it (metrics keyed `"<pass>.<metric>"`).
     pub data: PassData,
+    /// Final snapshot of the compilation's deterministic counters (same seed, same
+    /// machine-independent counts — see `qudit-trace` for the determinism contract).
+    /// `tnvm.*` keys are execution-tier-variant; everything else is tier-invariant.
+    pub metrics: BTreeMap<String, u64>,
+    /// The observability registry the compilation recorded into: counters (the
+    /// `metrics` snapshot above), gauges, and hierarchical spans exportable as a
+    /// Chrome `trace_event` profile via [`TraceRegistry::chrome_trace_json`].
+    pub trace: TraceRegistry,
 }
 
 /// An ordered, composable compilation pipeline.
@@ -47,6 +57,7 @@ pub struct Compiler {
     cache: ExpressionCache,
     threads: usize,
     backend: Option<BackendKind>,
+    trace: Option<TraceRegistry>,
     passes: Vec<Box<dyn Pass>>,
 }
 
@@ -67,7 +78,7 @@ impl Compiler {
     /// An empty pipeline over an explicit cache (cloning an [`ExpressionCache`]
     /// shares its storage, so several compilers can deliberately share one).
     pub fn with_cache(cache: ExpressionCache) -> Self {
-        Compiler { cache, threads: 0, backend: None, passes: Vec::new() }
+        Compiler { cache, threads: 0, backend: None, trace: None, passes: Vec::new() }
     }
 
     /// The standard pipeline — `SynthesisPass → RefinePass → FoldPass` — over the
@@ -124,6 +135,17 @@ impl Compiler {
         self
     }
 
+    /// Overrides the observability registry compilations record into. By default
+    /// every [`Compiler::compile`] call creates a fresh enabled registry (so the
+    /// report's counters describe exactly one compilation); installing a registry
+    /// here makes all compilations share it — the partition pass threads the outer
+    /// registry into its nested per-block pipelines this way.
+    #[must_use]
+    pub fn trace(mut self, trace: TraceRegistry) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
     /// The compiler's shared expression cache.
     pub fn cache(&self) -> &ExpressionCache {
         &self.cache
@@ -150,20 +172,39 @@ impl Compiler {
             task.config.backend = backend;
             task.config.instantiate.backend = backend;
         }
+        // Install the observability registry everywhere the pipeline can reach:
+        // the synthesis config (search, frontier, refine derive from it), the
+        // instantiate config (direct instantiation paths), and each PassContext.
+        // (`TraceRegistry::default()` is the *disabled* handle — the fallback must
+        // be an enabled `new()` so every compile records a snapshot.)
+        let trace = match &self.trace {
+            Some(trace) => trace.clone(),
+            None => TraceRegistry::new(),
+        };
+        task.config.trace = trace.clone();
+        task.config.instantiate.trace = trace.clone();
         let backend = task.config.backend;
         let mut timings = Vec::with_capacity(self.passes.len());
         for pass in &self.passes {
-            let mut ctx = PassContext::new(&self.cache).with_backend(backend);
+            let mut ctx =
+                PassContext::new(&self.cache).with_backend(backend).with_trace(trace.clone());
             let started = Instant::now();
+            let span = trace.span(pass.name());
             pass.run(&mut task, &mut ctx)?;
+            drop(span);
             timings.push(PassTiming {
                 pass: pass.name().to_string(),
                 duration: started.elapsed(),
                 backend: backend.name(),
             });
         }
+        // Cache occupancy is a gauge, not a counter: under the process-wide shared
+        // cache it depends on what compiled before, so it stays out of the
+        // deterministic counter snapshot.
+        trace.gauge("cache.entries", self.cache.stats().entries as u64);
         let result = task.result.ok_or(CompileError::NoResult)?;
-        Ok(CompilationReport { result, timings, data: task.data })
+        let metrics = trace.counters();
+        Ok(CompilationReport { result, timings, data: task.data, metrics, trace })
     }
 }
 
@@ -202,6 +243,33 @@ mod tests {
         assert_eq!(report.timings.len(), 3);
         assert!(report.data.get_usize("synthesis.nodes_expanded").unwrap() >= 2);
         assert!(report.data.get_usize("refine.blocks_deleted").is_some());
+    }
+
+    #[test]
+    fn reports_carry_a_deterministic_metrics_snapshot() {
+        let target = gates::cnot().to_matrix::<f64>(&[]).unwrap();
+        let run = || {
+            Compiler::with_cache(ExpressionCache::new())
+                .default_passes()
+                .compile(CompilationTask::new(target.clone(), SynthesisConfig::qubits(2)))
+                .unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert!(a.metrics.get("search.nodes_expanded").copied().unwrap_or(0) >= 2);
+        assert!(a.metrics.contains_key("lm.iterations"));
+        assert!(a.metrics.contains_key("instantiate.calls"));
+        assert!(a.metrics.contains_key("cache.misses"), "{:?}", a.metrics);
+        assert!(a.metrics.keys().any(|k| k.starts_with("tnvm.dispatch.")), "{:?}", a.metrics);
+        // Same seed, fresh caches: the counter snapshot is byte-identical.
+        assert_eq!(a.trace.counters_json(), b.trace.counters_json());
+        // Spans cover every pass, and the export is non-empty valid-looking JSON.
+        let names: Vec<String> = a.trace.span_events().iter().map(|s| s.name.clone()).collect();
+        for pass in ["synthesis", "refine", "fold"] {
+            assert!(names.iter().any(|n| n == pass), "missing span {pass} in {names:?}");
+        }
+        let chrome = a.trace.chrome_trace_json();
+        assert!(chrome.starts_with('[') && chrome.ends_with(']'));
+        assert!(chrome.contains("\"ph\": \"X\""));
     }
 
     #[test]

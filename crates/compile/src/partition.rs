@@ -209,7 +209,11 @@ impl Pass for PartitionPass {
                 nested.instantiate = task.config.instantiate.clone();
                 nested.threads = task.config.threads;
                 nested.seed = candidate_seed(task.config.seed ^ NESTED_SALT, &[i]);
+                // The nested pipeline shares the outer compilation's registry, so
+                // per-block re-synthesis counters (and spans) fold into the same
+                // report. Blocks are re-synthesized serially — deterministic order.
                 let nested_report = Compiler::with_cache(ctx.cache().clone())
+                    .trace(ctx.trace().clone())
                     .default_passes()
                     .compile(CompilationTask::new(sub_target, nested))?;
                 nested_nodes += nested_report.result.nodes_expanded;

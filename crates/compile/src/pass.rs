@@ -2,6 +2,7 @@
 
 use qudit_qvm::ExpressionCache;
 use qudit_synth::BackendKind;
+use qudit_trace::TraceRegistry;
 
 use crate::error::CompileError;
 use crate::task::CompilationTask;
@@ -42,19 +43,29 @@ pub trait Pass: Send + Sync {
 pub struct PassContext<'a> {
     cache: &'a ExpressionCache,
     backend: BackendKind,
+    trace: TraceRegistry,
 }
 
 impl<'a> PassContext<'a> {
     /// A context borrowing the compiler's expression cache, running on the
-    /// process-default TNVM execution tier.
+    /// process-default TNVM execution tier with a disabled trace registry.
     pub fn new(cache: &'a ExpressionCache) -> Self {
-        PassContext { cache, backend: BackendKind::default() }
+        PassContext { cache, backend: BackendKind::default(), trace: TraceRegistry::disabled() }
     }
 
     /// Sets the TNVM execution tier this pass invocation runs under (builder style).
     #[must_use]
     pub fn with_backend(mut self, backend: BackendKind) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Sets the observability registry this pass invocation records into (builder
+    /// style). The compiler installs its per-compilation registry here, so passes
+    /// can record counters and open spans without going through the task config.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceRegistry) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -70,6 +81,13 @@ impl<'a> PassContext<'a> {
     /// available so a pass can report or branch on it.
     pub fn backend(&self) -> BackendKind {
         self.backend
+    }
+
+    /// The observability registry this pass invocation records into. Disabled (a
+    /// no-op handle) unless the compiler installed one; cloning shares the sink, so
+    /// nested pipelines fold their counters into the outer compilation's registry.
+    pub fn trace(&self) -> &TraceRegistry {
+        &self.trace
     }
 }
 

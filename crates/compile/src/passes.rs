@@ -142,9 +142,21 @@ impl Pass for FoldPass {
             return Ok(());
         }
         let config = self.config.clone().unwrap_or_else(|| task.config.fold_config());
+        let (prior_folded, prior_constified) = (result.params_folded, result.gates_constified);
         let folded = fold_constants(result, &task.target, &config, ctx.cache())?;
         task.data.set("fold.params_folded", folded.params_folded);
         task.data.set("fold.gates_constified", folded.gates_constified);
+        // `fold_constants` takes no instantiate config, so the fold stage's counters
+        // are recorded here from the result deltas (this pass runs at most once per
+        // pipeline, but a custom pipeline may fold repeatedly — hence deltas).
+        let delta_folded = folded.params_folded.saturating_sub(prior_folded);
+        let delta_constified = folded.gates_constified.saturating_sub(prior_constified);
+        if delta_folded > 0 {
+            ctx.trace().add("fold.params_folded", delta_folded as u64);
+        }
+        if delta_constified > 0 {
+            ctx.trace().add("fold.gates_constified", delta_constified as u64);
+        }
         task.result = Some(folded);
         Ok(())
     }

@@ -19,6 +19,7 @@
 //! | [`optimize`] | `qudit-optimize` | Hilbert–Schmidt cost, Levenberg–Marquardt, parallel multi-start instantiation |
 //! | [`synth`] | `qudit-synth` | instantiation-driven bottom-up synthesis (QSearch-style A*/beam over layered templates) |
 //! | [`compile`] | `qudit-compile` | the composable compiler-pass pipeline (`Compiler`/`Pass`/`PassContext`), incl. the partitioning front-end for wide targets |
+//! | [`trace`] | `qudit-trace` | observability: hierarchical spans, deterministic counters, Chrome `trace_event` export |
 //! | [`baseline`] | `qudit-baseline` | a BQSKit-style baseline compiler used by the benchmarks |
 //!
 //! # Quickstart
@@ -60,6 +61,7 @@ pub use qudit_qvm as qvm;
 pub use qudit_synth as synth;
 pub use qudit_tensor as tensor;
 pub use qudit_tnvm as tnvm;
+pub use qudit_trace as trace;
 
 /// The most commonly used types, re-exported for convenient glob import.
 pub mod prelude {
@@ -86,7 +88,10 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use qudit_synth::{synthesize, synthesize_with_cache};
     pub use qudit_tensor::{Complex, Matrix, Tensor, C64};
-    pub use qudit_tnvm::{Backend, BackendKind, EvalResult, ExecPlan, KernelSel, Tnvm};
+    pub use qudit_tnvm::{
+        Backend, BackendKind, EvalResult, ExecPlan, KernelCounters, KernelSel, Tnvm,
+    };
+    pub use qudit_trace::{Span, SpanEvent, TraceRegistry};
 }
 
 #[cfg(test)]

@@ -22,7 +22,8 @@ use qudit_circuit::QuditCircuit;
 use qudit_network::{compile_network, TensorNetwork, TnvmProgram};
 use qudit_qvm::{CompileOptions, DiffMode, ExpressionCache};
 use qudit_tensor::{Matrix, C64};
-use qudit_tnvm::{BackendKind, Tnvm};
+use qudit_tnvm::{BackendKind, KernelCounters, Tnvm};
+use qudit_trace::TraceRegistry;
 
 use crate::cost::hs_infidelity;
 use crate::lm::{minimize, GradientEvaluator, LmConfig, LmResult};
@@ -55,6 +56,11 @@ pub struct InstantiateConfig {
     /// The TNVM execution tier every evaluator built for this run lowers through.
     /// Defaults to the process-wide tier (`OPENQUDIT_TNVM_BACKEND`, else scalar).
     pub backend: BackendKind,
+    /// Observability sink. Disabled by default (zero overhead); when enabled, every
+    /// instantiation records its deterministic counters (calls, starts, LM iterations,
+    /// kernel dispatches) at its join point. Parallel drivers hand workers a disabled
+    /// handle and record only the schedule-independent prefix of completed work.
+    pub trace: TraceRegistry,
 }
 
 impl Default for InstantiateConfig {
@@ -67,6 +73,7 @@ impl Default for InstantiateConfig {
             threads: 0,
             warm_start: None,
             backend: BackendKind::default(),
+            trace: TraceRegistry::disabled(),
         }
     }
 }
@@ -139,6 +146,25 @@ pub struct InstantiationResult {
     pub starts_used: usize,
     /// Total LM iterations summed over all starts.
     pub total_iterations: usize,
+    /// Kernel-dispatch/flop/cache counters accumulated by the run's evaluators —
+    /// evaluator construction plus the deterministic prefix of completed starts, so
+    /// parallel and serial runs of the same configuration report identical counts
+    /// (at the same worker-pool size; construction counts scale with the pool).
+    pub kernels: KernelCounters,
+}
+
+/// Records a finished instantiation into `trace` (no-op on a disabled handle).
+fn record_instantiation(trace: &TraceRegistry, result: &InstantiationResult) {
+    if !trace.enabled() {
+        return;
+    }
+    trace.incr("instantiate.calls");
+    trace.add("instantiate.starts", result.starts_used as u64);
+    trace.add("lm.iterations", result.total_iterations as u64);
+    if result.success {
+        trace.incr("instantiate.successes");
+    }
+    result.kernels.record_into(trace);
 }
 
 /// Runs (multi-start) instantiation of `evaluator` against `target`, serially.
@@ -158,6 +184,9 @@ pub fn instantiate(
     let mut best: Option<(Vec<f64>, f64)> = None;
     let mut total_iterations = 0usize;
     let mut starts_used = 0usize;
+    // Whatever the evaluator accumulated before this run (construction, a preceding
+    // `load_program`) is attributed to this run — it is the work done on its behalf.
+    let mut kernels = evaluator.take_kernel_counters();
 
     for start_idx in 0..config.starts {
         starts_used += 1;
@@ -166,6 +195,7 @@ pub fn instantiate(
         total_iterations += iterations;
         let (unitary, _) = evaluator.evaluate(&params);
         let infidelity = hs_infidelity(target, &unitary);
+        kernels.merge(&evaluator.take_kernel_counters());
         let better = best.as_ref().map(|(_, b)| infidelity < *b).unwrap_or(true);
         if better {
             best = Some((params, infidelity));
@@ -176,17 +206,20 @@ pub fn instantiate(
     }
 
     let (params, infidelity) = best.expect("at least one start ran");
-    InstantiationResult {
+    let result = InstantiationResult {
         params,
         success: infidelity < config.success_threshold,
         infidelity,
         starts_used,
         total_iterations,
-    }
+        kernels,
+    };
+    record_instantiation(&config.trace, &result);
+    result
 }
 
-/// One finished start: `(start index, params, infidelity, LM iterations)`.
-type CompletedStart = (usize, Vec<f64>, f64, usize);
+/// One finished start: `(start index, params, infidelity, LM iterations, kernel work)`.
+type CompletedStart = (usize, Vec<f64>, f64, usize, KernelCounters);
 
 /// Runs multi-start instantiation with the starts distributed over scoped worker
 /// threads. `make_evaluator` is called once per worker (inside the worker), so the
@@ -222,11 +255,20 @@ where
     // every start below the final minimum is guaranteed to have been evaluated.
     let min_success = AtomicUsize::new(usize::MAX);
     let completed: Mutex<Vec<CompletedStart>> = Mutex::new(Vec::new());
+    // Construction work is captured per worker *before* any start is claimed: every
+    // worker constructs exactly one evaluator, so the sum over all `threads` workers
+    // is deterministic at a fixed pool size even though the set of completed starts
+    // past the early-stop cutoff is not.
+    let construction: Mutex<KernelCounters> = Mutex::new(KernelCounters::default());
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
                 let mut evaluator = make_evaluator();
+                construction
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .merge(&evaluator.take_kernel_counters());
                 let n = evaluator.num_params();
                 let lm = config.effective_lm();
                 loop {
@@ -240,13 +282,14 @@ where
                         minimize(&mut evaluator, target, &x0, &lm);
                     let (unitary, _) = evaluator.evaluate(&params);
                     let infidelity = hs_infidelity(target, &unitary);
+                    let kernels = evaluator.take_kernel_counters();
                     if infidelity < config.success_threshold {
                         min_success.fetch_min(start_idx, Ordering::Relaxed);
                     }
                     completed
                         .lock()
                         .unwrap_or_else(std::sync::PoisonError::into_inner)
-                        .push((start_idx, params, infidelity, iterations));
+                        .push((start_idx, params, infidelity, iterations, kernels));
                 }
             });
         }
@@ -255,22 +298,29 @@ where
     let mut runs = completed.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
     // Keep exactly the deterministic prefix: starts past the winning index may or may
     // not have completed depending on thread timing, so they must not influence the
-    // result.
+    // result (neither its parameters nor its counters).
     let cutoff = min_success.load(Ordering::Relaxed);
     runs.retain(|r| r.0 <= cutoff);
     // Deterministic tie-breaking: earlier start indices win among equal infidelities.
     runs.sort_by_key(|r| r.0);
     let starts_used = runs.len();
     let total_iterations = runs.iter().map(|r| r.3).sum();
-    let (_, params, infidelity, _) =
+    let mut kernels = construction.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+    for r in &runs {
+        kernels.merge(&r.4);
+    }
+    let (_, params, infidelity, _, _) =
         runs.into_iter().min_by(|a, b| a.2.total_cmp(&b.2)).expect("at least one start ran");
-    InstantiationResult {
+    let result = InstantiationResult {
         params,
         success: infidelity < config.success_threshold,
         infidelity,
         starts_used,
         total_iterations,
-    }
+        kernels,
+    };
+    record_instantiation(&config.trace, &result);
+    result
 }
 
 /// A [`GradientEvaluator`] backed by the TNVM — the "OpenQudit side" of the evaluation.
@@ -349,6 +399,10 @@ impl GradientEvaluator for TnvmEvaluator {
         let result = self.vm.evaluate(params);
         (result.unitary, result.gradient)
     }
+
+    fn take_kernel_counters(&mut self) -> qudit_tnvm::KernelCounters {
+        self.vm.take_counters()
+    }
 }
 
 /// Instantiates a circuit against a target unitary using the TNVM pipeline (AOT compile,
@@ -371,10 +425,19 @@ pub fn instantiate_circuit(
     let program = compile_network(&network);
     // Warm the cache serially first: `get_or_compile` compiles outside its lock, so a
     // cold cache hit by N workers at once would compile the same expression N times.
+    // The prewarm's lookup outcomes are deterministic (serial, fixed expression list),
+    // so they are counted directly.
     let options = CompileOptions::with_gradient();
+    let mut prewarm = KernelCounters::default();
     for expr in &program.exprs {
-        let _ = cache.get_or_compile(expr, &options);
+        let (_, hit) = cache.get_or_compile_traced(expr, &options);
+        if hit {
+            prewarm.cache_hits += 1;
+        } else {
+            prewarm.cache_misses += 1;
+        }
     }
+    prewarm.record_into(&config.trace);
     instantiate_parallel(
         || TnvmEvaluator::from_program_with_backend(&program, cache, config.backend),
         target,
@@ -591,6 +654,33 @@ mod tests {
         assert_eq!(parallel.infidelity.to_bits(), serial.infidelity.to_bits());
         assert_eq!(parallel.starts_used, serial.starts_used);
         assert_eq!(parallel.total_iterations, serial.total_iterations);
+        // Evaluation counts come only from the retained start prefix (construction
+        // performs no `evaluate`), so they agree across schedules too.
+        assert_eq!(parallel.kernels.evaluations, serial.kernels.evaluations);
+    }
+
+    #[test]
+    fn instantiation_records_deterministic_trace_counters() {
+        let circuit = builders::pqc_qubit_ladder(2, 1).unwrap();
+        let target = reachable_target(&circuit, 7);
+        let run = |seed| {
+            let cache = ExpressionCache::new();
+            let trace = TraceRegistry::new();
+            let config =
+                InstantiateConfig { starts: 4, seed, trace: trace.clone(), ..Default::default() };
+            let result = instantiate_circuit(&circuit, &target, &config, &cache);
+            (result, trace.counters_json())
+        };
+        let (r1, s1) = run(3);
+        let (r2, s2) = run(3);
+        assert_eq!(s1, s2, "same-seed counter snapshots must be byte-identical");
+        assert!(s1.contains("\"instantiate.calls\": 1"), "snapshot: {s1}");
+        assert!(s1.contains("lm.iterations"), "snapshot: {s1}");
+        assert!(s1.contains("cache.misses"), "cold cache must report misses: {s1}");
+        assert_eq!(r1.total_iterations, r2.total_iterations);
+        assert!(r1.kernels.evaluations > 0, "evaluator work must be attributed");
+        let (_, other_seed) = run(4);
+        assert_ne!(s1, other_seed, "different seeds should do different work");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! optimizer quality is never a confounder in the benchmarks.
 
 use qudit_tensor::Matrix;
+use qudit_tnvm::KernelCounters;
 
 use crate::cost::{jacobian_column_into, residual_len, residuals_into, sum_of_squares};
 
@@ -21,6 +22,15 @@ pub trait GradientEvaluator {
     fn dim(&self) -> usize;
     /// Evaluates the unitary and all partial derivatives at `params`.
     fn evaluate(&mut self, params: &[f64]) -> (Matrix<f64>, Vec<Matrix<f64>>);
+    /// Returns and resets the evaluator's accumulated kernel-dispatch counters.
+    ///
+    /// The default (for evaluators without a TNVM underneath, like the baseline
+    /// engine) reports nothing; the TNVM adapter delegates to its VM. Instantiation
+    /// drains this after every optimization start so kernel work can be attributed to
+    /// deterministic join points.
+    fn take_kernel_counters(&mut self) -> KernelCounters {
+        KernelCounters::default()
+    }
 }
 
 /// Configuration of the Levenberg–Marquardt loop.

@@ -53,6 +53,23 @@ impl ExpressionCache {
         expr: &UnitaryExpression,
         options: &CompileOptions,
     ) -> Arc<CompiledExpression> {
+        self.get_or_compile_traced(expr, options).0
+    }
+
+    /// Like [`ExpressionCache::get_or_compile`], but also reports whether the lookup
+    /// was a hit — letting callers (the TNVM) attribute lookup outcomes to their own
+    /// deterministic counters instead of reading the racy shared totals.
+    ///
+    /// Determinism note: on a *cold* cache, two threads racing on the same key may
+    /// both observe a miss (compilation happens outside the lock), so per-caller
+    /// hit/miss counts are only schedule-independent once the cache has been prewarmed
+    /// with every expression the callers will request — which is exactly what the
+    /// synthesis search does before spawning frontier workers.
+    pub fn get_or_compile_traced(
+        &self,
+        expr: &UnitaryExpression,
+        options: &CompileOptions,
+    ) -> (Arc<CompiledExpression>, bool) {
         let key = (expr.canonical_key(), options.diff_mode == DiffMode::Gradient);
         // Fast path: shared lock-and-lookup.
         {
@@ -60,14 +77,14 @@ impl ExpressionCache {
             if let Some(found) = inner.compiled.get(&key) {
                 let found = Arc::clone(found);
                 inner.hits += 1;
-                return found;
+                return (found, true);
             }
             inner.misses += 1;
         }
         // Compile outside the lock (compilation may take milliseconds).
         let compiled = Arc::new(CompiledExpression::compile(expr, options));
         let mut inner = self.inner.lock();
-        Arc::clone(inner.compiled.entry(key).or_insert(compiled))
+        (Arc::clone(inner.compiled.entry(key).or_insert(compiled)), false)
     }
 
     /// Current statistics.
@@ -158,6 +175,15 @@ mod tests {
         let before = a.stats().entries;
         let _ = a.get_or_compile(&rx(), &CompileOptions::default());
         assert!(b.stats().entries >= before);
+    }
+
+    #[test]
+    fn traced_lookup_reports_hit_flag() {
+        let cache = ExpressionCache::new();
+        let (_, hit) = cache.get_or_compile_traced(&rx(), &CompileOptions::default());
+        assert!(!hit, "first lookup must miss");
+        let (_, hit) = cache.get_or_compile_traced(&rx(), &CompileOptions::default());
+        assert!(hit, "second lookup must hit");
     }
 
     #[test]

@@ -13,6 +13,8 @@ use qudit_network::{compile_network, TensorNetwork};
 use qudit_optimize::{instantiate, instantiate_parallel, InstantiateConfig, TnvmEvaluator};
 use qudit_qvm::ExpressionCache;
 use qudit_tensor::Matrix;
+use qudit_tnvm::KernelCounters;
+use qudit_trace::TraceRegistry;
 
 /// One candidate circuit awaiting evaluation.
 #[derive(Debug, Clone)]
@@ -36,6 +38,10 @@ pub struct EvaluatedCandidate {
     pub infidelity: f64,
     /// Total LM iterations spent on this candidate.
     pub iterations: usize,
+    /// Multi-start attempts this candidate consumed.
+    pub starts: usize,
+    /// Kernel-dispatch counters accumulated while instantiating this candidate.
+    pub kernels: KernelCounters,
 }
 
 /// Derives a per-candidate instantiation seed from the block sequence, so evaluation
@@ -80,6 +86,7 @@ pub fn evaluate_frontier(
     cache: &ExpressionCache,
     stop_on_success: bool,
 ) -> Vec<EvaluatedCandidate> {
+    let _span = instantiate_cfg.trace.span("frontier");
     let per_candidate_threads = (threads.max(1) / candidates.len().max(1)).max(1);
     let threads = threads.max(1).min(candidates.len().max(1));
     let next = AtomicUsize::new(0);
@@ -97,10 +104,14 @@ pub fn evaluate_frontier(
         }
         let Some(candidate) = candidates.get(index) else { break };
         let program = compile_network(&candidate.network);
+        // Workers carry a *disabled* trace handle: per-candidate counters ride in the
+        // results and are recorded once at the deterministic join below, after the
+        // schedule-dependent tail past the early-stop cutoff has been discarded.
         let config = InstantiateConfig {
             warm_start: candidate.warm_start.clone(),
             seed: candidate_seed(instantiate_cfg.seed, &candidate.blocks),
             threads: per_candidate_threads,
+            trace: TraceRegistry::disabled(),
             ..instantiate_cfg.clone()
         };
         let outcome = if per_candidate_threads > 1 && config.starts > 1 {
@@ -134,6 +145,8 @@ pub fn evaluate_frontier(
                 params: outcome.params,
                 infidelity: outcome.infidelity,
                 iterations: outcome.total_iterations,
+                starts: outcome.starts_used,
+                kernels: outcome.kernels,
             },
         ));
     };
@@ -158,7 +171,35 @@ pub fn evaluate_frontier(
     let cutoff = min_success.load(Ordering::Relaxed);
     evaluated.retain(|(index, _)| *index <= cutoff);
     evaluated.sort_by_key(|(index, _)| *index);
-    evaluated.into_iter().map(|(_, candidate)| candidate).collect()
+    let evaluated: Vec<EvaluatedCandidate> =
+        evaluated.into_iter().map(|(_, candidate)| candidate).collect();
+
+    // Deterministic join point: everything recorded here is a pure function of the
+    // retained (prefix-filtered) candidate set, never of thread scheduling.
+    let trace = &instantiate_cfg.trace;
+    if trace.enabled() {
+        let mut kernels = KernelCounters::default();
+        let mut iterations = 0u64;
+        let mut starts = 0u64;
+        let mut successes = 0u64;
+        for candidate in &evaluated {
+            kernels.merge(&candidate.kernels);
+            iterations += candidate.iterations as u64;
+            starts += candidate.starts as u64;
+            if candidate.infidelity < instantiate_cfg.success_threshold {
+                successes += 1;
+            }
+        }
+        trace.add("frontier.candidates", evaluated.len() as u64);
+        trace.add("instantiate.calls", evaluated.len() as u64);
+        trace.add("instantiate.starts", starts);
+        trace.add("lm.iterations", iterations);
+        if successes > 0 {
+            trace.add("instantiate.successes", successes);
+        }
+        kernels.record_into(trace);
+    }
+    evaluated
 }
 
 #[cfg(test)]

@@ -398,6 +398,11 @@ pub fn refine_deletions(
         return Ok(refined);
     }
 
+    // Deletion attempts run serially, so the per-attempt counters recorded by
+    // `instantiate_circuit_mapped` through this registry are deterministic.
+    let trace = &config.instantiate.trace;
+    let _span = trace.span("refine");
+
     let mut state = State {
         circuit: result.circuit.clone(),
         edges: result.blocks.clone(),
@@ -474,6 +479,9 @@ pub fn refine_deletions(
     refined.success = state.infidelity < config.success_threshold;
     refined.blocks_deleted = result.blocks_deleted + blocks_deleted;
     refined.refined_infidelity = Some(state.infidelity);
+    if blocks_deleted > 0 {
+        trace.add("refine.blocks_deleted", blocks_deleted as u64);
+    }
     Ok(refined)
 }
 

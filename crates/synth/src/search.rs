@@ -15,6 +15,7 @@ use qudit_circuit::{GateSet, QuditCircuit};
 use qudit_optimize::{BackendKind, InstantiateConfig, SUCCESS_THRESHOLD};
 use qudit_qvm::{CompileOptions, ExpressionCache};
 use qudit_tensor::Matrix;
+use qudit_trace::TraceRegistry;
 
 use crate::frontier::{evaluate_frontier, Candidate, EvaluatedCandidate};
 use crate::layers::LayerGenerator;
@@ -64,6 +65,10 @@ pub struct SynthesisConfig {
     /// refinement, constant folding) lowers through. Defaults to the process-wide tier
     /// (`OPENQUDIT_TNVM_BACKEND`, else scalar).
     pub backend: BackendKind,
+    /// Observability sink threaded through the whole pipeline (search spans and
+    /// counters, instantiation counters, kernel-dispatch counts). Disabled by default;
+    /// the `qudit-compile` driver installs an enabled registry per compilation.
+    pub trace: TraceRegistry,
 }
 
 impl SynthesisConfig {
@@ -88,6 +93,7 @@ impl SynthesisConfig {
             refine: true,
             unitary_tolerance: 1e-8,
             backend: BackendKind::default(),
+            trace: TraceRegistry::disabled(),
         }
     }
 
@@ -114,6 +120,7 @@ impl SynthesisConfig {
         config.success_threshold = self.success_threshold;
         config.seed ^= self.seed;
         config.backend = self.backend;
+        config.trace = self.trace.clone();
         config
     }
 
@@ -287,17 +294,29 @@ pub fn run_search(
     let generator =
         LayerGenerator::with_gate_set(&config.radices, &config.coupling, config.gate_set.clone())?;
     validate_target(target, config)?;
+    let trace = &config.trace;
+    let _search_span = trace.span("search");
 
     // Pre-compile the (tiny) gate set once, so frontier workers never race a cold
     // cache into compiling the same expression twice. The generator validated every
     // lookup, so the registry reads cannot fail; iteration order is deterministic
-    // (BTreeSet over radices, then over edge radix pairs).
+    // (BTreeSet over radices, then over edge radix pairs) — so the prewarm's lookup
+    // outcomes are deterministic and counted directly.
     let seed_network = generator.seed_network()?;
     let options = CompileOptions::with_gradient();
     let gate_set = generator.gate_set();
+    let mut prewarm_hits = 0u64;
+    let mut prewarm_misses = 0u64;
+    let mut prewarm = |hit: bool| {
+        if hit {
+            prewarm_hits += 1;
+        } else {
+            prewarm_misses += 1;
+        }
+    };
     for radix in config.radices.iter().copied().collect::<std::collections::BTreeSet<_>>() {
         let local = gate_set.local(radix).expect("generator validated every radix");
-        cache.get_or_compile(local, &options);
+        prewarm(cache.get_or_compile_traced(local, &options).1);
     }
     let edge_pairs: std::collections::BTreeSet<(usize, usize)> = config
         .coupling
@@ -310,7 +329,13 @@ pub fn run_search(
         .collect();
     for (ra, rb) in edge_pairs {
         let entangler = gate_set.entangler(ra, rb).expect("generator validated every edge");
-        cache.get_or_compile(entangler, &options);
+        prewarm(cache.get_or_compile_traced(entangler, &options).1);
+    }
+    if prewarm_hits > 0 {
+        trace.add("cache.hits", prewarm_hits);
+    }
+    if prewarm_misses > 0 {
+        trace.add("cache.misses", prewarm_misses);
     }
 
     let threads = config.effective_threads();
@@ -326,6 +351,7 @@ pub fn run_search(
         .pop()
         .expect("root evaluation always returns");
     nodes_expanded += 1;
+    trace.add("search.nodes_expanded", 1);
 
     let finish = |best: &EvaluatedCandidate, nodes_expanded: usize| {
         let circuit = generator.circuit_for(&best.blocks)?;
@@ -382,6 +408,7 @@ pub fn run_search(
         }
         let evaluated = evaluate_frontier(target, &candidates, &frontier_cfg, threads, cache, true);
         nodes_expanded += evaluated.len();
+        trace.add("search.nodes_expanded", evaluated.len() as u64);
 
         // Deterministic winner selection: the frontier's evaluated set is itself
         // schedule-independent (see `evaluate_frontier`), and when several candidates
@@ -424,6 +451,7 @@ pub fn run_search(
 
         // Beam pruning: keep only the best `beam_width` open nodes.
         if config.beam_width > 0 && open.len() > config.beam_width {
+            trace.add("search.nodes_pruned", (open.len() - config.beam_width) as u64);
             let mut kept: Vec<OpenNode> = Vec::with_capacity(config.beam_width);
             for _ in 0..config.beam_width {
                 kept.push(open.pop().expect("heap holds more than beam_width nodes"));

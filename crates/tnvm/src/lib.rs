@@ -40,10 +40,12 @@
 //! lowering architecture and the per-tier determinism contract.
 
 pub mod backend;
+pub mod counters;
 pub mod vm;
 
 pub use backend::{
     Backend, BackendKind, BlockedCpuBackend, ExecPlan, KernelSel, ScalarBackend, TargetDescriptor,
     BACKEND_ENV_VAR,
 };
+pub use counters::KernelCounters;
 pub use vm::{EvalResult, Tnvm};

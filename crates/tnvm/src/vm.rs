@@ -19,6 +19,7 @@ use qudit_network::{BufId, ParamBinding, TnvmOp, TnvmProgram};
 use qudit_qvm::{CompileOptions, CompiledExpression, DiffMode, ExpressionCache};
 
 use crate::backend::{BackendKind, ExecPlan, KernelSel};
+use crate::counters::{BilinearTally, KernelCounters};
 use qudit_tensor::complex::{Complex, Float};
 use qudit_tensor::gemm;
 use qudit_tensor::kron;
@@ -62,6 +63,9 @@ pub struct Tnvm<T: Float> {
     transpose_staging: Vec<Complex<T>>,
     /// Workspace for blocked kernels (packed structure-of-arrays panels).
     kernel_ws: Vec<T>,
+    /// Deterministic dispatch/flop/cache accounting, local to this VM (see
+    /// [`crate::counters`] for why locality matters).
+    counters: KernelCounters,
 }
 
 impl<T: Float> Tnvm<T> {
@@ -96,6 +100,7 @@ impl<T: Float> Tnvm<T> {
             param_staging: Vec::new(),
             transpose_staging: Vec::new(),
             kernel_ws: Vec::new(),
+            counters: KernelCounters::default(),
         };
         vm.reinit(cache);
         vm
@@ -124,7 +129,19 @@ impl<T: Float> Tnvm<T> {
         };
         let program = &self.program;
         self.compiled.clear();
-        self.compiled.extend(program.exprs.iter().map(|e| cache.get_or_compile(e, &options)));
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        self.compiled.extend(program.exprs.iter().map(|e| {
+            let (compiled, hit) = cache.get_or_compile_traced(e, &options);
+            if hit {
+                hits += 1;
+            } else {
+                misses += 1;
+            }
+            compiled
+        }));
+        self.counters.cache_hits += hits;
+        self.counters.cache_misses += misses;
 
         // Value arena.
         self.value_offsets.clear();
@@ -195,6 +212,18 @@ impl<T: Float> Tnvm<T> {
         &self.plan
     }
 
+    /// The dispatch/flop/cache counters accumulated since construction (or since the
+    /// last [`Tnvm::take_counters`]).
+    pub fn counters(&self) -> &KernelCounters {
+        &self.counters
+    }
+
+    /// Returns the accumulated counters and resets them to zero — the handoff used by
+    /// instantiation to attribute kernel work to individual optimization starts.
+    pub fn take_counters(&mut self) -> KernelCounters {
+        std::mem::take(&mut self.counters)
+    }
+
     /// Number of circuit parameters expected by [`Tnvm::evaluate`].
     pub fn num_params(&self) -> usize {
         self.program.num_params
@@ -233,6 +262,7 @@ impl<T: Float> Tnvm<T> {
             "TNVM expects {} parameter(s)",
             self.program.num_params
         );
+        self.counters.evaluations += 1;
         self.run_section(false, params);
 
         let out = self.program.output;
@@ -327,6 +357,7 @@ impl<T: Float> Tnvm<T> {
     ) {
         let compiled = Arc::clone(&self.compiled[expr_index]);
         let n = compiled.dim() * compiled.dim();
+        self.counters.writes += 1;
         // Gather gate parameter values.
         for (k, binding) in bindings.iter().enumerate() {
             self.param_staging[k] = match binding {
@@ -379,6 +410,9 @@ impl<T: Float> Tnvm<T> {
         let (a_start, a_end) = self.value_range(a);
         let (b_start, b_end) = self.value_range(b);
         let (o_start, o_end) = self.value_range(out);
+        // Kernel invocations this instruction makes: the value call plus one
+        // product-rule call per surviving gradient term (counted below).
+        let mut calls = 1u64;
 
         // Value.
         {
@@ -415,6 +449,7 @@ impl<T: Float> Tnvm<T> {
                 }
                 // d(a) * b
                 if let Some(a_goff) = self.grad_offset(a, param) {
+                    calls += 1;
                     let (da, bv, dout) = grad_value_out(
                         &mut self.grads,
                         &self.values,
@@ -426,6 +461,7 @@ impl<T: Float> Tnvm<T> {
                 }
                 // a * d(b)
                 if let Some(b_goff) = self.grad_offset(b, param) {
+                    calls += 1;
                     let (db, av, dout) = grad_value_out(
                         &mut self.grads,
                         &self.values,
@@ -438,12 +474,22 @@ impl<T: Float> Tnvm<T> {
                 }
             }
         }
+
+        // Static flop estimate: 8 real flops per complex multiply-add for MATMUL
+        // (m·n·k of them), 6 per output element for the multiply-only KRON/HADAMARD.
+        let (tally, flops_per_call) = match kind {
+            BilinearKind::Matmul => (BilinearTally::Matmul, 8 * (ar * bc * ac) as u64),
+            BilinearKind::Kron => (BilinearTally::Kron, 6 * (o_end - o_start) as u64),
+            BilinearKind::Hadamard => (BilinearTally::Hadamard, 6 * (o_end - o_start) as u64),
+        };
+        self.counters.tally(tally, kernel, calls, flops_per_call);
     }
 
     fn exec_transpose(&mut self, input: BufId, shape: &[usize], perm: &[usize], out: BufId) {
         let (i_start, i_end) = self.value_range(input);
         let (o_start, o_end) = self.value_range(out);
         let n = i_end - i_start;
+        self.counters.transposes += 1;
         // Value.
         self.transpose_staging[..n].copy_from_slice(&self.values[i_start..i_end]);
         permute::permute_into(
@@ -858,6 +904,48 @@ mod tests {
                 assert_eq!(x.im.to_bits(), y.im.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn counters_track_dispatch_and_cache() {
+        let c = builders::pqc_qubit_ladder(3, 2).unwrap();
+        let program = compile_network(&TensorNetwork::from_circuit(&c));
+        let cache = ExpressionCache::new();
+        let mut vm: Tnvm<f64> = Tnvm::new(&program, DiffMode::Gradient, &cache);
+        let after_init = *vm.counters();
+        assert!(after_init.cache_misses > 0, "cold cache must record misses");
+        assert_eq!(after_init.evaluations, 0);
+        let params = random_params(c.num_params(), 17);
+        let _ = vm.evaluate(&params);
+        let taken = vm.take_counters();
+        assert_eq!(taken.evaluations, 1);
+        assert!(taken.writes > after_init.writes, "dynamic WRITEs must count");
+        assert!(taken.kron[0] + taken.kron[1] > 0, "a ladder circuit KRONs");
+        assert!(vm.counters().is_empty(), "take_counters must reset");
+    }
+
+    #[test]
+    fn tiers_split_identical_dispatch_totals_differently() {
+        let c = builders::pqc_qubit_ladder(3, 2).unwrap();
+        let program = compile_network(&TensorNetwork::from_circuit(&c));
+        let cache = ExpressionCache::new();
+        let mut scalar =
+            Tnvm::<f64>::with_backend(&program, DiffMode::Gradient, &cache, BackendKind::Scalar);
+        let mut blocked =
+            Tnvm::<f64>::with_backend(&program, DiffMode::Gradient, &cache, BackendKind::Blocked);
+        scalar.take_counters();
+        blocked.take_counters();
+        let params = random_params(c.num_params(), 17);
+        let _ = scalar.evaluate(&params);
+        let _ = blocked.evaluate(&params);
+        let s = *scalar.counters();
+        let b = *blocked.counters();
+        assert_eq!(s.matmul[0] + s.matmul[1], b.matmul[0] + b.matmul[1]);
+        assert_eq!(s.kron[0] + s.kron[1], b.kron[0] + b.kron[1]);
+        assert_eq!(s.matmul[1] + s.kron[1], 0, "scalar tier never dispatches blocked");
+        assert!(b.kron[1] > 0, "3-qubit KRON outputs must lower blocked");
+        assert_eq!(s.writes, b.writes);
+        assert_eq!(s.transposes, b.transposes);
     }
 
     #[test]

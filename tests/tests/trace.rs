@@ -1,0 +1,172 @@
+//! Observability conformance: the `qudit-trace` registry threaded through the whole
+//! pipeline must uphold the determinism contract — same seed, byte-identical counter
+//! snapshots — while the per-`KernelSel` dispatch counters split per execution tier
+//! and span nesting stays well-formed under arbitrary (proptest-generated) shapes.
+
+use openqudit::prelude::*;
+
+/// Compiles the CNOT workload through the default pipeline with a fresh cache and
+/// the given tier, returning the report.
+fn compile_cnot(backend: BackendKind) -> CompilationReport {
+    let target = gates::cnot().to_matrix::<f64>(&[]).unwrap();
+    Compiler::with_cache(ExpressionCache::new())
+        .backend(backend)
+        .default_passes()
+        .compile(CompilationTask::new(target, SynthesisConfig::qubits(2)))
+        .unwrap()
+}
+
+#[test]
+fn same_seed_counter_snapshots_are_byte_identical() {
+    let a = compile_cnot(BackendKind::Scalar);
+    let b = compile_cnot(BackendKind::Scalar);
+    assert_eq!(a.trace.counters_json(), b.trace.counters_json());
+    // The snapshot is non-trivial: the pipeline recorded search, instantiation,
+    // LM, cache, and kernel-dispatch activity.
+    for key in [
+        "search.nodes_expanded",
+        "frontier.candidates",
+        "instantiate.calls",
+        "instantiate.starts",
+        "lm.iterations",
+        "cache.misses",
+        "tnvm.evaluations",
+    ] {
+        assert!(a.metrics.contains_key(key), "missing {key} in {:?}", a.metrics);
+    }
+    assert!(a.metrics.keys().any(|k| k.starts_with("tnvm.dispatch.")), "{:?}", a.metrics);
+}
+
+#[test]
+fn tiers_agree_on_algorithm_counters_and_split_kernel_dispatch() {
+    let scalar = compile_cnot(BackendKind::Scalar);
+    let blocked = compile_cnot(BackendKind::Blocked);
+    // The blocked tier is bit-identical to the scalar reference, so every
+    // algorithm-level (non-`tnvm.*`) counter — nodes expanded, LM iterations,
+    // starts, cache traffic — must agree exactly.
+    let invariant = |report: &CompilationReport| {
+        report
+            .metrics
+            .iter()
+            .filter(|(k, _)| !k.starts_with("tnvm."))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(invariant(&scalar), invariant(&blocked));
+    // Kernel dispatch counters are tier-variant by design: the scalar tier never
+    // dispatches a blocked kernel, while the blocked tier lowers the eligible
+    // shapes; the *total* evaluation count still agrees.
+    assert!(scalar.metrics.keys().all(|k| !k.ends_with(".blocked")), "{:?}", scalar.metrics);
+    assert!(blocked.metrics.keys().any(|k| k.ends_with(".blocked")), "{:?}", blocked.metrics);
+    assert_eq!(scalar.metrics.get("tnvm.evaluations"), blocked.metrics.get("tnvm.evaluations"));
+    let kron_total = |report: &CompilationReport| {
+        report.metrics.get("tnvm.dispatch.kron.scalar").copied().unwrap_or(0)
+            + report.metrics.get("tnvm.dispatch.kron.blocked").copied().unwrap_or(0)
+    };
+    assert_eq!(kron_total(&scalar), kron_total(&blocked));
+}
+
+#[test]
+fn partitioned_run_emits_chrome_trace_and_counters() {
+    // The 4-qubit partitioned workload (the same recipe report_synthesis uses):
+    // two escalation rounds over the [0,1]|[2,3] cut reach the target.
+    let round = [(0usize, 1usize), (2, 3), (1, 2)];
+    let blocks: Vec<(usize, usize)> = round.iter().cycle().take(6).copied().collect();
+    let template = builders::pqc_template(&[2, 2, 2, 2], &blocks).unwrap();
+    let target = reachable_target(&template, 53);
+    let mut config = SynthesisConfig::with_radices(vec![2, 2, 2, 2]);
+    config.max_blocks = 8;
+    let report = Compiler::with_cache(ExpressionCache::new())
+        .partitioned_passes()
+        .compile(CompilationTask::new(target, config))
+        .unwrap();
+    assert!(report.result.success);
+    // The snapshot covers the whole pipeline: partition-round instantiations,
+    // nested per-block re-synthesis (search/frontier), LM, cache, and kernels.
+    for key in ["search.nodes_expanded", "lm.iterations", "cache.hits", "instantiate.calls"] {
+        assert!(report.metrics.contains_key(key), "missing {key} in {:?}", report.metrics);
+    }
+    assert!(report.metrics.keys().any(|k| k.starts_with("tnvm.dispatch.")));
+    // Every pipeline stage shows up in the span log, nested sanely.
+    let events = report.trace.span_events();
+    let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+    for stage in ["partition", "synthesis", "refine", "fold", "search", "frontier"] {
+        assert!(names.contains(&stage), "missing span {stage} in {names:?}");
+    }
+    // The Chrome export is a JSON array of "X" complete events with the required
+    // trace_event fields (structural check — no JSON parser in the workspace).
+    let chrome = report.trace.chrome_trace_json();
+    assert!(chrome.starts_with('[') && chrome.trim_end().ends_with(']'));
+    let event_lines: Vec<&str> = chrome.lines().filter(|l| l.contains("\"name\"")).collect();
+    assert_eq!(event_lines.len(), events.len());
+    for line in &event_lines {
+        for field in ["\"ph\": \"X\"", "\"ts\": ", "\"dur\": ", "\"pid\": ", "\"tid\": "] {
+            assert!(line.contains(field), "chrome event missing {field}: {line}");
+        }
+    }
+}
+
+mod span_nesting {
+    use openqudit::prelude::*;
+    use proptest::prelude::*;
+
+    /// Opens spans along `shape` interpreted as a stack program: value `v` at step
+    /// `i` pops the stack down to depth `v % (depth + 1)` and then pushes one span.
+    fn drive(trace: &TraceRegistry, shape: &[u8]) {
+        let mut stack: Vec<Span> = Vec::new();
+        for (i, &v) in shape.iter().enumerate() {
+            let keep = (v as usize) % (stack.len() + 1);
+            // Close deepest-first (plain Vec::truncate would drop front-to-back,
+            // closing parents before their children).
+            while stack.len() > keep {
+                stack.pop();
+            }
+            stack.push(trace.span(&format!("s{i}")));
+        }
+        while stack.pop().is_some() {}
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn span_nesting_is_well_formed(len in 1usize..24, seed in 0u64..u64::MAX) {
+            // Derive the nesting shape from the seed (the vendored proptest shim has
+            // no collection strategies): a splitmix64 stream of pop/push decisions.
+            let mut state = seed;
+            let shape: Vec<u8> = (0..len)
+                .map(|_| {
+                    state = state.wrapping_add(0x9E3779B97F4A7C15);
+                    let mut z = state;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                    (z ^ (z >> 31)) as u8
+                })
+                .collect();
+            let trace = TraceRegistry::new();
+            drive(&trace, &shape);
+            let events = trace.span_events();
+            prop_assert_eq!(events.len(), shape.len());
+            // Events are logged in open order; parents must be earlier events on
+            // the same thread, exactly one level up, and time-containing.
+            for (i, event) in events.iter().enumerate() {
+                match event.parent {
+                    None => prop_assert_eq!(event.depth, 0),
+                    Some(p) => {
+                        prop_assert!(p < i, "parent {} not before event {}", p, i);
+                        let parent = &events[p];
+                        prop_assert_eq!(event.depth, parent.depth + 1);
+                        prop_assert_eq!(event.tid, parent.tid);
+                        prop_assert!(event.start_us >= parent.start_us);
+                        prop_assert!(
+                            event.start_us + event.dur_us <= parent.start_us + parent.dur_us,
+                            "child [{}, {}] escapes parent [{}, {}]",
+                            event.start_us, event.start_us + event.dur_us,
+                            parent.start_us, parent.start_us + parent.dur_us
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
