@@ -1,0 +1,60 @@
+//! `detlint` — the determinism linter, as a CI-runnable binary.
+//!
+//! ```text
+//! detlint [--self-test] [ROOT]
+//! ```
+//!
+//! Lints every `crates/*/src/**/*.rs` file under `ROOT` (default: the current
+//! directory) for the hazard patterns documented in `qudit_analyze::detlint` and
+//! `docs/static-analysis.md`. With `--self-test`, first checks that the linter
+//! still detects one planted hazard per rule — so a green run proves both "the
+//! tree is clean" and "the linter still bites". Exits nonzero on any finding or
+//! self-test failure.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use qudit_analyze::detlint;
+
+fn main() -> ExitCode {
+    let mut self_test = false;
+    let mut root = String::from(".");
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--self-test" => self_test = true,
+            "--help" | "-h" => {
+                println!("usage: detlint [--self-test] [ROOT]");
+                return ExitCode::SUCCESS;
+            }
+            other => root = other.to_string(),
+        }
+    }
+
+    if self_test {
+        match detlint::self_test() {
+            Ok(()) => println!("detlint: self-test passed (all rules detect their plants)"),
+            Err(detail) => {
+                eprintln!("detlint: self-test FAILED: {detail}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = match detlint::lint_workspace(Path::new(&root)) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("detlint: cannot scan workspace at '{root}': {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    if report.findings.is_empty() {
+        println!("detlint: {} file(s) clean", report.files);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("detlint: {} finding(s) across {} file(s)", report.findings.len(), report.files);
+        ExitCode::FAILURE
+    }
+}

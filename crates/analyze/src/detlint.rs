@@ -1,0 +1,462 @@
+//! Layer 3: `detlint`, the determinism linter.
+//!
+//! The byte-for-byte determinism contract (ROADMAP / `docs/determinism.md` lineage)
+//! is enforced dynamically by CI diffing repeated runs — which only catches a hazard
+//! when a schedule happens to expose it. This linter catches the *sources* of those
+//! hazards statically, by scanning workspace sources for three patterns:
+//!
+//! * **`unsorted-map-iter`** — iteration over a `std::collections` hash map or hash
+//!   set (whose order is seeded per process). Any such iteration feeding
+//!   compilation or reduction order is a nondeterminism bug; sites that sort after
+//!   collecting, or that provably don't depend on order, carry an explicit
+//!   annotation.
+//! * **`wall-clock`** — `Instant`/`SystemTime` reads. Timing must stay behind the
+//!   `qudit_trace::omit_timing` gate so report artifacts byte-diff clean; bench
+//!   code (`benches/` paths) is exempt.
+//! * **`thread-accumulation`** — atomic read-modify-write accumulation
+//!   (`fetch_add` and friends), which commits results in completion order. Only
+//!   blessed join points — sites whose merged value is order-insensitive by
+//!   construction — may do this, and each carries an annotation saying why.
+//!
+//! A finding is suppressed by an annotation on the same or the immediately
+//! preceding line:
+//!
+//! ```text
+//! // detlint: allow(unsorted-map-iter) — sorted immediately after collection
+//! ```
+//!
+//! Test modules are exempt: scanning stops at the first `#[cfg(test)]` attribute
+//! (workspace convention keeps test modules at the bottom of each file).
+//!
+//! The linter's own pattern tables are assembled with `concat!` splits so that
+//! scanning this file does not self-flag. [`self_test`] plants one snippet per rule
+//! — including a replica of the PR-3 e-graph regression, where unsorted
+//! `HashMap` key iteration fed rewrite order — and checks each is detected, and
+//! that annotated variants are suppressed.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Marker for the hash-map type, split so this file does not self-flag.
+const HASH_MAP: &str = concat!("Hash", "Map");
+/// Marker for the hash-set type, split so this file does not self-flag.
+const HASH_SET: &str = concat!("Hash", "Set");
+
+/// The determinism-hazard rules `detlint` checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// Iteration over a hash-ordered map or set.
+    UnsortedMapIter,
+    /// A wall-clock read outside the timing gate.
+    WallClock,
+    /// Thread-order-dependent atomic accumulation.
+    ThreadAccumulation,
+}
+
+impl Rule {
+    /// All rules, in documentation order.
+    pub fn all() -> [Rule; 3] {
+        [Rule::UnsortedMapIter, Rule::WallClock, Rule::ThreadAccumulation]
+    }
+
+    /// The rule's stable name, as used in `detlint: allow(<name>)` annotations.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::UnsortedMapIter => "unsorted-map-iter",
+            Rule::WallClock => "wall-clock",
+            Rule::ThreadAccumulation => "thread-accumulation",
+        }
+    }
+}
+
+impl std::fmt::Display for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One determinism hazard found in a source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The file the hazard is in.
+    pub path: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}: {}", self.path.display(), self.line, self.rule, self.excerpt)
+    }
+}
+
+/// What a workspace lint covered, alongside its findings.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Source files scanned.
+    pub files: usize,
+    /// Hazards found, ordered by path then line.
+    pub findings: Vec<Finding>,
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// The identifier ending at the end of `text`, if any.
+fn ident_before(text: &str) -> Option<String> {
+    let trimmed = text.trim_end();
+    let start = trimmed
+        .char_indices()
+        .rev()
+        .take_while(|&(_, c)| is_ident_char(c))
+        .last()
+        .map(|(i, _)| i)?;
+    let ident = &trimmed[start..];
+    if ident.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    Some(ident.to_string())
+}
+
+/// Collects the names bound to hash-ordered collections in `source`: struct fields
+/// and arguments (`name: HashMap<..>`, `name: &HashMap<..>`) and let-bindings
+/// (`let [mut] name = HashMap::new()` and the with-capacity/from forms).
+fn hash_bound_names(lines: &[&str]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for line in lines {
+        let code = line.trim();
+        if code.starts_with("//") {
+            continue;
+        }
+        if code.contains("#[cfg(test)]") {
+            break;
+        }
+        for marker in [HASH_MAP, HASH_SET] {
+            for (i, _) in line.match_indices(marker) {
+                let prefix = &line[..i];
+                let rest = &line[i + marker.len()..];
+                // `let [mut] name = HashMap::new()` / `::with_capacity` / `::from`.
+                if rest.starts_with("::") {
+                    if let Some(eq) = prefix.rfind('=') {
+                        if let Some(name) = ident_before(&prefix[..eq]) {
+                            if name != "mut" && name != "let" {
+                                names.push(name);
+                            }
+                            continue;
+                        }
+                    }
+                }
+                // `name: HashMap<..>` / `name: &HashMap<..>` / `name: &mut HashMap<..>`.
+                let mut t = prefix.trim_end();
+                loop {
+                    let before = t;
+                    t = t.trim_end_matches('&').trim_end();
+                    if let Some(stripped) = t.strip_suffix("mut") {
+                        if stripped.ends_with([' ', '&']) || stripped.is_empty() {
+                            t = stripped.trim_end();
+                        }
+                    }
+                    if t == before {
+                        break;
+                    }
+                }
+                if let Some(stripped) = t.strip_suffix(':') {
+                    if let Some(name) = ident_before(stripped) {
+                        names.push(name);
+                    }
+                }
+            }
+        }
+    }
+    names.sort_unstable();
+    names.dedup();
+    names
+}
+
+fn mentions_word(line: &str, word: &str) -> bool {
+    line.match_indices(word).any(|(i, _)| {
+        let before_ok = line[..i].chars().next_back().is_none_or(|c| !is_ident_char(c));
+        let after_ok = line[i + word.len()..].chars().next().is_none_or(|c| !is_ident_char(c));
+        before_ok && after_ok
+    })
+}
+
+/// True when line `index` (or the contiguous comment block ending just above it)
+/// carries a `detlint: allow(<rule>)` annotation.
+fn allowed(lines: &[&str], index: usize, rule: Rule) -> bool {
+    let carries = |line: &str| line.contains("detlint: allow(") && line.contains(rule.name());
+    if carries(lines[index]) {
+        return true;
+    }
+    lines[..index]
+        .iter()
+        .rev()
+        .take_while(|line| line.trim_start().starts_with("//"))
+        .any(|line| carries(line))
+}
+
+/// Lints one source file's contents. `path` is used only to label findings and to
+/// apply path-based exemptions (bench code is exempt from `wall-clock`).
+pub fn lint_source(path: &Path, source: &str) -> Vec<Finding> {
+    let lines: Vec<&str> = source.lines().collect();
+    let hash_names = hash_bound_names(&lines);
+    let in_benches = path.components().any(|c| c.as_os_str() == "benches");
+
+    let iter_methods = [
+        ".iter()",
+        ".iter_mut()",
+        ".keys()",
+        ".values()",
+        ".values_mut()",
+        ".drain(",
+        ".into_iter()",
+        ".into_keys()",
+        ".into_values()",
+    ];
+    let clock_markers = [concat!("Instant", "::now"), concat!("SystemTime", "::now")];
+    let accum_markers = [
+        concat!("fetch", "_add("),
+        concat!("fetch", "_sub("),
+        concat!("fetch", "_min("),
+        concat!("fetch", "_max("),
+        concat!("fetch", "_and("),
+        concat!("fetch", "_or("),
+        concat!("fetch", "_xor("),
+        concat!("fetch", "_update("),
+    ];
+
+    let mut findings = Vec::new();
+    let mut report = |index: usize, rule: Rule, lines: &[&str]| {
+        if !allowed(lines, index, rule) {
+            findings.push(Finding {
+                path: path.to_path_buf(),
+                line: index + 1,
+                rule,
+                excerpt: lines[index].trim().to_string(),
+            });
+        }
+    };
+
+    for (index, line) in lines.iter().enumerate() {
+        let code = line.trim();
+        if code.contains("#[cfg(test)]") {
+            break;
+        }
+        if code.starts_with("//") {
+            continue;
+        }
+        let map_iteration = hash_names.iter().any(|name| {
+            let called = iter_methods.iter().any(|m| line.contains(&format!("{name}{m}")));
+            let looped =
+                code.starts_with("for ") && line.contains(" in ") && mentions_word(line, name);
+            // Builder-style chains split the receiver and the method across lines:
+            //     self.classes
+            //         .iter()
+            let chained = code.ends_with(name)
+                && mentions_word(code, name)
+                && lines.get(index + 1).is_some_and(|next| {
+                    let next = next.trim_start();
+                    iter_methods.iter().any(|m| next.starts_with(m))
+                });
+            called || looped || chained
+        });
+        if map_iteration {
+            report(index, Rule::UnsortedMapIter, &lines);
+        }
+        if !in_benches && clock_markers.iter().any(|m| line.contains(m)) {
+            report(index, Rule::WallClock, &lines);
+        }
+        if accum_markers.iter().any(|m| line.contains(m)) {
+            report(index, Rule::ThreadAccumulation, &lines);
+        }
+    }
+    findings
+}
+
+fn visit_sources(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.map(|e| e.map(|e| e.path())).collect::<Result<_, _>>()?;
+    // read_dir order is filesystem-dependent; sort so findings are deterministic.
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            visit_sources(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every `crates/*/src/**/*.rs` file under `root` (the workspace root).
+///
+/// Vendored shims (`vendor/`), integration tests (`tests/`), and examples are out
+/// of scope: the determinism contract binds the library crates.
+///
+/// # Errors
+///
+/// Returns an [`std::io::Error`] if the workspace layout cannot be read.
+pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> =
+        fs::read_dir(&crates_dir)?.map(|e| e.map(|e| e.path())).collect::<Result<_, _>>()?;
+    crate_dirs.sort();
+    let mut sources = Vec::new();
+    for crate_dir in crate_dirs {
+        let src = crate_dir.join("src");
+        if src.is_dir() {
+            visit_sources(&src, &mut sources)?;
+        }
+    }
+    let mut report = LintReport::default();
+    for path in sources {
+        let source = fs::read_to_string(&path)?;
+        report.findings.extend(lint_source(&path, &source));
+        report.files += 1;
+    }
+    Ok(report)
+}
+
+/// Checks the linter against planted hazards; returns the failure description if
+/// any rule misses its plant or flags a suppressed site.
+///
+/// The `unsorted-map-iter` plant replicates the PR-3 e-graph regression: hash-map
+/// key iteration feeding reduction order.
+pub fn self_test() -> Result<(), String> {
+    let path = Path::new("detlint-self-test.rs");
+
+    // Replica of the PR-3 regression: rewrite order driven by raw key iteration.
+    let regression = [
+        format!("use std::collections::{HASH_MAP};"),
+        format!("struct EGraph {{ classes: {HASH_MAP}<u64, usize> }}"),
+        "impl EGraph {".to_string(),
+        "    fn class_ids(&self) -> Vec<u64> {".to_string(),
+        "        self.classes.keys().copied().collect()".to_string(),
+        "    }".to_string(),
+        "}".to_string(),
+    ]
+    .join("\n");
+    let findings = lint_source(path, &regression);
+    if findings.len() != 1 || findings[0].rule != Rule::UnsortedMapIter || findings[0].line != 5 {
+        return Err(format!(
+            "unsorted-map-iter missed the planted e-graph regression: {findings:?}"
+        ));
+    }
+
+    let looped = [
+        format!("fn sum(counts: &{HASH_MAP}<u64, f64>) -> f64 {{"),
+        "    let mut total = 0.0;".to_string(),
+        "    for (_k, v) in counts { total += v; }".to_string(),
+        "    total".to_string(),
+        "}".to_string(),
+    ]
+    .join("\n");
+    let findings = lint_source(path, &looped);
+    if findings.len() != 1 || findings[0].rule != Rule::UnsortedMapIter || findings[0].line != 3 {
+        return Err(format!("unsorted-map-iter missed the planted for-loop: {findings:?}"));
+    }
+
+    let clock = format!(
+        "fn stamp() -> std::time::{} {{ std::time::{}() }}",
+        "Instant",
+        concat!("Instant", "::now")
+    );
+    let findings = lint_source(path, &clock);
+    if findings.len() != 1 || findings[0].rule != Rule::WallClock {
+        return Err(format!("wall-clock missed the planted read: {findings:?}"));
+    }
+
+    let accum = format!("fn bump(c: &AtomicUsize) {{ c.{}1, Ordering::Relaxed); }}", {
+        concat!("fetch", "_add(")
+    });
+    let findings = lint_source(path, &accum);
+    if findings.len() != 1 || findings[0].rule != Rule::ThreadAccumulation {
+        return Err(format!("thread-accumulation missed the planted fetch: {findings:?}"));
+    }
+
+    // Suppression: an annotated replica of each plant must lint clean.
+    let suppressed = [
+        format!("struct EGraph {{ classes: {HASH_MAP}<u64, usize> }}"),
+        "fn class_ids(g: &EGraph) -> Vec<u64> {".to_string(),
+        "    // detlint: allow(unsorted-map-iter) — sorted on the next line".to_string(),
+        "    let mut ids: Vec<u64> = g.classes.keys().copied().collect();".to_string(),
+        "    ids.sort_unstable();".to_string(),
+        "    ids".to_string(),
+        "}".to_string(),
+        format!(
+            "fn stamp() {{ let _ = std::time::{}(); }} // detlint: allow(wall-clock) — gated",
+            concat!("Instant", "::now")
+        ),
+        format!(
+            "fn bump(c: &AtomicUsize) {{ c.{}1, Ordering::Relaxed); }} \
+             // detlint: allow(thread-accumulation) — commutative",
+            concat!("fetch", "_add(")
+        ),
+    ]
+    .join("\n");
+    let findings = lint_source(path, &suppressed);
+    if !findings.is_empty() {
+        return Err(format!("annotated sites must be suppressed: {findings:?}"));
+    }
+
+    // Test modules are exempt: everything after #[cfg(test)] is skipped.
+    let test_only = [
+        format!("struct S {{ m: {HASH_MAP}<u64, u64> }}"),
+        "#[cfg(test)]".to_string(),
+        "mod tests {".to_string(),
+        "    fn f(s: &super::S) -> usize { s.m.keys().count() }".to_string(),
+        "}".to_string(),
+    ]
+    .join("\n");
+    let findings = lint_source(path, &test_only);
+    if !findings.is_empty() {
+        return Err(format!("test modules must be exempt: {findings:?}"));
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_test_passes() {
+        self_test().unwrap();
+    }
+
+    #[test]
+    fn rule_names_round_trip_in_annotations() {
+        for rule in Rule::all() {
+            let line = format!("x(); // detlint: allow({rule})");
+            assert!(line.contains(rule.name()));
+        }
+    }
+
+    #[test]
+    fn finding_display_names_file_line_and_rule() {
+        let finding = Finding {
+            path: PathBuf::from("crates/x/src/lib.rs"),
+            line: 7,
+            rule: Rule::WallClock,
+            excerpt: "let t = now();".to_string(),
+        };
+        let s = finding.to_string();
+        assert!(s.contains("crates/x/src/lib.rs:7"), "{s}");
+        assert!(s.contains("wall-clock"), "{s}");
+    }
+
+    #[test]
+    fn benches_are_exempt_from_wall_clock_only() {
+        let source = format!("fn t() {{ let _ = std::time::{}(); }}", concat!("Instant", "::now"));
+        let bench = Path::new("crates/x/benches/b.rs");
+        assert!(lint_source(bench, &source).is_empty());
+        let lib = Path::new("crates/x/src/lib.rs");
+        assert_eq!(lint_source(lib, &source).len(), 1);
+    }
+}

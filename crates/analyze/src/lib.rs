@@ -1,0 +1,183 @@
+//! # qudit-analyze
+//!
+//! Static analysis for the OpenQudit reproduction. The byte-for-byte determinism
+//! contract (see `ROADMAP.md`) is enforced *dynamically* by CI diffs of repeated runs;
+//! this crate adds the *static* half — checks that reject malformed artifacts and
+//! hazard patterns at the source instead of hoping a schedule reveals them. Three
+//! layers:
+//!
+//! 1. **TNVM bytecode / [`ExecPlan`](qudit_tnvm::ExecPlan) verifier**
+//!    ([`program`]): per-instruction shape/arity/radix typing, buffer
+//!    def-before-use, output-aliasing and workspace-bounds checks, and
+//!    [`KernelSel`](qudit_tnvm::KernelSel) legality against a tier's
+//!    [`TargetDescriptor`](qudit_tnvm::TargetDescriptor), over both the constant and
+//!    dynamic sections.
+//! 2. **Circuit / gate-set structural validator** ([`circuit`]): wire/radix
+//!    consistency, parameter-offset packing, constant-application arity, and
+//!    [`GateSet`](qudit_circuit::GateSet) membership.
+//! 3. **Determinism linter** ([`detlint`], also the `detlint` binary): scans
+//!    workspace sources for hazard patterns the determinism contract forbids —
+//!    unsorted `HashMap`/`HashSet` iteration feeding compilation or reduction order,
+//!    wall-clock reads outside the `qudit_trace::omit_timing` gate, and
+//!    thread-order-dependent accumulation outside blessed join points.
+//!
+//! Layers 1–2 are wired into the compilation pipeline by `qudit-compile`'s
+//! `VerifyPass` / `Compiler::verify(level)` knob; the [`VerifyLevel`] here is the
+//! shared setting (environment-driven via [`VERIFY_ENV_VAR`], so CI turns
+//! verification on for every test run while release binaries stay unverified and
+//! fast). Every rejection is a typed [`AnalyzeError`] naming the offending
+//! instruction or operation.
+
+pub mod circuit;
+pub mod detlint;
+pub mod program;
+
+pub use circuit::{verify_circuit, verify_gateset, CircuitReport, CircuitViolation};
+pub use program::{
+    verify_backend, verify_plan, verify_program, PlanViolation, ProgramReport, ProgramViolation,
+};
+
+use qudit_network::BytecodeError;
+
+/// Environment variable consulted by [`VerifyLevel::from_env`] (values: `off`,
+/// `program`, `full`; also `0`/`1`/`on` as aliases for `off`/`full`).
+pub const VERIFY_ENV_VAR: &str = "OPENQUDIT_VERIFY";
+
+/// How much verification the pipeline runs between passes.
+///
+/// The default ([`VerifyLevel::from_env`]) is [`VerifyLevel::Off`], so release
+/// binaries pay nothing; CI and the test suite export `OPENQUDIT_VERIFY=full` to
+/// verify every intermediate result of every compilation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyLevel {
+    /// No verification.
+    #[default]
+    Off,
+    /// Verify the compiled TNVM program and the execution plan of the task's own
+    /// tier after every pass.
+    Program,
+    /// [`VerifyLevel::Program`] plus the circuit structural validator, gate-set
+    /// membership, and plan legality for *every* registered tier.
+    Full,
+}
+
+impl VerifyLevel {
+    /// Parses a verification level name as accepted by `OPENQUDIT_VERIFY`.
+    pub fn parse(name: &str) -> Option<VerifyLevel> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" | "none" => Some(VerifyLevel::Off),
+            "program" => Some(VerifyLevel::Program),
+            "full" | "1" | "on" => Some(VerifyLevel::Full),
+            _ => None,
+        }
+    }
+
+    /// The process-wide default level: `OPENQUDIT_VERIFY` when set to a valid level
+    /// name, otherwise [`VerifyLevel::Off`].
+    pub fn from_env() -> VerifyLevel {
+        std::env::var(VERIFY_ENV_VAR)
+            .ok()
+            .and_then(|v| VerifyLevel::parse(&v))
+            .unwrap_or(VerifyLevel::Off)
+    }
+
+    /// Stable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            VerifyLevel::Off => "off",
+            VerifyLevel::Program => "program",
+            VerifyLevel::Full => "full",
+        }
+    }
+
+    /// `true` unless the level is [`VerifyLevel::Off`].
+    pub fn is_enabled(self) -> bool {
+        self != VerifyLevel::Off
+    }
+}
+
+impl std::fmt::Display for VerifyLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A static-analysis rejection: which layer rejected the artifact and why.
+///
+/// Instruction-level variants carry a
+/// [`qudit_network::InstrRef`] naming the offending instruction; circuit-level
+/// variants carry the operation index.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalyzeError {
+    /// The bytecode dataflow check ([`qudit_network::TnvmProgram::validate`])
+    /// rejected the program.
+    Bytecode(BytecodeError),
+    /// The per-instruction typing verifier rejected the program.
+    Program(ProgramViolation),
+    /// The execution-plan verifier rejected a plan against its tier's descriptor.
+    Plan(PlanViolation),
+    /// The circuit structural validator rejected the circuit.
+    Circuit(CircuitViolation),
+}
+
+impl std::fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalyzeError::Bytecode(e) => write!(f, "bytecode dataflow violation: {e}"),
+            AnalyzeError::Program(v) => write!(f, "program typing violation: {v}"),
+            AnalyzeError::Plan(v) => write!(f, "execution-plan violation: {v}"),
+            AnalyzeError::Circuit(v) => write!(f, "circuit structure violation: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnalyzeError::Bytecode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BytecodeError> for AnalyzeError {
+    fn from(e: BytecodeError) -> Self {
+        AnalyzeError::Bytecode(e)
+    }
+}
+
+impl From<ProgramViolation> for AnalyzeError {
+    fn from(v: ProgramViolation) -> Self {
+        AnalyzeError::Program(v)
+    }
+}
+
+impl From<PlanViolation> for AnalyzeError {
+    fn from(v: PlanViolation) -> Self {
+        AnalyzeError::Plan(v)
+    }
+}
+
+impl From<CircuitViolation> for AnalyzeError {
+    fn from(v: CircuitViolation) -> Self {
+        AnalyzeError::Circuit(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verify_level_parses_and_displays() {
+        assert_eq!(VerifyLevel::parse("off"), Some(VerifyLevel::Off));
+        assert_eq!(VerifyLevel::parse(" Full "), Some(VerifyLevel::Full));
+        assert_eq!(VerifyLevel::parse("program"), Some(VerifyLevel::Program));
+        assert_eq!(VerifyLevel::parse("1"), Some(VerifyLevel::Full));
+        assert_eq!(VerifyLevel::parse("bogus"), None);
+        assert_eq!(VerifyLevel::Full.to_string(), "full");
+        assert!(VerifyLevel::Program.is_enabled());
+        assert!(!VerifyLevel::Off.is_enabled());
+        assert_eq!(VerifyLevel::default(), VerifyLevel::Off);
+    }
+}

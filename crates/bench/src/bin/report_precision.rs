@@ -13,6 +13,7 @@ fn time_eval<T: openqudit::tensor::Float>(program: &TnvmProgram, params: &[T], r
     let mut vm: Tnvm<T> = Tnvm::new(program, DiffMode::Gradient, &cache);
     // Warm up.
     let _ = vm.evaluate(params);
+    // detlint: allow(wall-clock) — bench harness; elapsed time is the measurement
     let start = Instant::now();
     for _ in 0..reps {
         let _ = vm.evaluate(params);

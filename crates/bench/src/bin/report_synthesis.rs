@@ -119,6 +119,8 @@ fn main() {
         for trial in 0..trials {
             for (tier, run) in runs.iter_mut().enumerate() {
                 let task = CompilationTask::new(workload.target.clone(), config.clone());
+                // detlint: allow(wall-clock) — timing medians are the report's product
+                // and are withheld from the byte-diffed artifact by the omit-timing gate
                 let started = Instant::now();
                 let report = match run.compiler.compile(task) {
                     Ok(report) => report,

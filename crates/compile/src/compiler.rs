@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
+use qudit_analyze::VerifyLevel;
 use qudit_qvm::ExpressionCache;
 use qudit_synth::{BackendKind, SynthesisResult};
 use qudit_trace::TraceRegistry;
@@ -12,6 +13,7 @@ use crate::partition::PartitionPass;
 use crate::pass::{Pass, PassContext, PassTiming};
 use crate::passes::{FoldPass, RefinePass, SynthesisPass};
 use crate::task::{CompilationTask, PassData};
+use crate::verify::verify_task;
 
 /// The outcome of one [`Compiler::compile`] run: the final circuit, per-pass
 /// wall-clock timings, and the task's [`PassData`] blackboard (per-pass metrics).
@@ -58,6 +60,7 @@ pub struct Compiler {
     threads: usize,
     backend: Option<BackendKind>,
     trace: Option<TraceRegistry>,
+    verify: VerifyLevel,
     passes: Vec<Box<dyn Pass>>,
 }
 
@@ -77,8 +80,20 @@ impl Compiler {
 
     /// An empty pipeline over an explicit cache (cloning an [`ExpressionCache`]
     /// shares its storage, so several compilers can deliberately share one).
+    ///
+    /// The interleaved verification level defaults to the `OPENQUDIT_VERIFY`
+    /// environment variable ([`VerifyLevel::from_env`]): off unless set, so release
+    /// binaries pay nothing while CI exports `full` — override per compiler with
+    /// [`Compiler::verify`].
     pub fn with_cache(cache: ExpressionCache) -> Self {
-        Compiler { cache, threads: 0, backend: None, trace: None, passes: Vec::new() }
+        Compiler {
+            cache,
+            threads: 0,
+            backend: None,
+            trace: None,
+            verify: VerifyLevel::from_env(),
+            passes: Vec::new(),
+        }
     }
 
     /// The standard pipeline — `SynthesisPass → RefinePass → FoldPass` — over the
@@ -146,6 +161,23 @@ impl Compiler {
         self
     }
 
+    /// Sets the interleaved static-verification level. At any enabled level the
+    /// compiler re-runs the `qudit-analyze` verifier over the circuit-in-progress
+    /// after every pass (see [`crate::verify::verify_task`]), failing the
+    /// compilation with [`CompileError::Verify`] — naming the pass and the offending
+    /// instruction — on the first rejected artifact. Verification adds no
+    /// [`PassTiming`] entries; what it checked lands in the `analyze.*` counters.
+    #[must_use]
+    pub fn verify(mut self, level: VerifyLevel) -> Self {
+        self.verify = level;
+        self
+    }
+
+    /// The interleaved static-verification level compilations run under.
+    pub fn verify_level(&self) -> VerifyLevel {
+        self.verify
+    }
+
     /// The compiler's shared expression cache.
     pub fn cache(&self) -> &ExpressionCache {
         &self.cache
@@ -188,6 +220,8 @@ impl Compiler {
         for pass in &self.passes {
             let mut ctx =
                 PassContext::new(&self.cache).with_backend(backend).with_trace(trace.clone());
+            // detlint: allow(wall-clock) — pass timings land only in the report's
+            // timing block, which the determinism diff scrubs via the omit-timing gate
             let started = Instant::now();
             let span = trace.span(pass.name());
             pass.run(&mut task, &mut ctx)?;
@@ -197,6 +231,18 @@ impl Compiler {
                 duration: started.elapsed(),
                 backend: backend.name(),
             });
+            // Interleaved verification: every pass output is untrusted until the
+            // static verifier accepts it. Deliberately outside the timed region and
+            // without a timings entry, so enabling it never shifts pass timings.
+            if self.verify.is_enabled() {
+                let vspan = trace.span("verify");
+                let verdict = verify_task(&task, self.verify, &trace);
+                drop(vspan);
+                verdict.map_err(|violation| CompileError::Verify {
+                    after: pass.name().to_string(),
+                    violation,
+                })?;
+            }
         }
         // Cache occupancy is a gauge, not a counter: under the process-wide shared
         // cache it depends on what compiled before, so it stays out of the
@@ -212,6 +258,7 @@ impl std::fmt::Debug for Compiler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Compiler")
             .field("threads", &self.threads)
+            .field("verify", &self.verify)
             .field("passes", &self.pass_names())
             .finish_non_exhaustive()
     }

@@ -1,5 +1,7 @@
 //! The pipeline error type.
 
+use qudit_analyze::AnalyzeError;
+use qudit_network::BytecodeError;
 use qudit_synth::SynthesisError;
 
 /// Errors produced while running a compilation pipeline.
@@ -15,6 +17,18 @@ pub enum CompileError {
         /// What went wrong.
         detail: String,
     },
+    /// The AOT bytecode compiler rejected or emitted a malformed program
+    /// (via the fallible [`qudit_network::try_compile_network`] path).
+    Bytecode(BytecodeError),
+    /// The static verifier rejected an intermediate artifact. Names the pass whose
+    /// output failed and carries the typed violation (which in turn names the
+    /// offending instruction or operation).
+    Verify {
+        /// The [`Pass::name`](crate::Pass::name) after which verification failed.
+        after: String,
+        /// The rejection, down to the offending instruction.
+        violation: AnalyzeError,
+    },
     /// The pipeline completed without any pass producing a circuit — an empty or
     /// misordered pipeline.
     NoResult,
@@ -25,6 +39,10 @@ impl std::fmt::Display for CompileError {
         match self {
             CompileError::Synthesis(e) => write!(f, "synthesis stage failed: {e}"),
             CompileError::Pass { pass, detail } => write!(f, "pass '{pass}' failed: {detail}"),
+            CompileError::Bytecode(e) => write!(f, "bytecode compilation failed: {e}"),
+            CompileError::Verify { after, violation } => {
+                write!(f, "verification failed after pass '{after}': {violation}")
+            }
             CompileError::NoResult => {
                 write!(f, "pipeline produced no result (no pass synthesized a circuit)")
             }
@@ -36,8 +54,16 @@ impl std::error::Error for CompileError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CompileError::Synthesis(e) => Some(e),
+            CompileError::Bytecode(e) => Some(e),
+            CompileError::Verify { violation, .. } => Some(violation),
             _ => None,
         }
+    }
+}
+
+impl From<BytecodeError> for CompileError {
+    fn from(e: BytecodeError) -> Self {
+        CompileError::Bytecode(e)
     }
 }
 

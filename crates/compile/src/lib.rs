@@ -85,11 +85,14 @@ pub mod partition;
 pub mod pass;
 pub mod passes;
 pub mod task;
+pub mod verify;
 
 pub use compiler::{CompilationReport, Compiler};
 pub use error::CompileError;
 pub use partition::{PartitionConfig, PartitionPass};
 pub use pass::{Pass, PassContext, PassTiming};
-pub use passes::{FoldPass, RefinePass, SynthesisPass};
+pub use passes::{FoldPass, RefinePass, SynthesisPass, VerifyPass};
+pub use qudit_analyze::VerifyLevel;
 pub use qudit_synth::BackendKind;
 pub use task::{CompilationTask, PassData, PassValue};
+pub use verify::verify_task;

@@ -7,11 +7,13 @@
 //! is supplied, so the default pipeline reproduces the legacy monolithic entry point
 //! byte for byte at the same seed.
 
+use qudit_analyze::VerifyLevel;
 use qudit_synth::{fold_constants, refine_deletions, run_search, FoldConfig, RefineConfig};
 
 use crate::error::CompileError;
 use crate::pass::{Pass, PassContext};
 use crate::task::CompilationTask;
+use crate::verify::verify_task;
 
 /// The bottom-up A*/beam search stage ([`qudit_synth::run_search`]).
 ///
@@ -159,6 +161,55 @@ impl Pass for FoldPass {
         }
         task.result = Some(folded);
         Ok(())
+    }
+}
+
+/// The static-verification stage: re-checks the circuit-in-progress with the
+/// `qudit-analyze` verifier (see [`verify_task`]).
+///
+/// Usually verification is enabled for the *whole* pipeline with the
+/// [`Compiler::verify`](crate::Compiler::verify) knob, which re-checks after every
+/// pass without adding timing entries. This explicit pass exists for custom
+/// pipelines that want verification at one specific point — e.g. once, after a
+/// trusted tail — or at a different level than the interleaved knob. A task with
+/// no result yet verifies trivially.
+#[derive(Debug, Clone, Copy)]
+pub struct VerifyPass {
+    level: VerifyLevel,
+}
+
+impl VerifyPass {
+    /// A verify pass at an explicit level ([`VerifyLevel::Off`] makes it a no-op).
+    pub fn new(level: VerifyLevel) -> Self {
+        VerifyPass { level }
+    }
+
+    /// The level this pass verifies at.
+    pub fn level(&self) -> VerifyLevel {
+        self.level
+    }
+}
+
+impl Default for VerifyPass {
+    /// Defaults to [`VerifyLevel::Full`]: adding the pass explicitly is the opt-in,
+    /// unlike the environment-driven interleaved knob.
+    fn default() -> Self {
+        VerifyPass { level: VerifyLevel::Full }
+    }
+}
+
+impl Pass for VerifyPass {
+    fn name(&self) -> &str {
+        "verify"
+    }
+
+    fn run(
+        &self,
+        task: &mut CompilationTask,
+        ctx: &mut PassContext<'_>,
+    ) -> Result<(), CompileError> {
+        verify_task(task, self.level, ctx.trace())
+            .map_err(|violation| CompileError::Verify { after: self.name().to_string(), violation })
     }
 }
 

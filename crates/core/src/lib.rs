@@ -19,6 +19,7 @@
 //! | [`optimize`] | `qudit-optimize` | Hilbert–Schmidt cost, Levenberg–Marquardt, parallel multi-start instantiation |
 //! | [`synth`] | `qudit-synth` | instantiation-driven bottom-up synthesis (QSearch-style A*/beam over layered templates) |
 //! | [`compile`] | `qudit-compile` | the composable compiler-pass pipeline (`Compiler`/`Pass`/`PassContext`), incl. the partitioning front-end for wide targets |
+//! | [`analyze`] | `qudit-analyze` | static analysis: the TNVM bytecode/plan verifier, circuit/gate-set validator, and the `detlint` determinism linter |
 //! | [`trace`] | `qudit-trace` | observability: hierarchical spans, deterministic counters, Chrome `trace_event` export |
 //! | [`baseline`] | `qudit-baseline` | a BQSKit-style baseline compiler used by the benchmarks |
 //!
@@ -50,6 +51,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub use qudit_analyze as analyze;
 pub use qudit_baseline as baseline;
 pub use qudit_circuit as circuit;
 pub use qudit_compile as compile;
@@ -65,15 +67,21 @@ pub use qudit_trace as trace;
 
 /// The most commonly used types, re-exported for convenient glob import.
 pub mod prelude {
+    pub use qudit_analyze::{
+        verify_backend, verify_circuit, verify_gateset, verify_plan, verify_program, AnalyzeError,
+        VerifyLevel,
+    };
     pub use qudit_baseline::{BaselineCircuit, BaselineEvaluator};
     pub use qudit_circuit::{builders, gates, CircuitError, ExpressionRef, GateSet, QuditCircuit};
     pub use qudit_compile::{
         CompilationReport, CompilationTask, CompileError, Compiler, FoldPass, PartitionConfig,
         PartitionPass, Pass, PassContext, PassData, PassTiming, PassValue, RefinePass,
-        SynthesisPass,
+        SynthesisPass, VerifyPass,
     };
     pub use qudit_egraph::simplify::{simplify, simplify_batch};
-    pub use qudit_network::{compile_network, find_plan, TensorNetwork, TnvmProgram};
+    pub use qudit_network::{
+        compile_network, find_plan, try_compile_network, BytecodeError, TensorNetwork, TnvmProgram,
+    };
     pub use qudit_optimize::{
         haar_random_unitary, hs_infidelity, instantiate, instantiate_circuit,
         instantiate_circuit_mapped, reachable_target, warm_start_from_mapping, GradientEvaluator,

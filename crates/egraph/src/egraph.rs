@@ -238,6 +238,7 @@ impl EGraph {
     /// the floating-point op order of JIT-compiled expressions — breaking the
     /// byte-for-byte reproducibility the synthesis engine guarantees.
     pub fn class_ids(&self) -> Vec<Id> {
+        // detlint: allow(unsorted-map-iter) — sorted on the next line
         let mut ids: Vec<Id> = self.classes.keys().copied().collect();
         ids.sort_unstable();
         ids
@@ -249,6 +250,7 @@ impl EGraph {
     /// operator actually occurs in a class.
     pub fn class_ids_with_op(&self, pred: impl Fn(&Op) -> bool) -> Vec<Id> {
         let mut ids: Vec<Id> = self
+            // detlint: allow(unsorted-map-iter) — sorted immediately below
             .classes
             .iter()
             .filter(|(_, class)| class.nodes.iter().any(|n| pred(&n.op)))

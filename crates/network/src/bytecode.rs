@@ -17,6 +17,112 @@ use crate::path::{find_plan, ContractionTree};
 /// An abstract buffer label.
 pub type BufId = usize;
 
+/// Names one instruction of a two-section program: the section it lives in and its
+/// index within that section. Every [`BytecodeError`] that concerns an instruction
+/// carries one, so a rejected program pinpoints the offending instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstrRef {
+    /// `true` for the constant (init-time) section, `false` for the dynamic section.
+    pub constant: bool,
+    /// Index within the section.
+    pub index: usize,
+}
+
+impl InstrRef {
+    /// A reference into the constant section.
+    pub fn constant(index: usize) -> InstrRef {
+        InstrRef { constant: true, index }
+    }
+
+    /// A reference into the dynamic section.
+    pub fn dynamic(index: usize) -> InstrRef {
+        InstrRef { constant: false, index }
+    }
+}
+
+impl std::fmt::Display for InstrRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let section = if self.constant { "constant" } else { "dynamic" };
+        write!(f, "{section}[{}]", self.index)
+    }
+}
+
+/// Typed errors for malformed TNVM bytecode.
+///
+/// Produced by [`TnvmProgram::validate`] and the fallible compilation entry points
+/// ([`try_compile_network`] / [`try_compile_network_with_tree`]); surfaced through
+/// `qudit_compile::error::CompileError` when the pipeline's verifier rejects a
+/// program. Each instruction-level variant names the offending instruction via
+/// [`InstrRef`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BytecodeError {
+    /// An instruction references a buffer outside the buffer table.
+    BufferOutOfRange {
+        /// The offending instruction.
+        at: InstrRef,
+        /// The out-of-range buffer label.
+        buf: BufId,
+    },
+    /// An instruction reads a buffer before any instruction wrote it.
+    UseBeforeWrite {
+        /// The offending instruction.
+        at: InstrRef,
+        /// The buffer read too early.
+        buf: BufId,
+    },
+    /// Two instructions write the same buffer (the bytecode is single-assignment).
+    DoubleWrite {
+        /// The second writer.
+        at: InstrRef,
+        /// The buffer written twice.
+        buf: BufId,
+    },
+    /// The program's output buffer is never written.
+    OutputNeverWritten {
+        /// The declared output buffer.
+        output: BufId,
+    },
+    /// Codegen could not build an identity-padding expression (an internal
+    /// inconsistency in the network's radices).
+    InvalidIdentity {
+        /// What went wrong.
+        detail: String,
+    },
+    /// Codegen asked to reorder a value onto a support that does not contain one of
+    /// its qudits (an internal contraction-tree inconsistency).
+    SupportMismatch {
+        /// The qudit missing from the target support.
+        qudit: usize,
+    },
+}
+
+impl std::fmt::Display for BytecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BytecodeError::BufferOutOfRange { at, buf } => {
+                write!(f, "instruction {at} references out-of-range buffer {buf}")
+            }
+            BytecodeError::UseBeforeWrite { at, buf } => {
+                write!(f, "instruction {at} reads buffer {buf} before it is written")
+            }
+            BytecodeError::DoubleWrite { at, buf } => {
+                write!(f, "instruction {at} writes buffer {buf} more than once")
+            }
+            BytecodeError::OutputNeverWritten { output } => {
+                write!(f, "output buffer {output} is never written")
+            }
+            BytecodeError::InvalidIdentity { detail } => {
+                write!(f, "could not build identity-padding expression: {detail}")
+            }
+            BytecodeError::SupportMismatch { qudit } => {
+                write!(f, "expansion target omits qudit {qudit} of the current support")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BytecodeError {}
+
 /// A TNVM bytecode instruction (Table II).
 #[derive(Debug, Clone, PartialEq)]
 pub enum TnvmOp {
@@ -164,48 +270,101 @@ impl TnvmProgram {
     /// Checks structural invariants: every instruction writes to a distinct buffer, reads
     /// only buffers written earlier (constant section first), and the output buffer is
     /// written.
-    pub fn validate(&self) -> Result<(), String> {
+    ///
+    /// This is the *dataflow* check only — the full per-instruction shape/arity/radix
+    /// typing lives in the `qudit-analyze` crate's program verifier, which builds on
+    /// this one.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`BytecodeError`] violated, naming the offending instruction.
+    pub fn validate(&self) -> Result<(), BytecodeError> {
+        if self.output >= self.buffers.len() {
+            return Err(BytecodeError::OutputNeverWritten { output: self.output });
+        }
         let mut written = vec![false; self.buffers.len()];
-        for op in self.constant_ops.iter().chain(self.dynamic_ops.iter()) {
-            for input in op.inputs() {
-                if input >= self.buffers.len() {
-                    return Err(format!("instruction reads out-of-range buffer {input}"));
+        let sections = [(true, &self.constant_ops), (false, &self.dynamic_ops)];
+        for (constant, ops) in sections {
+            for (index, op) in ops.iter().enumerate() {
+                let at = InstrRef { constant, index };
+                for input in op.inputs() {
+                    if input >= self.buffers.len() {
+                        return Err(BytecodeError::BufferOutOfRange { at, buf: input });
+                    }
+                    if !written[input] {
+                        return Err(BytecodeError::UseBeforeWrite { at, buf: input });
+                    }
                 }
-                if !written[input] {
-                    return Err(format!("instruction reads buffer {input} before it is written"));
+                let out = op.out();
+                if out >= self.buffers.len() {
+                    return Err(BytecodeError::BufferOutOfRange { at, buf: out });
                 }
+                if written[out] {
+                    return Err(BytecodeError::DoubleWrite { at, buf: out });
+                }
+                written[out] = true;
             }
-            let out = op.out();
-            if out >= self.buffers.len() {
-                return Err(format!("instruction writes out-of-range buffer {out}"));
-            }
-            if written[out] {
-                return Err(format!("buffer {out} is written more than once"));
-            }
-            written[out] = true;
         }
         if !written[self.output] {
-            return Err("output buffer is never written".to_string());
+            return Err(BytecodeError::OutputNeverWritten { output: self.output });
         }
         Ok(())
     }
 }
 
 /// Compiles a tensor network into bytecode using the default contraction-plan strategy.
+///
+/// Codegen output over a well-formed [`TensorNetwork`] is valid by construction, so
+/// this infallible wrapper suits the hot paths (frontier workers, instantiation). Use
+/// [`try_compile_network`] when compiling untrusted or externally supplied structures
+/// and a typed rejection is preferable to a panic.
+///
+/// # Panics
+///
+/// Panics if codegen produces malformed bytecode (an internal compiler bug).
 pub fn compile_network(network: &TensorNetwork) -> TnvmProgram {
-    let plan = find_plan(network);
-    compile_network_with_tree(network, plan.tree.as_ref())
+    try_compile_network(network).expect("contraction-tree codegen emits well-formed bytecode")
 }
 
 /// Compiles a tensor network with an explicit contraction tree (exposed so benchmarks can
 /// compare contraction strategies).
+///
+/// # Panics
+///
+/// Panics if codegen produces malformed bytecode (an internal compiler bug); see
+/// [`try_compile_network_with_tree`] for the fallible equivalent.
 pub fn compile_network_with_tree(
     network: &TensorNetwork,
     tree: Option<&ContractionTree>,
 ) -> TnvmProgram {
+    try_compile_network_with_tree(network, tree)
+        .expect("contraction-tree codegen emits well-formed bytecode")
+}
+
+/// Fallible [`compile_network`]: compiles a tensor network into bytecode, returning a
+/// typed [`BytecodeError`] instead of panicking when codegen encounters an internal
+/// inconsistency or emits a program that fails [`TnvmProgram::validate`].
+///
+/// # Errors
+///
+/// Returns the first [`BytecodeError`] encountered during emission or validation.
+pub fn try_compile_network(network: &TensorNetwork) -> Result<TnvmProgram, BytecodeError> {
+    let plan = find_plan(network);
+    try_compile_network_with_tree(network, plan.tree.as_ref())
+}
+
+/// Fallible [`compile_network_with_tree`].
+///
+/// # Errors
+///
+/// Returns the first [`BytecodeError`] encountered during emission or validation.
+pub fn try_compile_network_with_tree(
+    network: &TensorNetwork,
+    tree: Option<&ContractionTree>,
+) -> Result<TnvmProgram, BytecodeError> {
     let mut gen = Codegen::new(network);
-    let root = tree.map(|t| gen.emit(t));
-    let output = gen.finish(root);
+    let root = tree.map(|t| gen.emit(t)).transpose()?;
+    let output = gen.finish(root)?;
     let mut program = TnvmProgram {
         exprs: gen.exprs,
         buffers: gen.buffers,
@@ -217,8 +376,8 @@ pub fn compile_network_with_tree(
         fused_transposes: 0,
     };
     fuse_leaf_transposes(&mut program);
-    debug_assert_eq!(program.validate(), Ok(()));
-    program
+    program.validate()?;
+    Ok(program)
 }
 
 /// A value produced during code generation: its buffer, axis order, and constness.
@@ -273,7 +432,7 @@ impl<'a> Codegen<'a> {
         }
     }
 
-    fn identity_expr(&mut self, qudits: &[usize]) -> usize {
+    fn identity_expr(&mut self, qudits: &[usize]) -> Result<usize, BytecodeError> {
         let radices: Vec<usize> = qudits.iter().map(|&q| self.network.radices()[q]).collect();
         let dim: usize = radices.iter().product();
         let elements: Vec<Vec<ComplexExpr>> = (0..dim)
@@ -285,8 +444,8 @@ impl<'a> Codegen<'a> {
             .collect();
         let expr =
             UnitaryExpression::from_elements(format!("I{dim}"), radices, Vec::new(), elements)
-                .expect("identity expression is always valid");
-        self.intern_expr(&expr)
+                .map_err(|e| BytecodeError::InvalidIdentity { detail: e.to_string() })?;
+        Ok(self.intern_expr(&expr))
     }
 
     fn emit_leaf(&mut self, node: &GateNode) -> Emitted {
@@ -300,21 +459,21 @@ impl<'a> Codegen<'a> {
         Emitted { buf: out, qudits: node.qudits.clone(), constant }
     }
 
-    fn emit(&mut self, tree: &ContractionTree) -> Emitted {
+    fn emit(&mut self, tree: &ContractionTree) -> Result<Emitted, BytecodeError> {
         match tree {
             ContractionTree::Leaf(i) => {
                 let node = self.network.nodes()[*i].clone();
-                self.emit_leaf(&node)
+                Ok(self.emit_leaf(&node))
             }
             ContractionTree::Merge { earlier, later } => {
-                let a = self.emit(earlier);
-                let b = self.emit(later);
+                let a = self.emit(earlier)?;
+                let b = self.emit(later)?;
                 self.emit_merge(a, b)
             }
         }
     }
 
-    fn emit_merge(&mut self, earlier: Emitted, later: Emitted) -> Emitted {
+    fn emit_merge(&mut self, earlier: Emitted, later: Emitted) -> Result<Emitted, BytecodeError> {
         let disjoint = earlier.qudits.iter().all(|q| !later.qudits.contains(q));
         if disjoint {
             // (A on S_A) ⊗ (B on S_B): axis order is the concatenation.
@@ -326,7 +485,7 @@ impl<'a> Codegen<'a> {
             let constant = earlier.constant && later.constant;
             let out = self.new_buffer(dim, dim, params);
             self.push_op(TnvmOp::Kron { a: earlier.buf, b: later.buf, out }, constant);
-            return Emitted { buf: out, qudits, constant };
+            return Ok(Emitted { buf: out, qudits, constant });
         }
         // Overlapping supports: expand both to the sorted union and multiply
         // (later · earlier).
@@ -334,24 +493,24 @@ impl<'a> Codegen<'a> {
             earlier.qudits.iter().chain(later.qudits.iter()).copied().collect();
         union.sort_unstable();
         union.dedup();
-        let a = self.expand(earlier, &union);
-        let b = self.expand(later, &union);
+        let a = self.expand(earlier, &union)?;
+        let b = self.expand(later, &union)?;
         let dim = self.network.dim_of(&union);
         let params = union_params(&self.buffers[a.buf].params, &self.buffers[b.buf].params);
         let constant = a.constant && b.constant;
         let out = self.new_buffer(dim, dim, params);
         self.push_op(TnvmOp::Matmul { a: b.buf, b: a.buf, out }, constant);
-        Emitted { buf: out, qudits: union, constant }
+        Ok(Emitted { buf: out, qudits: union, constant })
     }
 
     /// Expands an operator to a target (sorted) qudit support: pads missing wires with an
     /// identity via KRON, then reorders the axes via TRANSPOSE if necessary.
-    fn expand(&mut self, value: Emitted, target: &[usize]) -> Emitted {
+    fn expand(&mut self, value: Emitted, target: &[usize]) -> Result<Emitted, BytecodeError> {
         let mut current = value;
         let extra: Vec<usize> =
             target.iter().copied().filter(|q| !current.qudits.contains(q)).collect();
         if !extra.is_empty() {
-            let id_index = self.identity_expr(&extra);
+            let id_index = self.identity_expr(&extra)?;
             let id_dim = self.network.dim_of(&extra);
             let id_buf = self.new_buffer(id_dim, id_dim, Vec::new());
             self.push_op(
@@ -379,7 +538,7 @@ impl<'a> Codegen<'a> {
                     .qudits
                     .iter()
                     .position(|&c| c == q)
-                    .expect("target is a superset of the current support");
+                    .ok_or(BytecodeError::SupportMismatch { qudit: q })?;
                 perm.push(pos);
             }
             for i in 0..k {
@@ -392,18 +551,18 @@ impl<'a> Codegen<'a> {
             self.push_op(TnvmOp::Transpose { input: current.buf, shape, perm, out }, constant);
             current = Emitted { buf: out, qudits: target.to_vec(), constant };
         }
-        current
+        Ok(current)
     }
 
     /// Finalizes the program: pads the root operator to the full circuit width, reorders
     /// it to wire order, and returns the output buffer. An empty circuit produces the
     /// identity.
-    fn finish(&mut self, root: Option<Emitted>) -> BufId {
+    fn finish(&mut self, root: Option<Emitted>) -> Result<BufId, BytecodeError> {
         let all: Vec<usize> = (0..self.network.num_qudits()).collect();
         let full = match root {
-            Some(r) => self.expand(r, &all),
+            Some(r) => self.expand(r, &all)?,
             None => {
-                let id_index = self.identity_expr(&all);
+                let id_index = self.identity_expr(&all)?;
                 let dim = self.network.dim();
                 let out = self.new_buffer(dim, dim, Vec::new());
                 self.push_op(
@@ -413,7 +572,7 @@ impl<'a> Codegen<'a> {
                 Emitted { buf: out, qudits: all.clone(), constant: true }
             }
         };
-        full.buf
+        Ok(full.buf)
     }
 }
 

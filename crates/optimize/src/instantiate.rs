@@ -272,6 +272,8 @@ where
                 let n = evaluator.num_params();
                 let lm = config.effective_lm();
                 loop {
+                    // detlint: allow(thread-accumulation) — work-stealing ticket only;
+                    // results are re-sorted by index at the deterministic join
                     let start_idx = next_start.fetch_add(1, Ordering::Relaxed);
                     if start_idx >= config.starts || start_idx > min_success.load(Ordering::Relaxed)
                     {
@@ -284,6 +286,8 @@ where
                     let infidelity = hs_infidelity(target, &unitary);
                     let kernels = evaluator.take_kernel_counters();
                     if infidelity < config.success_threshold {
+                        // detlint: allow(thread-accumulation) — min is commutative and
+                        // every index below the final value is still evaluated
                         min_success.fetch_min(start_idx, Ordering::Relaxed);
                     }
                     completed

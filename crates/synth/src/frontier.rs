@@ -98,6 +98,8 @@ pub fn evaluate_frontier(
         Mutex::new(Vec::with_capacity(candidates.len()));
 
     let worker = |evaluator_slot: &mut Option<TnvmEvaluator>| loop {
+        // detlint: allow(thread-accumulation) — work-stealing ticket only; results
+        // are re-sorted by index at the deterministic join
         let index = next.fetch_add(1, Ordering::Relaxed);
         if index > min_success.load(Ordering::Relaxed) {
             break;
@@ -136,6 +138,8 @@ pub fn evaluate_frontier(
             instantiate(evaluator, target, &config)
         };
         if stop_on_success && outcome.infidelity < config.success_threshold {
+            // detlint: allow(thread-accumulation) — min is commutative and every
+            // candidate below the final value is still evaluated
             min_success.fetch_min(index, Ordering::Relaxed);
         }
         results.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push((

@@ -105,6 +105,8 @@ impl TraceRegistry {
     pub fn new() -> Self {
         TraceRegistry {
             inner: Some(Arc::new(Inner {
+                // detlint: allow(wall-clock) — span timestamps are relative to this
+                // origin and are dropped from artifacts by the omit-timing gate
                 origin: Instant::now(),
                 counters: Mutex::new(BTreeMap::new()),
                 gauges: Mutex::new(BTreeMap::new()),
@@ -214,6 +216,8 @@ impl TraceRegistry {
             Some(inner) => {
                 let log = inner.spans.lock();
                 let open: Vec<usize> =
+                    // detlint: allow(unsorted-map-iter) — membership filter only; the
+                    // result order comes from `log.events`, not from this walk
                     log.threads.values().flat_map(|s| s.stack.iter().copied()).collect();
                 log.events
                     .iter()
