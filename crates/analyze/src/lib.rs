@@ -74,11 +74,23 @@ impl VerifyLevel {
 
     /// The process-wide default level: `OPENQUDIT_VERIFY` when set to a valid level
     /// name, otherwise [`VerifyLevel::Off`].
+    ///
+    /// An *invalid* value still falls back to [`VerifyLevel::Off`] — verification is
+    /// an opt-in safety net, not a reason to refuse to start — but emits a one-time
+    /// stderr warning naming the rejected value and the accepted set: silently
+    /// running unverified when the operator asked for (say) `ful` is the worse
+    /// failure mode.
     pub fn from_env() -> VerifyLevel {
-        std::env::var(VERIFY_ENV_VAR)
-            .ok()
-            .and_then(|v| VerifyLevel::parse(&v))
-            .unwrap_or(VerifyLevel::Off)
+        match std::env::var(VERIFY_ENV_VAR) {
+            Ok(value) => match VerifyLevel::parse(&value) {
+                Some(level) => level,
+                None => {
+                    warn_invalid_env(&value);
+                    VerifyLevel::Off
+                }
+            },
+            Err(_) => VerifyLevel::Off,
+        }
     }
 
     /// Stable name used in reports.
@@ -100,6 +112,31 @@ impl std::fmt::Display for VerifyLevel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
     }
+}
+
+/// The warning text for an invalid `OPENQUDIT_VERIFY` value: names the value and
+/// the accepted set. Factored out so tests can pin the message without touching the
+/// process environment.
+pub fn invalid_verify_env_warning(value: &str) -> String {
+    format!(
+        "warning: ignoring invalid {VERIFY_ENV_VAR}={value:?}; \
+         accepted values: off, program, full (and 0/1/on/none aliases); \
+         verification stays off"
+    )
+}
+
+/// Emits [`invalid_verify_env_warning`] to stderr the first time it is called in
+/// this process; later calls are no-ops. Returns whether this call emitted —
+/// [`VerifyLevel::from_env`] runs once per compiler construction, so an unguarded
+/// warning would flood a server's log.
+pub fn warn_invalid_env(value: &str) -> bool {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static WARNED: AtomicBool = AtomicBool::new(false);
+    let first = !WARNED.swap(true, Ordering::Relaxed);
+    if first {
+        eprintln!("{}", invalid_verify_env_warning(value));
+    }
+    first
 }
 
 /// A static-analysis rejection: which layer rejected the artifact and why.
@@ -179,5 +216,27 @@ mod tests {
         assert!(VerifyLevel::Program.is_enabled());
         assert!(!VerifyLevel::Off.is_enabled());
         assert_eq!(VerifyLevel::default(), VerifyLevel::Off);
+    }
+
+    #[test]
+    fn invalid_verify_values_fall_back_with_a_named_warning() {
+        // Unknown level names reject (so `from_env` falls back to Off)...
+        assert_eq!(VerifyLevel::parse("ful"), None);
+        assert_eq!(VerifyLevel::parse(""), None);
+        // ...and the warning names the rejected value and the accepted set.
+        let warning = invalid_verify_env_warning("ful");
+        assert!(warning.contains(VERIFY_ENV_VAR), "{warning}");
+        assert!(warning.contains("\"ful\""), "{warning}");
+        for accepted in ["off", "program", "full"] {
+            assert!(warning.contains(accepted), "{warning}");
+        }
+    }
+
+    #[test]
+    fn invalid_verify_warning_fires_once_per_process() {
+        let first = warn_invalid_env("bogus-level");
+        let second = warn_invalid_env("bogus-level");
+        assert!(first || !second, "a later call must never emit after the first");
+        assert!(!warn_invalid_env("another-bogus-level"));
     }
 }

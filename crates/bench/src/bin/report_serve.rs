@@ -1,0 +1,157 @@
+//! Load generator and report for the `qudit-serve` compilation server: stands up
+//! an in-process server, fires a deterministic request mix from concurrent client
+//! threads (with deliberate duplicates, so request deduplication is exercised),
+//! and emits a JSON report.
+//!
+//! Deterministic fields — the status histogram and each workload's synthesized
+//! result (success, infidelity, block count) — are always emitted. Wall-clock
+//! derived fields (`wall_seconds`, `throughput_rps`, `latency_median_ms`) and
+//! race-dependent observations (`dedup_joined`, cache occupancy) are dropped
+//! under `OPENQUDIT_SYNTH_OMIT_TIMING=1`, the workspace's single timing gate.
+//!
+//! Run with `cargo run --release -p qudit-bench --bin report_serve`.
+//! `OPENQUDIT_SERVE_CLIENTS=<n>` sets the client thread count (default 4);
+//! `OPENQUDIT_SERVE_REPEAT=<n>` how often each client fires each workload
+//! (default 3).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use openqudit::serve::{ServeConfig, Server};
+
+/// The request mix: a few distinct workloads, each fired by every client —
+/// concurrent identical requests are the dedup path's bread and butter.
+fn workloads() -> Vec<(&'static str, String)> {
+    [("cnot", "CNOT", 7u64), ("cz", "CZ", 11), ("swap", "SWAP", 13)]
+        .into_iter()
+        .map(|(name, gate, seed)| {
+            let body = format!(
+                r#"{{"target": {{"gate": "{gate}"}}, "radices": [2, 2], "seed": {seed}, "omit_timings": true}}"#
+            );
+            (name, body)
+        })
+        .collect()
+}
+
+fn post_compile(addr: SocketAddr, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let request = format!(
+        "POST /compile HTTP/1.1\r\nhost: localhost\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("receive");
+    let (head, response_body) = raw.split_once("\r\n\r\n").expect("split");
+    let status: u16 =
+        head.lines().next().unwrap().split_whitespace().nth(1).unwrap().parse().unwrap();
+    (status, response_body.to_string())
+}
+
+/// Pulls a top-level scalar field out of a canonical single-line JSON body.
+fn field(body: &str, key: &str) -> String {
+    let start = body.find(&format!("\"{key}\":")).unwrap_or_else(|| panic!("no {key} in {body}"));
+    let value = &body[start + key.len() + 3..];
+    let end = value.find([',', '}']).unwrap_or(value.len());
+    value[..end].to_string()
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default).max(1)
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2.0
+    }
+}
+
+fn main() {
+    let clients = env_usize("OPENQUDIT_SERVE_CLIENTS", 4);
+    let repeat = env_usize("OPENQUDIT_SERVE_REPEAT", 3);
+    let omit_timing = openqudit::trace::omit_timing();
+    let server = Server::start(ServeConfig::default()).expect("server start");
+    let addr = server.addr();
+    let mix = workloads();
+
+    // detlint: allow(wall-clock) — throughput/latency are the report's product,
+    // emitted only outside the omit-timing gate
+    let started = std::time::Instant::now();
+    let results: Vec<(u16, f64)> = std::thread::scope(|scope| {
+        let mix = &mix;
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                scope.spawn(move || {
+                    let mut out = Vec::with_capacity(mix.len() * repeat);
+                    for round in 0..repeat {
+                        // Offset the workload order per client so the wire sees
+                        // interleaved duplicates, not synchronized convoys.
+                        for i in 0..mix.len() {
+                            let (_, body) = &mix[(i + client + round) % mix.len()];
+                            // detlint: allow(wall-clock) — per-request latency sample
+                            let t0 = std::time::Instant::now();
+                            let (status, _) = post_compile(addr, body);
+                            out.push((status, t0.elapsed().as_secs_f64() * 1e3));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    });
+    let wall_seconds = started.elapsed().as_secs_f64();
+
+    // One follow-up request per workload for the deterministic result fields
+    // (the compile is cached/deduplicated by now, so this is cheap).
+    let mut workload_rows: Vec<String> = Vec::new();
+    for (name, body) in &mix {
+        let (status, response) = post_compile(addr, body);
+        assert_eq!(status, 200, "workload {name} failed: {response}");
+        workload_rows.push(format!(
+            "    {{\"name\": \"{name}\", \"success\": {}, \"infidelity\": {}, \"blocks\": {}}}",
+            field(&response, "success"),
+            field(&response, "infidelity"),
+            response.matches('[').count().saturating_sub(2),
+        ));
+    }
+
+    let total = results.len();
+    let ok = results.iter().filter(|(status, _)| *status == 200).count();
+    let mut latencies: Vec<f64> = results.iter().map(|&(_, ms)| ms).collect();
+
+    let registry = server.registry();
+    let counters = registry.counters();
+    let compiles = counters.get("serve.compiles").copied().unwrap_or(0);
+    let joined = counters.get("serve.dedup_joined").copied().unwrap_or(0);
+    let cache = server.cache().stats();
+
+    let mut lines: Vec<String> = Vec::new();
+    lines.push(format!("  \"clients\": {clients}"));
+    lines.push(format!("  \"repeat\": {repeat}"));
+    lines.push(format!("  \"requests_total\": {total}"));
+    lines.push(format!("  \"requests_ok\": {ok}"));
+    lines.push(format!("  \"workloads\": [\n{}\n  ]", workload_rows.join(",\n")));
+    if !omit_timing {
+        lines.push(format!("  \"wall_seconds\": {wall_seconds}"));
+        lines.push(format!("  \"throughput_rps\": {}", total as f64 / wall_seconds));
+        lines.push(format!("  \"latency_median_ms\": {}", median(&mut latencies)));
+        // Race-dependent: how the dedup split fell this run, and cache state.
+        lines.push(format!("  \"compiles\": {compiles}"));
+        lines.push(format!("  \"dedup_joined\": {joined}"));
+        lines.push(format!(
+            "  \"cache\": {{\"entries\": {}, \"hits\": {}, \"misses\": {}, \"evictions\": {}}}",
+            cache.entries, cache.hits, cache.misses, cache.evictions
+        ));
+    }
+    println!("{{\n{}\n}}", lines.join(",\n"));
+
+    // Every duplicate either joined an in-flight compile or hit a finished one;
+    // the server never compiled more than the admitted request count.
+    assert!(compiles + joined <= total as u64 + mix.len() as u64);
+    server.shutdown();
+}

@@ -8,6 +8,7 @@ use qudit_qvm::ExpressionCache;
 use qudit_synth::{BackendKind, SynthesisResult};
 use qudit_trace::TraceRegistry;
 
+use crate::cancel::CancelToken;
 use crate::error::CompileError;
 use crate::partition::PartitionPass;
 use crate::pass::{Pass, PassContext, PassTiming};
@@ -195,6 +196,28 @@ impl Compiler {
     /// Propagates the first pass failure, and returns [`CompileError::NoResult`] when
     /// the pipeline finishes without any pass having produced a circuit.
     pub fn compile(&self, task: CompilationTask) -> Result<CompilationReport, CompileError> {
+        self.compile_with_cancel(task, &CancelToken::none())
+    }
+
+    /// [`Compiler::compile`] under a cooperative [`CancelToken`].
+    ///
+    /// The token is checked at every pass boundary (before the first pass and after
+    /// each one), and handed to each pass through
+    /// [`PassContext::cancel`](crate::PassContext::cancel) so long passes can poll
+    /// it at their own internal checkpoints. Cancellation is deliberate and typed:
+    /// the compilation stops with [`CompileError::Cancelled`] naming the checkpoint
+    /// that observed it — this is how a serving front-end bounds a request's
+    /// latency without killing the worker running it.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Compiler::compile`] returns, plus [`CompileError::Cancelled`]
+    /// once `cancel` reports cancellation or an expired deadline.
+    pub fn compile_with_cancel(
+        &self,
+        task: CompilationTask,
+        cancel: &CancelToken,
+    ) -> Result<CompilationReport, CompileError> {
         let mut task = task;
         if self.threads != 0 {
             task.config.threads = self.threads;
@@ -217,9 +240,18 @@ impl Compiler {
         task.config.instantiate.trace = trace.clone();
         let backend = task.config.backend;
         let mut timings = Vec::with_capacity(self.passes.len());
+        // The boundary checkpoints: cancellation observed before any pass reports
+        // "start"; between passes it reports the last completed pass.
+        let mut last_checkpoint = "start".to_string();
         for pass in &self.passes {
-            let mut ctx =
-                PassContext::new(&self.cache).with_backend(backend).with_trace(trace.clone());
+            cancel.check().map_err(|reason| CompileError::Cancelled {
+                after: last_checkpoint.clone(),
+                reason,
+            })?;
+            let mut ctx = PassContext::new(&self.cache)
+                .with_backend(backend)
+                .with_trace(trace.clone())
+                .with_cancel(cancel.clone());
             // detlint: allow(wall-clock) — pass timings land only in the report's
             // timing block, which the determinism diff scrubs via the omit-timing gate
             let started = Instant::now();
@@ -243,6 +275,7 @@ impl Compiler {
                     violation,
                 })?;
             }
+            last_checkpoint = pass.name().to_string();
         }
         // Cache occupancy is a gauge, not a counter: under the process-wide shared
         // cache it depends on what compiled before, so it stays out of the
@@ -317,6 +350,78 @@ mod tests {
         let chrome = a.trace.chrome_trace_json();
         assert!(chrome.starts_with('[') && chrome.ends_with(']'));
         assert!(chrome.contains("\"ph\": \"X\""));
+    }
+
+    #[test]
+    fn pre_cancelled_token_aborts_at_the_start_checkpoint() {
+        let target = gates::cnot().to_matrix::<f64>(&[]).unwrap();
+        let task = CompilationTask::new(target, SynthesisConfig::qubits(2));
+        let token = CancelToken::new();
+        token.cancel();
+        let err = Compiler::with_cache(ExpressionCache::new())
+            .default_passes()
+            .compile_with_cancel(task, &token)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CompileError::Cancelled {
+                after: "start".to_string(),
+                reason: crate::cancel::CancelReason::Cancelled
+            }
+        );
+    }
+
+    #[test]
+    fn expired_deadline_aborts_between_passes_naming_the_last_pass() {
+        // A pass that cancels the token mid-pipeline: the boundary check before the
+        // *next* pass observes it and names the last completed pass as checkpoint.
+        struct CancelAfterMe;
+        impl crate::Pass for CancelAfterMe {
+            fn name(&self) -> &str {
+                "cancel-after-me"
+            }
+            fn run(
+                &self,
+                _task: &mut CompilationTask,
+                ctx: &mut crate::PassContext<'_>,
+            ) -> Result<(), CompileError> {
+                ctx.cancel().cancel();
+                Ok(())
+            }
+        }
+        let target = gates::cnot().to_matrix::<f64>(&[]).unwrap();
+        let task = CompilationTask::new(target, SynthesisConfig::qubits(2));
+        let token = CancelToken::new();
+        let err = Compiler::with_cache(ExpressionCache::new())
+            .add_pass(CancelAfterMe)
+            .add_pass(crate::SynthesisPass)
+            .compile_with_cancel(task, &token)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CompileError::Cancelled {
+                after: "cancel-after-me".to_string(),
+                reason: crate::cancel::CancelReason::Cancelled
+            }
+        );
+    }
+
+    #[test]
+    fn zero_budget_deadline_reports_deadline_exceeded() {
+        let target = gates::cnot().to_matrix::<f64>(&[]).unwrap();
+        let task = CompilationTask::new(target, SynthesisConfig::qubits(2));
+        let token = CancelToken::with_deadline(std::time::Duration::ZERO);
+        let err = Compiler::with_cache(ExpressionCache::new())
+            .default_passes()
+            .compile_with_cancel(task, &token)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CompileError::Cancelled {
+                after: "start".to_string(),
+                reason: crate::cancel::CancelReason::DeadlineExceeded
+            }
+        );
     }
 
     #[test]

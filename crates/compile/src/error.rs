@@ -4,6 +4,8 @@ use qudit_analyze::AnalyzeError;
 use qudit_network::BytecodeError;
 use qudit_synth::SynthesisError;
 
+use crate::cancel::CancelReason;
+
 /// Errors produced while running a compilation pipeline.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CompileError {
@@ -15,6 +17,24 @@ pub enum CompileError {
         /// The [`Pass::name`](crate::Pass::name) of the failing pass.
         pass: String,
         /// What went wrong.
+        detail: String,
+    },
+    /// The compilation was cancelled (explicitly, or by an expired deadline) at a
+    /// cooperative checkpoint. A deliberate stop, not a defect: a server maps it to
+    /// a timeout response, never to a crash.
+    Cancelled {
+        /// The checkpoint that observed the cancellation: `"start"`, a completed
+        /// pass's name, or an intra-pass checkpoint label such as
+        /// `"partition:round-2"`.
+        after: String,
+        /// Why the compilation was asked to stop.
+        reason: CancelReason,
+    },
+    /// The partitioning front-end was handed a coupling graph it cannot partition
+    /// over (no edges, or a block edge missing from the graph). Degenerate *input*,
+    /// reported as a typed error so a bad request fails — not the process hosting it.
+    DegenerateCoupling {
+        /// What made the graph unusable.
         detail: String,
     },
     /// The AOT bytecode compiler rejected or emitted a malformed program
@@ -39,6 +59,12 @@ impl std::fmt::Display for CompileError {
         match self {
             CompileError::Synthesis(e) => write!(f, "synthesis stage failed: {e}"),
             CompileError::Pass { pass, detail } => write!(f, "pass '{pass}' failed: {detail}"),
+            CompileError::Cancelled { after, reason } => {
+                write!(f, "compilation {reason} (checkpoint: {after})")
+            }
+            CompileError::DegenerateCoupling { detail } => {
+                write!(f, "degenerate coupling graph: {detail}")
+            }
             CompileError::Bytecode(e) => write!(f, "bytecode compilation failed: {e}"),
             CompileError::Verify { after, violation } => {
                 write!(f, "verification failed after pass '{after}': {violation}")

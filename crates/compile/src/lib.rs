@@ -79,6 +79,7 @@
 //! calls with the same task produce byte-identical results at any thread count, and
 //! the CI determinism diff runs partitioned workloads through this pipeline.
 
+pub mod cancel;
 pub mod compiler;
 pub mod error;
 pub mod partition;
@@ -87,6 +88,7 @@ pub mod passes;
 pub mod task;
 pub mod verify;
 
+pub use cancel::{CancelReason, CancelToken};
 pub use compiler::{CompilationReport, Compiler};
 pub use error::CompileError;
 pub use partition::{PartitionConfig, PartitionPass};

@@ -31,6 +31,8 @@
 //! layout, so partitioned compilation inherits the engine's byte-for-byte
 //! reproducibility guarantee.
 
+use std::collections::BTreeMap;
+
 use qudit_circuit::builders;
 use qudit_optimize::{instantiate_circuit, instantiate_circuit_mapped};
 use qudit_synth::{
@@ -41,6 +43,26 @@ use crate::compiler::Compiler;
 use crate::error::CompileError;
 use crate::pass::{Pass, PassContext};
 use crate::task::CompilationTask;
+
+/// Deterministic index of every coupling edge, used to derive per-block seeds.
+///
+/// Wrapping the map keeps the lookup *fallible*: a block edge that is not in the
+/// coupling graph is a degenerate input (or an internal invariant break), and in a
+/// long-lived server it must fail the one request carrying it — as
+/// [`CompileError::DegenerateCoupling`] — never panic the process.
+struct EdgeIndex(BTreeMap<(usize, usize), usize>);
+
+impl EdgeIndex {
+    fn new(coupling: &CouplingGraph) -> Self {
+        EdgeIndex(coupling.edges().iter().enumerate().map(|(i, &e)| (e, i)).collect())
+    }
+
+    fn get(&self, edge: (usize, usize)) -> Result<usize, CompileError> {
+        self.0.get(&edge).copied().ok_or_else(|| CompileError::DegenerateCoupling {
+            detail: format!("block edge {edge:?} is not an edge of the coupling graph"),
+        })
+    }
+}
 
 /// Seed salt separating the partitioned rounds' instantiations from every other stage.
 const ROUND_SALT: u64 = 0x9a27_7171_0bed_0005;
@@ -125,9 +147,10 @@ impl Pass for PartitionPass {
         }
         let round_edges: Vec<(usize, usize)> = internal.iter().chain(cut.iter()).copied().collect();
         if round_edges.is_empty() {
-            return Err(CompileError::Pass {
-                pass: self.name().to_string(),
-                detail: "coupling graph has no edges to partition over".to_string(),
+            // A single-node or edgeless coupling graph: nothing to partition over.
+            // Degenerate input fails this task with a typed error, never the process.
+            return Err(CompileError::DegenerateCoupling {
+                detail: format!("coupling graph over {n} qudits has no edges to partition over"),
             });
         }
         task.data.set("partition.width", n);
@@ -137,23 +160,20 @@ impl Pass for PartitionPass {
 
         // Escalating-round sketch instantiation, warm-started round over round.
         let instantiate_base = task.config.frontier_instantiate_config();
-        let edge_index = |edge: &(usize, usize)| {
-            task.config
-                .coupling
-                .edges()
-                .iter()
-                .position(|e| e == edge)
-                .expect("round edges come from the coupling graph")
-        };
+        let edge_index = EdgeIndex::new(&task.config.coupling);
         let mut blocks: Vec<(usize, usize)> = Vec::new();
         let mut warm: Option<Vec<f64>> = None;
         let mut attempts = 0usize;
         let mut best: Option<(SynthesisResult, usize)> = None;
         for round in 1..=self.config.max_rounds.max(1) {
+            // Cooperative cancellation checkpoint: rounds are the pass's unit of
+            // work, so an expired deadline aborts before the next instantiation.
+            ctx.checkpoint(&format!("partition:round-{round}"))?;
             blocks.extend(round_edges.iter().copied());
             let circuit =
                 builders::pqc_template_with(&task.config.radices, &blocks, &task.config.gate_set)?;
-            let block_indices: Vec<usize> = blocks.iter().map(&edge_index).collect();
+            let block_indices: Vec<usize> =
+                blocks.iter().map(|&e| edge_index.get(e)).collect::<Result<_, _>>()?;
             let mut icfg = instantiate_base.clone();
             icfg.seed = candidate_seed(instantiate_base.seed ^ ROUND_SALT, &block_indices);
             icfg.warm_start = warm.clone();
@@ -183,7 +203,13 @@ impl Pass for PartitionPass {
                 break;
             }
         }
-        let (mut result, rounds) = best.expect("at least one round ran");
+        let Some((mut result, rounds)) = best else {
+            // Defensive: the escalation loop always runs at least one round over a
+            // non-empty edge set, but a future config hole must fail typed, not panic.
+            return Err(CompileError::DegenerateCoupling {
+                detail: "no escalation round produced a candidate".to_string(),
+            });
+        };
         result.nodes_expanded = attempts;
         task.data.set("partition.rounds", rounds);
         task.data.set("partition.attempts", attempts);
@@ -195,6 +221,7 @@ impl Pass for PartitionPass {
             let mut local_blocks: Vec<usize> = Vec::new();
             let mut nested_nodes = 0usize;
             for i in 0..result.blocks.len() {
+                ctx.checkpoint(&format!("partition:block-{i}"))?;
                 let sub_target = block_unitary(&result.circuit, &result.params, i)?;
                 let entangler = &result.circuit.ops()[n + 3 * i];
                 let (a, b) = (entangler.location[0], entangler.location[1]);
@@ -212,10 +239,12 @@ impl Pass for PartitionPass {
                 // The nested pipeline shares the outer compilation's registry, so
                 // per-block re-synthesis counters (and spans) fold into the same
                 // report. Blocks are re-synthesized serially — deterministic order.
+                // The nested pipeline inherits the outer compilation's cancellation
+                // token, so a deadline cuts through per-block re-synthesis too.
                 let nested_report = Compiler::with_cache(ctx.cache().clone())
                     .trace(ctx.trace().clone())
                     .default_passes()
-                    .compile(CompilationTask::new(sub_target, nested))?;
+                    .compile_with_cancel(CompilationTask::new(sub_target, nested), ctx.cancel())?;
                 nested_nodes += nested_report.result.nodes_expanded;
                 if nested_report.result.success && nested_report.result.blocks.is_empty() {
                     local_blocks.push(i);
@@ -228,13 +257,14 @@ impl Pass for PartitionPass {
             if !local_blocks.is_empty() {
                 // Batch first — one re-instantiation usually absorbs every local
                 // block — then one at a time for stragglers.
-                if let Some(next) = attempt_stitch(task, &result, &local_blocks, ctx, &edge_index) {
+                if let Some(next) = attempt_stitch(task, &result, &local_blocks, ctx, &edge_index)?
+                {
                     stitched_out = local_blocks.len();
                     result = next;
                 } else {
                     for &block in local_blocks.iter().rev() {
                         if let Some(next) =
-                            attempt_stitch(task, &result, &[block], ctx, &edge_index)
+                            attempt_stitch(task, &result, &[block], ctx, &edge_index)?
                         {
                             stitched_out += 1;
                             result = next;
@@ -287,26 +317,35 @@ fn partition_groups(coupling: &CouplingGraph, group_size: usize) -> Vec<Vec<usiz
 /// Attempts to stitch the given blocks out of the sketch: rebuilds the smaller
 /// template, projects the surviving parameters through the deletions' exact mapping,
 /// and warm-start re-instantiates. Returns the new state only when the infidelity
-/// stays under the success threshold.
+/// stays under the success threshold; `Ok(None)` means the stitch did not hold.
+///
+/// # Errors
+///
+/// Returns [`CompileError::DegenerateCoupling`] when a surviving block edge is
+/// missing from the coupling graph (a broken invariant, reported typed).
 fn attempt_stitch(
     task: &CompilationTask,
     result: &SynthesisResult,
     delete: &[usize],
     ctx: &PassContext<'_>,
-    edge_index: &dyn Fn(&(usize, usize)) -> usize,
-) -> Option<SynthesisResult> {
+    edge_index: &EdgeIndex,
+) -> Result<Option<SynthesisResult>, CompileError> {
     let mut trial = result.circuit.clone();
     let mut sorted = delete.to_vec();
     sorted.sort_unstable();
     let mut mapping: Option<Vec<usize>> = None;
     for &block in sorted.iter().rev() {
-        let step = builders::delete_pqc_block(&mut trial, block).ok()?;
+        let Ok(step) = builders::delete_pqc_block(&mut trial, block) else {
+            return Ok(None);
+        };
         mapping = Some(match mapping {
             None => step,
             Some(previous) => step.into_iter().map(|idx| previous[idx]).collect(),
         });
     }
-    let mapping = mapping?;
+    let Some(mapping) = mapping else {
+        return Ok(None);
+    };
     let edges: Vec<(usize, usize)> = result
         .blocks
         .iter()
@@ -314,7 +353,8 @@ fn attempt_stitch(
         .filter(|(i, _)| !sorted.contains(i))
         .map(|(_, &e)| e)
         .collect();
-    let surviving_indices: Vec<usize> = edges.iter().map(edge_index).collect();
+    let surviving_indices: Vec<usize> =
+        edges.iter().map(|&e| edge_index.get(e)).collect::<Result<_, _>>()?;
     let mut icfg = task.config.frontier_instantiate_config();
     icfg.seed = candidate_seed(icfg.seed ^ STITCH_SALT, &surviving_indices);
     let outcome = instantiate_circuit_mapped(
@@ -326,16 +366,16 @@ fn attempt_stitch(
         ctx.cache(),
     );
     if outcome.infidelity < task.config.success_threshold {
-        Some(SynthesisResult {
+        Ok(Some(SynthesisResult {
             blocks: edges,
             params: outcome.params,
             infidelity: outcome.infidelity,
             success: true,
             circuit: trial,
             ..result.clone()
-        })
+        }))
     } else {
-        None
+        Ok(None)
     }
 }
 
@@ -376,5 +416,41 @@ mod tests {
         let mut ctx = PassContext::new(&cache);
         let err = PartitionPass::default().run(&mut task, &mut ctx).unwrap_err();
         assert!(matches!(err, CompileError::Synthesis(SynthesisError::InvalidTarget(_))));
+    }
+
+    // Regression: a disconnected coupling graph used to survive until the round
+    // loop's edge-index closure, which panicked (`.expect("round edges come from
+    // the coupling graph")`). It must fail the request with a typed error instead.
+    #[test]
+    fn disconnected_coupling_fails_typed_not_panicking() {
+        let target = qudit_tensor::Matrix::<f64>::identity(16);
+        let mut task = CompilationTask::with_radices(target, vec![2, 2, 2, 2]);
+        task.config.coupling = CouplingGraph::new(4, [(0, 1), (2, 3)]).unwrap();
+        let cache = qudit_qvm::ExpressionCache::new();
+        let mut ctx = PassContext::new(&cache);
+        let err = PartitionPass::default().run(&mut task, &mut ctx).unwrap_err();
+        assert!(
+            matches!(err, CompileError::Synthesis(SynthesisError::InvalidCoupling(_))),
+            "{err:?}"
+        );
+    }
+
+    // Regression: a single-node (edgeless) coupling graph used to run zero rounds
+    // and panic on `.expect("at least one round ran")`. It must report the
+    // degenerate input as a typed error.
+    #[test]
+    fn edgeless_coupling_fails_typed_not_panicking() {
+        let target = qudit_tensor::Matrix::<f64>::identity(2);
+        let mut task = CompilationTask::with_radices(target, vec![2]);
+        let config = PartitionConfig { max_width: 0, ..PartitionConfig::default() };
+        let cache = qudit_qvm::ExpressionCache::new();
+        let mut ctx = PassContext::new(&cache);
+        let err = PartitionPass::new(config).run(&mut task, &mut ctx).unwrap_err();
+        match err {
+            CompileError::DegenerateCoupling { detail } => {
+                assert!(detail.contains("no edges"), "{detail}");
+            }
+            other => panic!("expected DegenerateCoupling, got {other:?}"),
+        }
     }
 }

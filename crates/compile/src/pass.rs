@@ -4,6 +4,7 @@ use qudit_qvm::ExpressionCache;
 use qudit_synth::BackendKind;
 use qudit_trace::TraceRegistry;
 
+use crate::cancel::CancelToken;
 use crate::error::CompileError;
 use crate::task::CompilationTask;
 
@@ -44,13 +45,20 @@ pub struct PassContext<'a> {
     cache: &'a ExpressionCache,
     backend: BackendKind,
     trace: TraceRegistry,
+    cancel: CancelToken,
 }
 
 impl<'a> PassContext<'a> {
     /// A context borrowing the compiler's expression cache, running on the
-    /// process-default TNVM execution tier with a disabled trace registry.
+    /// process-default TNVM execution tier with a disabled trace registry and no
+    /// cancellation.
     pub fn new(cache: &'a ExpressionCache) -> Self {
-        PassContext { cache, backend: BackendKind::default(), trace: TraceRegistry::disabled() }
+        PassContext {
+            cache,
+            backend: BackendKind::default(),
+            trace: TraceRegistry::disabled(),
+            cancel: CancelToken::none(),
+        }
     }
 
     /// Sets the TNVM execution tier this pass invocation runs under (builder style).
@@ -88,6 +96,36 @@ impl<'a> PassContext<'a> {
     /// nested pipelines fold their counters into the outer compilation's registry.
     pub fn trace(&self) -> &TraceRegistry {
         &self.trace
+    }
+
+    /// Sets the cancellation token this pass invocation polls (builder style). The
+    /// compiler installs the token handed to
+    /// [`Compiler::compile_with_cancel`](crate::Compiler::compile_with_cancel).
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// The compilation's cancellation token. The never-cancelling handle unless the
+    /// driver installed one; long passes poll it at internal checkpoints (e.g. the
+    /// partition pass between escalation rounds) so a deadline can abort work the
+    /// per-pass boundary check would reach too late.
+    pub fn cancel(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Convenience checkpoint: maps a failed token check to
+    /// [`CompileError::Cancelled`] labelled with `checkpoint`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Cancelled`] when the token has been cancelled or its
+    /// deadline has passed.
+    pub fn checkpoint(&self, checkpoint: &str) -> Result<(), CompileError> {
+        self.cancel
+            .check()
+            .map_err(|reason| CompileError::Cancelled { after: checkpoint.to_string(), reason })
     }
 }
 

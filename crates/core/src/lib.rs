@@ -21,6 +21,7 @@
 //! | [`compile`] | `qudit-compile` | the composable compiler-pass pipeline (`Compiler`/`Pass`/`PassContext`), incl. the partitioning front-end for wide targets |
 //! | [`analyze`] | `qudit-analyze` | static analysis: the TNVM bytecode/plan verifier, circuit/gate-set validator, and the `detlint` determinism linter |
 //! | [`trace`] | `qudit-trace` | observability: hierarchical spans, deterministic counters, Chrome `trace_event` export |
+//! | [`serve`] | `qudit-serve` | compilation-as-a-service: a dependency-free HTTP server with dedup, deadlines, and panic isolation |
 //! | [`baseline`] | `qudit-baseline` | a BQSKit-style baseline compiler used by the benchmarks |
 //!
 //! # Quickstart
@@ -60,6 +61,7 @@ pub use qudit_network as network;
 pub use qudit_optimize as optimize;
 pub use qudit_qgl as qgl;
 pub use qudit_qvm as qvm;
+pub use qudit_serve as serve;
 pub use qudit_synth as synth;
 pub use qudit_tensor as tensor;
 pub use qudit_tnvm as tnvm;

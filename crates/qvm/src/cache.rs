@@ -17,6 +17,13 @@ use crate::compile::{CompileOptions, CompiledExpression, DiffMode};
 
 /// A thread-safe cache of compiled expressions, keyed by the expression's canonical text
 /// and the requested differentiation mode.
+///
+/// By default the cache grows without bound — the right policy for a single
+/// compilation, whose working set is the gate set. A long-lived service sharing one
+/// cache across arbitrarily many requests caps it with
+/// [`ExpressionCache::with_capacity`]: inserts beyond the capacity evict the
+/// least-recently-used artifact, and [`CacheStats::evictions`] counts them so the
+/// service's metrics endpoint can expose cache pressure.
 #[derive(Debug, Default, Clone)]
 pub struct ExpressionCache {
     inner: Arc<Mutex<CacheInner>>,
@@ -24,12 +31,58 @@ pub struct ExpressionCache {
 
 #[derive(Debug, Default)]
 struct CacheInner {
-    compiled: HashMap<(String, bool), Arc<CompiledExpression>>,
+    compiled: HashMap<(String, bool), CacheEntry>,
+    /// Maximum number of stored artifacts (`0` = unbounded).
+    capacity: usize,
+    /// Logical clock advanced on every touch; drives least-recently-used eviction.
+    tick: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
-/// Cache statistics, exposed for the construction benchmark and tests.
+#[derive(Debug)]
+struct CacheEntry {
+    artifact: Arc<CompiledExpression>,
+    last_used: u64,
+}
+
+impl CacheInner {
+    /// Marks `key` used now and returns its artifact, if present.
+    fn touch(&mut self, key: &(String, bool)) -> Option<Arc<CompiledExpression>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.compiled.get_mut(key).map(|entry| {
+            entry.last_used = tick;
+            Arc::clone(&entry.artifact)
+        })
+    }
+
+    /// Evicts least-recently-used entries until an insert fits the capacity.
+    fn make_room(&mut self) {
+        if self.capacity == 0 {
+            return;
+        }
+        while self.compiled.len() >= self.capacity {
+            // The victim is iteration-order-independent: min over the
+            // (last_used, key) pair is a total order.
+            // detlint: allow(unsorted-map-iter) — min over a total order
+            let victim = (self.compiled.iter())
+                .min_by(|a, b| (a.1.last_used, a.0).cmp(&(b.1.last_used, b.0)))
+                .map(|(key, _)| key.clone());
+            match victim {
+                Some(key) => {
+                    self.compiled.remove(&key);
+                    self.evictions += 1;
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// Cache statistics, exposed for the construction benchmark, the serve metrics
+/// endpoint, and tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
     /// Number of lookups satisfied from the cache.
@@ -38,12 +91,28 @@ pub struct CacheStats {
     pub misses: u64,
     /// Number of distinct compiled artifacts currently stored.
     pub entries: usize,
+    /// Number of artifacts evicted to keep the cache within its capacity.
+    pub evictions: u64,
 }
 
 impl ExpressionCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty cache that holds at most `capacity` compiled artifacts,
+    /// evicting the least-recently-used entry on overflow (`0` = unbounded,
+    /// identical to [`ExpressionCache::new`]).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cache = Self::default();
+        cache.inner.lock().capacity = capacity;
+        cache
+    }
+
+    /// The configured capacity (`0` = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().capacity
     }
 
     /// Returns the compiled form of `expr`, compiling it (and caching the result) if
@@ -74,8 +143,7 @@ impl ExpressionCache {
         // Fast path: shared lock-and-lookup.
         {
             let mut inner = self.inner.lock();
-            if let Some(found) = inner.compiled.get(&key) {
-                let found = Arc::clone(found);
+            if let Some(found) = inner.touch(&key) {
                 inner.hits += 1;
                 return (found, true);
             }
@@ -84,13 +152,26 @@ impl ExpressionCache {
         // Compile outside the lock (compilation may take milliseconds).
         let compiled = Arc::new(CompiledExpression::compile(expr, options));
         let mut inner = self.inner.lock();
-        (Arc::clone(inner.compiled.entry(key).or_insert(compiled)), false)
+        if let Some(found) = inner.touch(&key) {
+            // Another thread raced the compile and inserted first; keep its artifact.
+            return (found, false);
+        }
+        inner.make_room();
+        inner.tick += 1;
+        let entry = CacheEntry { artifact: Arc::clone(&compiled), last_used: inner.tick };
+        inner.compiled.insert(key, entry);
+        (compiled, false)
     }
 
     /// Current statistics.
     pub fn stats(&self) -> CacheStats {
         let inner = self.inner.lock();
-        CacheStats { hits: inner.hits, misses: inner.misses, entries: inner.compiled.len() }
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.compiled.len(),
+            evictions: inner.evictions,
+        }
     }
 
     /// Removes every cached artifact (used by benchmarks that need cold-cache numbers).
@@ -99,6 +180,7 @@ impl ExpressionCache {
         inner.compiled.clear();
         inner.hits = 0;
         inner.misses = 0;
+        inner.evictions = 0;
     }
 }
 
@@ -190,5 +272,46 @@ mod tests {
     fn cache_is_send_sync() {
         fn assert_ss<T: Send + Sync>() {}
         assert_ss::<ExpressionCache>();
+    }
+
+    fn named(name: &str) -> UnitaryExpression {
+        UnitaryExpression::new(&format!(
+            "{name}(t) {{ [[cos(t/{n}), ~i*sin(t/{n})], [~i*sin(t/{n}), cos(t/{n})]] }}",
+            n = 2 + name.len()
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let cache = ExpressionCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        let (a, b, c) = (named("A"), named("BB"), named("CCC"));
+        let _ = cache.get_or_compile(&a, &CompileOptions::default());
+        let _ = cache.get_or_compile(&b, &CompileOptions::default());
+        // Touch A so B becomes the least recently used, then insert C.
+        let _ = cache.get_or_compile(&a, &CompileOptions::default());
+        let _ = cache.get_or_compile(&c, &CompileOptions::default());
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        // A survived (recently used); B was evicted and must recompile.
+        let (_, hit) = cache.get_or_compile_traced(&a, &CompileOptions::default());
+        assert!(hit, "recently used entry must survive eviction");
+        let (_, hit) = cache.get_or_compile_traced(&b, &CompileOptions::default());
+        assert!(!hit, "least recently used entry must have been evicted");
+        assert_eq!(cache.stats().evictions, 2, "re-inserting B evicts again at capacity");
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = ExpressionCache::new();
+        assert_eq!(cache.capacity(), 0);
+        for name in ["A", "BB", "CCC", "DDDD", "EEEEE"] {
+            let _ = cache.get_or_compile(&named(name), &CompileOptions::default());
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 5);
+        assert_eq!(stats.evictions, 0);
     }
 }

@@ -1,0 +1,57 @@
+//! The `qudit-serve` binary: stands up the compilation server and blocks.
+//!
+//! ```text
+//! qudit-serve [--addr HOST:PORT] [--workers N] [--queue N] [--threads N]
+//!             [--cache-capacity N] [--deadline-ms N] [--debug-hooks]
+//! ```
+
+use qudit_serve::{ServeConfig, Server};
+
+fn main() {
+    let mut config = ServeConfig { addr: "127.0.0.1:7331".to_string(), ..ServeConfig::default() };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| -> usize {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| die(&format!("{name} expects an integer")))
+        };
+        match arg.as_str() {
+            "--addr" => {
+                config.addr = args.next().unwrap_or_else(|| die("--addr expects HOST:PORT"))
+            }
+            "--workers" => config.workers = take("--workers"),
+            "--queue" => config.queue_capacity = take("--queue"),
+            "--threads" => config.threads_per_compile = take("--threads"),
+            "--cache-capacity" => config.cache_capacity = take("--cache-capacity"),
+            "--deadline-ms" => config.default_deadline_ms = take("--deadline-ms") as u64,
+            "--debug-hooks" => config.debug_hooks = true,
+            "--help" | "-h" => {
+                println!(
+                    "qudit-serve: the OpenQudit compilation server\n\n\
+                       --addr HOST:PORT    bind address (default 127.0.0.1:7331)\n\
+                       --workers N         compile worker threads (default 2)\n\
+                       --queue N           waiting-request capacity (default 32)\n\
+                       --threads N         engine threads per compile (default: auto budget)\n\
+                       --cache-capacity N  expression-cache entries, 0 = unbounded (default 0)\n\
+                       --deadline-ms N     default request deadline, 0 = none (default 0)\n\
+                       --debug-hooks       honor the request 'debug' object (tests only)"
+                );
+                return;
+            }
+            other => die(&format!("unknown flag {other:?}; see --help")),
+        }
+    }
+    match Server::start(config) {
+        Ok(handle) => {
+            println!("qudit-serve listening on http://{}", handle.addr());
+            handle.join();
+        }
+        Err(e) => die(&format!("failed to start server: {e}")),
+    }
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("qudit-serve: {message}");
+    std::process::exit(2)
+}

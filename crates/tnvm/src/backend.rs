@@ -59,11 +59,22 @@ impl BackendKind {
 
     /// The process-wide default tier: `OPENQUDIT_TNVM_BACKEND` when set to a valid
     /// backend name, otherwise [`BackendKind::Scalar`].
+    ///
+    /// An *invalid* value still falls back to the scalar tier — a long-lived server
+    /// must not die over a typo in its environment — but emits a one-time stderr
+    /// warning naming the rejected value and the accepted set, so the
+    /// misconfiguration is visible instead of silently running the wrong tier.
     pub fn from_env() -> BackendKind {
-        std::env::var(BACKEND_ENV_VAR)
-            .ok()
-            .and_then(|v| BackendKind::parse(&v))
-            .unwrap_or(BackendKind::Scalar)
+        match std::env::var(BACKEND_ENV_VAR) {
+            Ok(value) => match BackendKind::parse(&value) {
+                Some(kind) => kind,
+                None => {
+                    warn_invalid_env(&value);
+                    BackendKind::Scalar
+                }
+            },
+            Err(_) => BackendKind::Scalar,
+        }
     }
 
     /// Stable identifier used in reports and bench output.
@@ -81,6 +92,30 @@ impl BackendKind {
             BackendKind::Blocked => &BLOCKED_CPU,
         }
     }
+}
+
+/// The warning text for an invalid `OPENQUDIT_TNVM_BACKEND` value: names the value
+/// and the accepted set. Factored out so tests can pin the message without touching
+/// the process environment.
+pub fn invalid_backend_env_warning(value: &str) -> String {
+    format!(
+        "warning: ignoring invalid {BACKEND_ENV_VAR}={value:?}; \
+         accepted values: scalar, blocked (falling back to scalar)"
+    )
+}
+
+/// Emits [`invalid_backend_env_warning`] to stderr the first time it is called in
+/// this process; later calls are no-ops. Returns whether this call emitted —
+/// [`BackendKind::default`] runs once per configuration-struct construction, so an
+/// unguarded warning would flood a server's log.
+pub fn warn_invalid_env(value: &str) -> bool {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static WARNED: AtomicBool = AtomicBool::new(false);
+    let first = !WARNED.swap(true, Ordering::Relaxed);
+    if first {
+        eprintln!("{}", invalid_backend_env_warning(value));
+    }
+    first
 }
 
 impl Default for BackendKind {
@@ -304,6 +339,28 @@ mod tests {
         let desc = ScalarBackend.descriptor();
         assert_eq!(desc.min_blocked_flops, usize::MAX);
         assert_eq!(desc.min_blocked_kron, usize::MAX);
+    }
+
+    #[test]
+    fn invalid_backend_names_fall_back_with_a_named_warning() {
+        // The parse layer `from_env` funnels through: unknown names reject...
+        assert_eq!(BackendKind::parse("blockedd"), None);
+        assert_eq!(BackendKind::parse(""), None);
+        // ...and the warning names the rejected value and the accepted set.
+        let warning = invalid_backend_env_warning("blockedd");
+        assert!(warning.contains(BACKEND_ENV_VAR), "{warning}");
+        assert!(warning.contains("\"blockedd\""), "{warning}");
+        assert!(warning.contains("scalar") && warning.contains("blocked"), "{warning}");
+    }
+
+    #[test]
+    fn invalid_backend_warning_fires_once_per_process() {
+        // Only the first call emits; the guard is process-wide so a server that
+        // constructs thousands of configs logs the misconfiguration exactly once.
+        let first = warn_invalid_env("bogus-tier");
+        let second = warn_invalid_env("bogus-tier");
+        assert!(first || !second, "a later call must never emit after the first");
+        assert!(!warn_invalid_env("another-bogus-tier"));
     }
 
     #[test]

@@ -194,6 +194,22 @@ impl TraceRegistry {
         Span { registry: self.inner.clone().map(|i| TraceRegistry { inner: Some(i) }), index }
     }
 
+    /// Adds every counter of `other` into this registry.
+    ///
+    /// This is the process-level aggregation primitive: a long-lived service folds
+    /// each compilation's per-request registry into one process-wide sink (the
+    /// `qudit-serve` `/metrics` endpoint), so the sink's totals cover every request
+    /// ever served while each request's own snapshot stays isolated. Only counters
+    /// transfer — spans and gauges describe one registry's own timeline and stay put.
+    pub fn absorb_counters(&self, other: &TraceRegistry) {
+        if !self.enabled() {
+            return;
+        }
+        for (name, value) in other.counters() {
+            self.add(&name, value);
+        }
+    }
+
     /// A sorted copy of all counters.
     pub fn counters(&self) -> BTreeMap<String, u64> {
         match &self.inner {
@@ -346,6 +362,28 @@ mod tests {
         let clone = trace.clone();
         clone.add("shared", 1);
         assert_eq!(trace.counters()["shared"], 1);
+    }
+
+    #[test]
+    fn absorb_counters_aggregates_across_registries() {
+        let sink = TraceRegistry::new();
+        sink.add("serve.requests", 1);
+        let request_a = TraceRegistry::new();
+        request_a.add("search.nodes_expanded", 5);
+        request_a.add("cache.misses", 2);
+        let request_b = TraceRegistry::new();
+        request_b.add("search.nodes_expanded", 3);
+        sink.absorb_counters(&request_a);
+        sink.absorb_counters(&request_b);
+        let counters = sink.counters();
+        assert_eq!(counters["search.nodes_expanded"], 8);
+        assert_eq!(counters["cache.misses"], 2);
+        assert_eq!(counters["serve.requests"], 1);
+        // Source registries are untouched, and disabled sinks stay no-ops.
+        assert_eq!(request_a.counters()["search.nodes_expanded"], 5);
+        let disabled = TraceRegistry::disabled();
+        disabled.absorb_counters(&request_a);
+        assert!(disabled.counters().is_empty());
     }
 
     #[test]
