@@ -17,6 +17,12 @@
 //!   (`fetch_add` and friends), which commits results in completion order. Only
 //!   blessed join points — sites whose merged value is order-insensitive by
 //!   construction — may do this, and each carries an annotation saying why.
+//! * **`lock-unwrap`** — `.unwrap()`/`.expect(..)` on a `Mutex`/`RwLock` lock
+//!   result. The workspace policy (see `qudit-serve`) is that a poisoned lock is
+//!   recovered with `unwrap_or_else(PoisonError::into_inner)` — all protected
+//!   state is valid-by-construction — so a panicking unwrap turns one worker's
+//!   panic into a cascading denial of service. Sites that genuinely want
+//!   poisoning to propagate carry an annotation saying why.
 //!
 //! A finding is suppressed by an annotation on the same or the immediately
 //! preceding line:
@@ -51,12 +57,15 @@ pub enum Rule {
     WallClock,
     /// Thread-order-dependent atomic accumulation.
     ThreadAccumulation,
+    /// A panicking unwrap of a `Mutex`/`RwLock` lock result, outside the
+    /// documented `PoisonError::into_inner` recovery policy.
+    LockUnwrap,
 }
 
 impl Rule {
     /// All rules, in documentation order.
-    pub fn all() -> [Rule; 3] {
-        [Rule::UnsortedMapIter, Rule::WallClock, Rule::ThreadAccumulation]
+    pub fn all() -> [Rule; 4] {
+        [Rule::UnsortedMapIter, Rule::WallClock, Rule::ThreadAccumulation, Rule::LockUnwrap]
     }
 
     /// The rule's stable name, as used in `detlint: allow(<name>)` annotations.
@@ -65,6 +74,7 @@ impl Rule {
             Rule::UnsortedMapIter => "unsorted-map-iter",
             Rule::WallClock => "wall-clock",
             Rule::ThreadAccumulation => "thread-accumulation",
+            Rule::LockUnwrap => "lock-unwrap",
         }
     }
 }
@@ -229,6 +239,14 @@ pub fn lint_source(path: &Path, source: &str) -> Vec<Finding> {
         concat!("fetch", "_xor("),
         concat!("fetch", "_update("),
     ];
+    // Lock acquisitions and the panicking consumers that violate the
+    // PoisonError::into_inner policy. Split so this file does not self-flag.
+    let lock_calls = [".lock()", concat!(".r", "ead()"), concat!(".w", "rite()")];
+    let panicking = [concat!(".unw", "rap()"), concat!(".exp", "ect(")];
+    let lock_unwrap_markers: Vec<String> = lock_calls
+        .iter()
+        .flat_map(|lock| panicking.iter().map(move |sink| format!("{lock}{sink}")))
+        .collect();
 
     let mut findings = Vec::new();
     let mut report = |index: usize, rule: Rule, lines: &[&str]| {
@@ -273,6 +291,17 @@ pub fn lint_source(path: &Path, source: &str) -> Vec<Finding> {
         }
         if accum_markers.iter().any(|m| line.contains(m)) {
             report(index, Rule::ThreadAccumulation, &lines);
+        }
+        // Same-line `.lock().unwrap()` chains, plus the split form where the
+        // acquisition ends one line and the panicking consumer opens the next.
+        let lock_unwrap = lock_unwrap_markers.iter().any(|m| line.contains(m.as_str()))
+            || (lock_calls.iter().any(|l| code.ends_with(l))
+                && lines.get(index + 1).is_some_and(|next| {
+                    let next = next.trim_start();
+                    panicking.iter().any(|s| next.starts_with(s))
+                }));
+        if lock_unwrap {
+            report(index, Rule::LockUnwrap, &lines);
         }
     }
     findings
@@ -379,6 +408,26 @@ pub fn self_test() -> Result<(), String> {
         return Err(format!("thread-accumulation missed the planted fetch: {findings:?}"));
     }
 
+    // A panicking lock unwrap — the cascading-DoS regression the policy exists
+    // to prevent — in both the same-line and split-chain spellings.
+    let lock = [
+        format!(
+            "fn peek(q: &Mutex<Vec<u64>>) -> usize {{ q.lock(){}len() }}",
+            concat!(".unw", "rap().")
+        ),
+        "fn drain(q: &Mutex<Vec<u64>>) -> Vec<u64> {".to_string(),
+        "    let mut guard = q.lock()".to_string(),
+        format!("        {}\"queue poisoned\");", concat!(".exp", "ect(")),
+        "    std::mem::take(&mut *guard)".to_string(),
+        "}".to_string(),
+    ]
+    .join("\n");
+    let findings = lint_source(path, &lock);
+    let lock_hits: Vec<_> = findings.iter().filter(|f| f.rule == Rule::LockUnwrap).collect();
+    if lock_hits.len() != 2 || lock_hits[0].line != 1 || lock_hits[1].line != 3 {
+        return Err(format!("lock-unwrap missed the planted unwraps: {findings:?}"));
+    }
+
     // Suppression: an annotated replica of each plant must lint clean.
     let suppressed = [
         format!("struct EGraph {{ classes: {HASH_MAP}<u64, usize> }}"),
@@ -396,6 +445,11 @@ pub fn self_test() -> Result<(), String> {
             "fn bump(c: &AtomicUsize) {{ c.{}1, Ordering::Relaxed); }} \
              // detlint: allow(thread-accumulation) — commutative",
             concat!("fetch", "_add(")
+        ),
+        "// detlint: allow(lock-unwrap) — poisoning must abort this test harness".to_string(),
+        format!(
+            "fn peek(q: &Mutex<Vec<u64>>) -> usize {{ q.lock(){}len() }}",
+            concat!(".unw", "rap().")
         ),
     ]
     .join("\n");

@@ -1,0 +1,601 @@
+//! Verified bytecode optimization: DCE, CSE, and buffer coalescing over
+//! [`TnvmProgram`]s, each gated by translation validation, plus the static cost
+//! model ([`estimate_plan`]) that predicts the runtime `tnvm.*` kernel counters.
+//!
+//! ## Translation validation
+//!
+//! Optimizations here are *not trusted*. After the transforms run, the candidate
+//! program must survive three checks before it replaces the original:
+//!
+//! 1. [`verify_program`] — the full per-instruction typing verifier (which also
+//!    proves an attached [`ArenaLayout`] never maps
+//!    two simultaneously-live buffers to overlapping elements);
+//! 2. [`verify_backend`] for **every** registered tier — the lowered plan stays
+//!    legal under each tier's descriptor;
+//! 3. a differential check — the candidate evaluates **bit-identically** to the
+//!    original (unitary *and* every gradient block) under both [`DiffMode`]s on
+//!    both execution tiers, over deterministic pseudo-random parameter vectors.
+//!
+//! Any failure falls back to the original program; the caller observes the
+//! rejection through [`OptimizeStats::rejected`] and (in the compile pipeline)
+//! the `analyze.optimize.rejected` counter. Optimization can therefore change
+//! instruction counts and arena sizes but never evaluated bytes — the
+//! determinism contract survives `OPENQUDIT_OPTIMIZE=full` unchanged.
+
+use std::collections::HashMap;
+
+use qudit_network::{ArenaLayout, BufId, TnvmOp, TnvmProgram};
+use qudit_qvm::{DiffMode, ExpressionCache};
+use qudit_tensor::Matrix;
+use qudit_tnvm::counters::BilinearTally;
+use qudit_tnvm::{BackendKind, ExecPlan, KernelCounters, Tnvm};
+
+use crate::dataflow::{InterferenceGraph, Liveness};
+use crate::program::verify_backend;
+use crate::{verify_program, OptimizeLevel};
+
+/// What one [`optimize_program`] run did (or declined to do).
+///
+/// Every field derives purely from program structure, so stats are deterministic
+/// and tier-invariant — they appear in the byte-diffed benchmark reports.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OptimizeStats {
+    /// Instruction count (both sections) before optimization.
+    pub instructions_before: usize,
+    /// Instruction count after optimization (equals `instructions_before` when
+    /// nothing applied or the candidate was rejected).
+    pub instructions_after: usize,
+    /// Instructions removed by dead-instruction elimination.
+    pub dce_removed: usize,
+    /// Instructions removed by common-subexpression elimination.
+    pub cse_removed: usize,
+    /// Value-arena size in complex elements before optimization.
+    pub arena_before: usize,
+    /// Value-arena size after optimization (coalesced when a layout attached).
+    pub arena_after: usize,
+    /// Why translation validation rejected the candidate, if it did. `None`
+    /// means the returned program is the (possibly unchanged) optimized one.
+    pub rejected: Option<String>,
+}
+
+/// The result of [`optimize_program`]: the program to use plus the stats.
+#[derive(Debug, Clone)]
+pub struct OptimizeOutcome {
+    /// The optimized program — or a clone of the original when the level is off,
+    /// nothing applied, or validation rejected the candidate.
+    pub program: TnvmProgram,
+    /// What happened.
+    pub stats: OptimizeStats,
+}
+
+/// Optimizes `program` at `level`, translation-validating through `cache`.
+///
+/// At [`OptimizeLevel::Instructions`], runs dead-instruction elimination and
+/// common-subexpression elimination (then DCE again, since CSE orphans the
+/// operands of merged instructions). [`OptimizeLevel::Full`] additionally
+/// coalesces non-interfering buffers into a shrunken arena. See the module docs
+/// for the validation contract; a rejected candidate is *never* returned.
+pub fn optimize_program(
+    program: &TnvmProgram,
+    level: OptimizeLevel,
+    cache: &ExpressionCache,
+) -> OptimizeOutcome {
+    let unchanged = |stats: OptimizeStats| OptimizeOutcome { program: program.clone(), stats };
+    let mut stats = OptimizeStats {
+        instructions_before: program.len(),
+        instructions_after: program.len(),
+        arena_before: program.arena_elements(),
+        arena_after: program.arena_elements(),
+        ..OptimizeStats::default()
+    };
+    if !level.is_enabled() {
+        return unchanged(stats);
+    }
+
+    let mut candidate = program.clone();
+    // Transforms compute their own placement; drop any inherited layout first.
+    candidate.layout = None;
+    let dce_first = eliminate_dead_instructions(&mut candidate);
+    let cse = eliminate_common_subexpressions(&mut candidate);
+    let dce_second = eliminate_dead_instructions(&mut candidate);
+    compact_buffers(&mut candidate);
+    if level == OptimizeLevel::Full {
+        coalesce_buffers(&mut candidate);
+    }
+
+    stats.dce_removed = dce_first + dce_second;
+    stats.cse_removed = cse;
+    if stats.dce_removed == 0 && stats.cse_removed == 0 && candidate.layout.is_none() {
+        // Nothing applied: the candidate is semantically the original program, so
+        // skip the differential run entirely.
+        return unchanged(stats);
+    }
+    stats.instructions_after = candidate.len();
+    stats.arena_after = candidate.arena_elements();
+
+    match translation_validate(program, &candidate, cache) {
+        Ok(()) => OptimizeOutcome { program: candidate, stats },
+        Err(reason) => {
+            stats.instructions_after = stats.instructions_before;
+            stats.arena_after = stats.arena_before;
+            stats.dce_removed = 0;
+            stats.cse_removed = 0;
+            stats.rejected = Some(reason);
+            unchanged(stats)
+        }
+    }
+}
+
+/// Dead-instruction elimination: backward reachability from the program output.
+///
+/// An instruction is live iff its output buffer transitively feeds the output
+/// buffer. Returns the number of instructions removed.
+fn eliminate_dead_instructions(program: &mut TnvmProgram) -> usize {
+    let buffer_count = program.buffers.len();
+    // Inputs of each buffer's (unique) writer.
+    let mut writer_inputs: Vec<Option<Vec<BufId>>> = vec![None; buffer_count];
+    for op in program.constant_ops.iter().chain(program.dynamic_ops.iter()) {
+        writer_inputs[op.out()] = Some(op.inputs());
+    }
+    let mut live = vec![false; buffer_count];
+    let mut stack = vec![program.output];
+    live[program.output] = true;
+    while let Some(buf) = stack.pop() {
+        if let Some(inputs) = &writer_inputs[buf] {
+            for &input in inputs {
+                if !live[input] {
+                    live[input] = true;
+                    stack.push(input);
+                }
+            }
+        }
+    }
+    let before = program.len();
+    program.constant_ops.retain(|op| live[op.out()]);
+    program.dynamic_ops.retain(|op| live[op.out()]);
+    before - program.len()
+}
+
+/// The value-numbering key of an instruction: its kind and (already remapped)
+/// operands, excluding the destination. Two instructions with equal keys compute
+/// equal values — every TNVM op is a pure function of its operands.
+fn cse_key(op: &TnvmOp) -> String {
+    match op {
+        TnvmOp::Write { expr_index, bindings, .. } => format!("W:{expr_index}:{bindings:?}"),
+        TnvmOp::Matmul { a, b, .. } => format!("M:{a}:{b}"),
+        TnvmOp::Kron { a, b, .. } => format!("K:{a}:{b}"),
+        TnvmOp::Hadamard { a, b, .. } => format!("H:{a}:{b}"),
+        TnvmOp::Transpose { input, shape, perm, .. } => format!("T:{input}:{shape:?}:{perm:?}"),
+    }
+}
+
+/// Rewrites every input buffer of `op` through `remap` (the destination stays).
+fn remap_inputs(op: &mut TnvmOp, remap: &[BufId]) {
+    match op {
+        TnvmOp::Write { .. } => {}
+        TnvmOp::Matmul { a, b, .. } | TnvmOp::Kron { a, b, .. } | TnvmOp::Hadamard { a, b, .. } => {
+            *a = remap[*a];
+            *b = remap[*b];
+        }
+        TnvmOp::Transpose { input, .. } => *input = remap[*input],
+    }
+}
+
+/// Common-subexpression elimination: one forward value-numbering pass over the
+/// combined (constant, then dynamic) instruction order.
+///
+/// Operands are remapped on the fly, so chains of duplicates collapse in a
+/// single pass. Processing the constant section first keeps section legality
+/// automatic: a dynamic instruction may reuse a constant-section result (its
+/// value is parameter-free and identical every evaluation), never the reverse.
+/// Returns the number of instructions removed.
+fn eliminate_common_subexpressions(program: &mut TnvmProgram) -> usize {
+    let mut remap: Vec<BufId> = (0..program.buffers.len()).collect();
+    let mut table: HashMap<String, BufId> = HashMap::new();
+    let mut removed = 0usize;
+    for constant in [true, false] {
+        let ops = if constant {
+            std::mem::take(&mut program.constant_ops)
+        } else {
+            std::mem::take(&mut program.dynamic_ops)
+        };
+        let mut kept = Vec::with_capacity(ops.len());
+        for mut op in ops {
+            remap_inputs(&mut op, &remap);
+            let key = cse_key(&op);
+            if let Some(&prev) = table.get(&key) {
+                // Belt and braces: only merge buffers with identical metadata
+                // (equal operands imply it, but the check is cheap).
+                if program.buffers[prev] == program.buffers[op.out()] {
+                    remap[op.out()] = prev;
+                    removed += 1;
+                    continue;
+                }
+            }
+            table.insert(key, op.out());
+            kept.push(op);
+        }
+        if constant {
+            program.constant_ops = kept;
+        } else {
+            program.dynamic_ops = kept;
+        }
+    }
+    program.output = remap[program.output];
+    removed
+}
+
+/// Drops buffers no remaining instruction references, renumbering the rest in
+/// ascending order (deterministic) and rewriting every instruction plus the
+/// program output.
+fn compact_buffers(program: &mut TnvmProgram) {
+    let buffer_count = program.buffers.len();
+    let mut used = vec![false; buffer_count];
+    used[program.output] = true;
+    for op in program.constant_ops.iter().chain(program.dynamic_ops.iter()) {
+        used[op.out()] = true;
+        for input in op.inputs() {
+            used[input] = true;
+        }
+    }
+    if used.iter().all(|&u| u) {
+        return;
+    }
+    let mut remap = vec![usize::MAX; buffer_count];
+    let mut buffers = Vec::new();
+    for (old, info) in program.buffers.iter().enumerate() {
+        if used[old] {
+            remap[old] = buffers.len();
+            buffers.push(info.clone());
+        }
+    }
+    program.buffers = buffers;
+    for op in program.constant_ops.iter_mut().chain(program.dynamic_ops.iter_mut()) {
+        remap_inputs(op, &remap);
+        match op {
+            TnvmOp::Write { out, .. }
+            | TnvmOp::Matmul { out, .. }
+            | TnvmOp::Kron { out, .. }
+            | TnvmOp::Hadamard { out, .. }
+            | TnvmOp::Transpose { out, .. } => *out = remap[*out],
+        }
+    }
+    program.output = remap[program.output];
+}
+
+/// Buffer coalescing: assigns non-interfering buffers to shared arena offsets by
+/// greedy first-fit over the interference graph, attaching an [`ArenaLayout`]
+/// only when it strictly shrinks the arena.
+fn coalesce_buffers(program: &mut TnvmProgram) {
+    let liveness = Liveness::compute(program);
+    let graph = InterferenceGraph::build(program, &liveness);
+    let buffer_count = program.buffers.len();
+    let mut offsets = vec![0usize; buffer_count];
+    let mut placed = vec![false; buffer_count];
+    let mut arena_len = 0usize;
+    for buf in 0..buffer_count {
+        let len = program.buffers[buf].len();
+        // Occupied ranges of already-placed interfering neighbors, by start.
+        let mut blocked: Vec<(usize, usize)> = graph
+            .neighbors(buf)
+            .into_iter()
+            .filter(|&other| placed[other])
+            .map(|other| (offsets[other], offsets[other] + program.buffers[other].len()))
+            .collect();
+        blocked.sort_unstable();
+        // First fit: slide past every blocking range the candidate overlaps.
+        let mut candidate = 0usize;
+        for &(start, end) in &blocked {
+            if candidate + len <= start {
+                break;
+            }
+            candidate = candidate.max(end);
+        }
+        offsets[buf] = candidate;
+        placed[buf] = true;
+        arena_len = arena_len.max(candidate + len);
+    }
+    let dense: usize = program.buffers.iter().map(|b| b.len()).sum();
+    if arena_len < dense {
+        program.layout = Some(ArenaLayout { offsets, arena_len });
+    }
+}
+
+/// Deterministic pseudo-random parameter vectors for the differential check —
+/// the same multiply-with-carry generator the conformance suite uses, so a
+/// rejection here reproduces exactly in a test.
+fn validation_params(count: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    (0..count)
+        .map(|_| {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            ((state >> 33) as f64 / (1u64 << 30) as f64) - 2.0
+        })
+        .collect()
+}
+
+fn matrices_bit_identical(a: &Matrix<f64>, b: &Matrix<f64>) -> bool {
+    if a.rows() != b.rows() || a.cols() != b.cols() {
+        return false;
+    }
+    for r in 0..a.rows() {
+        for c in 0..a.cols() {
+            let (x, y) = (a.get(r, c), b.get(r, c));
+            if x.re.to_bits() != y.re.to_bits() || x.im.to_bits() != y.im.to_bits() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Proves `candidate` is an acceptable replacement for `original`: the verifier
+/// and every tier's lowering accept it, and it evaluates bit-identically (values
+/// and gradients, both [`DiffMode`]s, every registered tier) on deterministic
+/// parameter vectors. Returns the first failure as a human-readable reason.
+fn translation_validate(
+    original: &TnvmProgram,
+    candidate: &TnvmProgram,
+    cache: &ExpressionCache,
+) -> Result<(), String> {
+    verify_program(candidate)
+        .map_err(|e| format!("verifier rejected the optimized program: {e}"))?;
+    for kind in BackendKind::all() {
+        verify_backend(candidate, kind)
+            .map_err(|e| format!("{kind} lowering of the optimized program is illegal: {e}"))?;
+    }
+    let vectors: Vec<Vec<f64>> =
+        (0..2).map(|seed| validation_params(original.num_params, seed)).collect();
+    for diff_mode in [DiffMode::None, DiffMode::Gradient] {
+        for kind in BackendKind::all() {
+            let mut reference: Tnvm<f64> = Tnvm::with_backend(original, diff_mode, cache, kind);
+            let mut optimized: Tnvm<f64> = Tnvm::with_backend(candidate, diff_mode, cache, kind);
+            for (v, params) in vectors.iter().enumerate() {
+                let expect = reference.evaluate(params);
+                let got = optimized.evaluate(params);
+                if !matrices_bit_identical(&expect.unitary, &got.unitary) {
+                    return Err(format!(
+                        "unitary differs ({kind} tier, {diff_mode:?} mode, vector {v})"
+                    ));
+                }
+                if expect.gradient.len() != got.gradient.len() {
+                    return Err(format!(
+                        "gradient count differs ({kind} tier, {diff_mode:?} mode)"
+                    ));
+                }
+                for (p, (ge, gg)) in expect.gradient.iter().zip(got.gradient.iter()).enumerate() {
+                    if !matrices_bit_identical(ge, gg) {
+                        return Err(format!(
+                            "gradient {p} differs ({kind} tier, {diff_mode:?} mode, vector {v})"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The static cost model's prediction for one lowered program: the kernel
+/// counters the VM will accumulate at initialization and per evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanCostEstimate {
+    /// Counters from executing the constant section once at construction.
+    /// `cache_hits`/`cache_misses` are left at zero — cache outcomes depend on
+    /// process history, not on the plan.
+    pub init: KernelCounters,
+    /// Counters from one [`Tnvm::evaluate`] call (the dynamic section;
+    /// `evaluations` is 1).
+    pub per_evaluation: KernelCounters,
+}
+
+/// Kernel invocations one bilinear instruction makes: the value call plus one
+/// product-rule call per surviving gradient term (a term survives when the
+/// operand depends on the parameter) — the same counting as
+/// `Tnvm::exec_bilinear`.
+fn bilinear_calls(program: &TnvmProgram, a: BufId, b: BufId, out: BufId, mode: DiffMode) -> u64 {
+    let mut calls = 1u64;
+    if mode == DiffMode::Gradient {
+        for param in &program.buffers[out].params {
+            if program.buffers[a].params.contains(param) {
+                calls += 1;
+            }
+            if program.buffers[b].params.contains(param) {
+                calls += 1;
+            }
+        }
+    }
+    calls
+}
+
+fn section_counters(
+    program: &TnvmProgram,
+    ops: &[TnvmOp],
+    kernels: &[qudit_tnvm::KernelSel],
+    mode: DiffMode,
+) -> KernelCounters {
+    let mut counters = KernelCounters::default();
+    for (op, &sel) in ops.iter().zip(kernels.iter()) {
+        match op {
+            TnvmOp::Write { .. } => counters.writes += 1,
+            TnvmOp::Transpose { .. } => counters.transposes += 1,
+            TnvmOp::Matmul { a, b, out } => {
+                let (m, k) = (program.buffers[*a].rows, program.buffers[*a].cols);
+                let n = program.buffers[*b].cols;
+                let calls = bilinear_calls(program, *a, *b, *out, mode);
+                counters.tally(BilinearTally::Matmul, sel, calls, 8 * (m * n * k) as u64);
+            }
+            TnvmOp::Kron { a, b, out } => {
+                let calls = bilinear_calls(program, *a, *b, *out, mode);
+                let flops = 6 * program.buffers[*out].len() as u64;
+                counters.tally(BilinearTally::Kron, sel, calls, flops);
+            }
+            TnvmOp::Hadamard { a, b, out } => {
+                let calls = bilinear_calls(program, *a, *b, *out, mode);
+                let flops = 6 * program.buffers[*out].len() as u64;
+                counters.tally(BilinearTally::Hadamard, sel, calls, flops);
+            }
+        }
+    }
+    counters
+}
+
+/// Predicts the [`KernelCounters`] a [`Tnvm`] running `program` under `plan`
+/// in `mode` will accumulate, using the same dispatch and flop formulas as the
+/// VM's tallying — the conformance suite cross-checks the prediction *exactly*
+/// against the runtime `tnvm.*` counters, keeping the counters and the lowering
+/// honest as new tiers land.
+///
+/// # Panics
+///
+/// Panics when `plan`'s kernel-selection vectors are not index-aligned with the
+/// program's sections (use [`verify_plan`](crate::verify_plan) for a typed
+/// rejection first).
+pub fn estimate_plan(program: &TnvmProgram, plan: &ExecPlan, mode: DiffMode) -> PlanCostEstimate {
+    assert_eq!(
+        plan.constant_kernels.len(),
+        program.constant_ops.len(),
+        "plan constant section out of sync with program"
+    );
+    assert_eq!(
+        plan.dynamic_kernels.len(),
+        program.dynamic_ops.len(),
+        "plan dynamic section out of sync with program"
+    );
+    let init = section_counters(program, &program.constant_ops, &plan.constant_kernels, mode);
+    let mut per_evaluation =
+        section_counters(program, &program.dynamic_ops, &plan.dynamic_kernels, mode);
+    per_evaluation.evaluations = 1;
+    PlanCostEstimate { init, per_evaluation }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qudit_circuit::builders;
+    use qudit_network::{compile_network, TensorNetwork};
+
+    fn program_for(radices: &[usize]) -> TnvmProgram {
+        let couplings: Vec<(usize, usize)> = (0..radices.len() - 1).map(|i| (i, i + 1)).collect();
+        let circuit = builders::pqc_template(radices, &couplings).unwrap();
+        compile_network(&TensorNetwork::from_circuit(&circuit))
+    }
+
+    #[test]
+    fn off_level_returns_the_program_unchanged() {
+        let p = program_for(&[2, 2]);
+        let cache = ExpressionCache::new();
+        let out = optimize_program(&p, OptimizeLevel::Off, &cache);
+        assert_eq!(out.stats.instructions_before, out.stats.instructions_after);
+        assert_eq!(out.stats.dce_removed + out.stats.cse_removed, 0);
+        assert!(out.stats.rejected.is_none());
+        assert_eq!(out.program.len(), p.len());
+    }
+
+    #[test]
+    fn optimized_programs_verify_and_keep_their_output_shape() {
+        for radices in [&[2usize, 2][..], &[3, 3], &[2, 2, 2]] {
+            let p = program_for(radices);
+            let cache = ExpressionCache::new();
+            let out = optimize_program(&p, OptimizeLevel::Full, &cache);
+            assert!(out.stats.rejected.is_none(), "{:?}", out.stats.rejected);
+            verify_program(&out.program).unwrap();
+            assert_eq!(out.program.dim(), p.dim());
+            assert!(out.stats.instructions_after <= out.stats.instructions_before);
+            assert!(out.stats.arena_after <= out.stats.arena_before);
+        }
+    }
+
+    #[test]
+    fn cse_merges_duplicated_identity_padding_writes() {
+        // A 3-qudit chain forces two separate single-wire identity paddings with
+        // the same expression — the guaranteed CSE win.
+        let p = program_for(&[2, 2, 2]);
+        let cache = ExpressionCache::new();
+        let out = optimize_program(&p, OptimizeLevel::Instructions, &cache);
+        assert!(out.stats.rejected.is_none());
+        assert!(
+            out.stats.cse_removed >= 1,
+            "expected at least one merged identity write: {:?}",
+            out.stats
+        );
+        assert!(out.stats.instructions_after < out.stats.instructions_before);
+    }
+
+    #[test]
+    fn dce_removes_an_artificially_dead_instruction() {
+        let mut p = program_for(&[2, 2]);
+        // Plant a dead constant write: duplicate the first constant op into a
+        // fresh buffer nothing reads.
+        let dead_buf = p.buffers.len();
+        p.buffers.push(p.buffers[p.constant_ops[0].out()].clone());
+        let mut dead_op = p.constant_ops[0].clone();
+        if let TnvmOp::Write { out, .. } = &mut dead_op {
+            *out = dead_buf;
+        }
+        p.constant_ops.push(dead_op);
+        p.validate().unwrap();
+        let cache = ExpressionCache::new();
+        let out = optimize_program(&p, OptimizeLevel::Instructions, &cache);
+        assert!(out.stats.rejected.is_none());
+        assert!(out.stats.dce_removed + out.stats.cse_removed >= 1);
+        assert!(out.program.len() < p.len());
+    }
+
+    #[test]
+    fn full_level_coalescing_shrinks_the_arena_when_it_applies() {
+        let p = program_for(&[2, 2, 2]);
+        let cache = ExpressionCache::new();
+        let out = optimize_program(&p, OptimizeLevel::Full, &cache);
+        assert!(out.stats.rejected.is_none());
+        if let Some(layout) = &out.program.layout {
+            assert!(layout.arena_len < out.stats.arena_before);
+            assert_eq!(out.stats.arena_after, layout.arena_len);
+            out.program.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn estimate_matches_runtime_counters_exactly() {
+        let p = program_for(&[2, 3]);
+        let cache = ExpressionCache::new();
+        for kind in BackendKind::all() {
+            let plan = kind.instance().lower(&p);
+            for mode in [DiffMode::None, DiffMode::Gradient] {
+                let estimate = estimate_plan(&p, &plan, mode);
+                let mut vm: Tnvm<f64> = Tnvm::with_backend(&p, mode, &cache, kind);
+                let mut init = vm.take_counters();
+                init.cache_hits = 0;
+                init.cache_misses = 0;
+                assert_eq!(init, estimate.init, "{kind} {mode:?} init");
+                let params = validation_params(p.num_params, 7);
+                vm.evaluate(&params);
+                assert_eq!(vm.take_counters(), estimate.per_evaluation, "{kind} {mode:?} eval");
+            }
+        }
+    }
+
+    #[test]
+    fn a_corrupted_candidate_is_rejected_by_the_differential_check() {
+        let p = program_for(&[2, 2]);
+        let mut corrupted = p.clone();
+        // Swap the matmul operand order somewhere: same shapes, different value.
+        let mut swapped = false;
+        for op in corrupted.dynamic_ops.iter_mut().chain(corrupted.constant_ops.iter_mut()) {
+            if let TnvmOp::Matmul { a, b, .. } = op {
+                if corrupted.buffers[*a].params != corrupted.buffers[*b].params {
+                    continue;
+                }
+                std::mem::swap(a, b);
+                swapped = true;
+                break;
+            }
+        }
+        if !swapped {
+            return; // no symmetric matmul to corrupt in this program shape
+        }
+        let cache = ExpressionCache::new();
+        let err = translation_validate(&p, &corrupted, &cache).unwrap_err();
+        assert!(err.contains("differs"), "{err}");
+    }
+}

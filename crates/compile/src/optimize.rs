@@ -1,0 +1,85 @@
+//! Verified bytecode optimization in the pipeline: [`optimize_task`] and the
+//! [`Compiler::optimize`](crate::Compiler::optimize) knob.
+//!
+//! When optimization is enabled the compiler runs `qudit-analyze`'s
+//! translation-validated optimizer ([`qudit_analyze::optimize_program`]) over the
+//! final circuit's TNVM bytecode once, after the last pass (and after its
+//! verification): dead-instruction elimination, common-subexpression elimination,
+//! and — at [`OptimizeLevel::Full`] — buffer coalescing. Unlike verification,
+//! which re-checks after *every* pass, optimization runs once at the end: the
+//! passes communicate through the circuit-in-progress, and the bytecode worth
+//! optimizing is the final circuit's.
+//!
+//! The optimizer never fails a compilation. A candidate that translation
+//! validation rejects is dropped — the original program stands — and the
+//! rejection lands in the `analyze.optimize.rejected` counter (always present,
+//! even at zero, so `/metrics` consumers can alert on it) plus the blackboard's
+//! `optimize.rejected` annotation. What it did land in the `analyze.optimize.*`
+//! counters and the `optimize.*` blackboard keys, all deterministic and
+//! tier-invariant.
+//!
+//! The default level comes from `OPENQUDIT_OPTIMIZE`
+//! ([`OptimizeLevel::from_env`]); a task can override the compiler's level
+//! through [`CompilationTask::optimize`] (the per-request seam `qudit-serve`
+//! uses).
+
+use qudit_analyze::{optimize_program, OptimizeLevel};
+use qudit_network::{try_compile_network, TensorNetwork};
+use qudit_qvm::ExpressionCache;
+use qudit_trace::TraceRegistry;
+
+use crate::error::CompileError;
+use crate::task::CompilationTask;
+
+/// Optimizes the task's final circuit bytecode at the given level, recording
+/// outcome counters into `trace` and stats onto the task blackboard.
+///
+/// A task with no result yet is a no-op. The optimized program is not stored —
+/// the task's artifact is the circuit, and any consumer recompiles the network —
+/// but the run proves the optimization sound (translation validation) and its
+/// stats feed the report. Returns the rejection reason observed, if any, so
+/// callers can surface it.
+///
+/// # Errors
+///
+/// Returns [`CompileError::Bytecode`] only when the circuit itself fails to
+/// lower to bytecode — optimizer rejections are *not* errors (the original
+/// program stands).
+pub fn optimize_task(
+    task: &mut CompilationTask,
+    level: OptimizeLevel,
+    cache: &ExpressionCache,
+    trace: &TraceRegistry,
+) -> Result<Option<String>, CompileError> {
+    let level = task.optimize.unwrap_or(level);
+    if !level.is_enabled() {
+        return Ok(None);
+    }
+    let Some(result) = &task.result else {
+        return Ok(None);
+    };
+    let program = try_compile_network(&TensorNetwork::from_circuit(&result.circuit))?;
+    let outcome = optimize_program(&program, level, cache);
+    let stats = &outcome.stats;
+    trace.incr("analyze.optimize.programs");
+    trace.add("analyze.optimize.dce_removed", stats.dce_removed as u64);
+    trace.add("analyze.optimize.cse_removed", stats.cse_removed as u64);
+    trace.add(
+        "analyze.optimize.arena_saved",
+        stats.arena_before.saturating_sub(stats.arena_after) as u64,
+    );
+    // Always touch the rejection counter so the key exists (at zero) in every
+    // metrics snapshot — absence and "never rejected" must be distinguishable.
+    trace.add("analyze.optimize.rejected", u64::from(stats.rejected.is_some()));
+    task.data.set("optimize.level", level.name());
+    task.data.set("optimize.instructions_before", stats.instructions_before);
+    task.data.set("optimize.instructions_after", stats.instructions_after);
+    task.data.set("optimize.dce_removed", stats.dce_removed);
+    task.data.set("optimize.cse_removed", stats.cse_removed);
+    task.data.set("optimize.arena_before", stats.arena_before);
+    task.data.set("optimize.arena_after", stats.arena_after);
+    if let Some(reason) = &stats.rejected {
+        task.data.set("optimize.rejected", reason.clone());
+    }
+    Ok(stats.rejected.clone())
+}

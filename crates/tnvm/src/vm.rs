@@ -143,13 +143,24 @@ impl<T: Float> Tnvm<T> {
         self.counters.cache_hits += hits;
         self.counters.cache_misses += misses;
 
-        // Value arena.
+        // Value arena. A coalesced layout attached by the optimizer overrides the
+        // default back-to-back placement; `TnvmProgram::validate` and the analyze
+        // verifier guarantee it is sound before it reaches the VM.
         self.value_offsets.clear();
-        let mut total = 0usize;
-        for buf in &program.buffers {
-            self.value_offsets.push(total);
-            total += buf.len();
-        }
+        let total = match &program.layout {
+            Some(layout) => {
+                self.value_offsets.extend_from_slice(&layout.offsets);
+                layout.arena_len
+            }
+            None => {
+                let mut total = 0usize;
+                for buf in &program.buffers {
+                    self.value_offsets.push(total);
+                    total += buf.len();
+                }
+                total
+            }
+        };
         self.values.clear();
         self.values.resize(total, Complex::zero());
 

@@ -272,6 +272,37 @@ fn same_seed_responses_are_byte_identical_across_tnvm_tiers() {
 }
 
 #[test]
+fn metrics_expose_the_analyze_counter_family() {
+    let server = start(ServeConfig::default());
+    let addr = server.addr();
+    // The optimizer's rejection counter is pre-registered: present at zero
+    // before any compile, so "never rejected" is distinguishable from "not wired".
+    let metrics = http(addr, "GET", "/metrics", "").body;
+    assert!(metrics.contains("\"analyze.optimize.rejected\""), "{metrics}");
+    assert_eq!(counter(addr, "analyze.optimize.rejected"), 0);
+    // A request opting into per-request optimization surfaces the whole
+    // analyze.optimize.* family in the response metrics and process-wide.
+    let body = r#"{"target": {"gate": "CNOT"}, "radices": [2, 2], "seed": 7, "omit_timings": true, "optimize": "full"}"#;
+    let response = post_compile(addr, body);
+    assert_eq!(response.status, 200, "{}", response.body);
+    assert!(response.body.contains("\"analyze.optimize.programs\""), "{}", response.body);
+    let metrics = http(addr, "GET", "/metrics", "").body;
+    assert_eq!(counter(addr, "analyze.optimize.programs"), 1, "{metrics}");
+    assert_eq!(counter(addr, "analyze.optimize.rejected"), 0, "{metrics}");
+    for key in ["analyze.optimize.dce_removed", "analyze.optimize.cse_removed"] {
+        assert!(metrics.contains(&format!("\"{key}\"")), "{metrics}");
+    }
+    // An invalid per-request level is a 400 naming the accepted set.
+    let bad = post_compile(
+        addr,
+        r#"{"target": {"gate": "CNOT"}, "radices": [2, 2], "optimize": "aggressive"}"#,
+    );
+    assert_eq!(bad.status, 400, "{}", bad.body);
+    assert!(bad.body.contains("off, instructions, full"), "{}", bad.body);
+    server.shutdown();
+}
+
+#[test]
 fn metrics_pass_timings_mirror_the_compilation_report() {
     let server = start(ServeConfig::default());
     let addr = server.addr();
